@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks of the computational substrates: WL
+// feature extraction and kernel evaluation, WL-GP fitting (the O(N^3) GP
+// cost the paper argues dominates the WL kernel cost), complex MNA AC
+// analysis, pole extraction, and one full sized-circuit evaluation (the
+// "simulation" unit of every experiment).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "circuit/behavioral.hpp"
+#include "circuit/circuit_graph.hpp"
+#include "circuit/library.hpp"
+#include "gp/wlgp.hpp"
+#include "sim/metrics.hpp"
+#include "sim/mna.hpp"
+#include "sizing/evaluate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace intooa;
+
+std::vector<circuit::Topology> random_topologies(std::size_t n,
+                                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<circuit::Topology> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(circuit::Topology::random(rng));
+  }
+  return out;
+}
+
+void BM_WlFeatures(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  graph::WlFeaturizer featurizer(6);
+  const auto g =
+      circuit::build_circuit_graph(random_topologies(1, 1).front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.features(g, h));
+  }
+}
+BENCHMARK(BM_WlFeatures)->Arg(0)->Arg(2)->Arg(6);
+
+void BM_WlKernelGram(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::WlFeaturizer featurizer(6);
+  std::vector<graph::SparseVec> features;
+  for (const auto& topo : random_topologies(n, 2)) {
+    features.push_back(
+        featurizer.features(circuit::build_circuit_graph(topo), 2));
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        acc += graph::dot(features[i], features[j]);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_WlKernelGram)->Arg(20)->Arg(60);
+
+void BM_WlGpFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto featurizer = std::make_shared<graph::WlFeaturizer>(6);
+  std::vector<graph::Graph> graphs;
+  std::vector<double> targets;
+  util::Rng rng(3);
+  for (const auto& topo : random_topologies(n, 3)) {
+    graphs.push_back(circuit::build_circuit_graph(topo));
+    targets.push_back(rng.normal());
+  }
+  for (auto _ : state) {
+    gp::WlGp model(featurizer, gp::WlGpConfig{});
+    model.fit(graphs, targets);
+    benchmark::DoNotOptimize(model.chosen_h());
+  }
+}
+BENCHMARK(BM_WlGpFit)->Arg(20)->Arg(60);
+
+circuit::Netlist nmc_netlist() {
+  circuit::BehavioralConfig cfg;
+  return circuit::build_behavioral(circuit::named_topology("NMC"),
+                                   std::vector<double>{1e-4, 1e-4, 1e-3, 2e-12},
+                                   cfg);
+}
+
+void BM_MnaSinglePoint(benchmark::State& state) {
+  const auto net = nmc_netlist();
+  const sim::AcSolver solver(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(1e6));
+  }
+}
+BENCHMARK(BM_MnaSinglePoint);
+
+void BM_PoleExtraction(benchmark::State& state) {
+  const auto net = nmc_netlist();
+  const sim::AcSolver solver(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.poles());
+  }
+}
+BENCHMARK(BM_PoleExtraction);
+
+void BM_FullSimulation(benchmark::State& state) {
+  // One "simulation" in the paper's accounting: stability check + AC
+  // sweep + metric extraction for a sized behavioral design.
+  sizing::EvalContext ctx(circuit::spec_by_name("S-1"));
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> values = {1e-4, 1e-4, 1e-3, 2e-12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sizing::evaluate_sized(topo, values, ctx));
+  }
+}
+BENCHMARK(BM_FullSimulation);
+
+void BM_TopologyIndexRoundTrip(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) {
+    const auto t = circuit::Topology::random(rng);
+    benchmark::DoNotOptimize(circuit::Topology::from_index(t.index()));
+  }
+}
+BENCHMARK(BM_TopologyIndexRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Regenerates Table I: the five design-specification sets. Also prints the
+// derived design-space statistics quoted in Sec. II-C (type counts per
+// slot, total space size) as a sanity header for the other benches.
+
+#include <cstdio>
+
+#include "circuit/rules.hpp"
+#include "circuit/spec.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace intooa;
+
+  std::printf("TABLE I: The Design Specification Sets\n");
+  util::Table table(
+      {"Specs", "Gain(dB)", "GBW(MHz)", "PM(deg)", "Power(uW)", "CL(pF)"});
+  for (const auto& spec : circuit::paper_specs()) {
+    table.add_row({spec.name, ">" + util::fmt(spec.gain_db_min, 3),
+                   ">" + util::fmt(spec.gbw_hz_min / 1e6, 3),
+                   ">" + util::fmt(spec.pm_deg_min, 3),
+                   "<" + util::fmt(spec.power_w_max / 1e-6, 3),
+                   util::fmt(spec.load_cap / 1e-12, 5)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  std::printf("Design space (Sec. II-C):\n");
+  for (circuit::Slot slot : circuit::all_slots()) {
+    std::printf("  %-8s : %2zu types\n", circuit::slot_name(slot).c_str(),
+                circuit::allowed_types(slot).size());
+  }
+  std::printf("  total    : %zu topologies\n", circuit::design_space_size());
+  return 0;
+}

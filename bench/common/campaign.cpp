@@ -1,0 +1,332 @@
+#include "common/campaign.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "baselines/fega.hpp"
+#include "baselines/vgae_bo.hpp"
+#include "core/optimizer.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace intooa::bench {
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> methods = {
+      Method::FeGa, Method::VgaeBo, Method::IntoOaR, Method::IntoOaM,
+      Method::IntoOa};
+  return methods;
+}
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::FeGa: return "FE-GA";
+    case Method::VgaeBo: return "VGAE-BO";
+    case Method::IntoOaR: return "INTO-OA-r";
+    case Method::IntoOaM: return "INTO-OA-m";
+    case Method::IntoOa: return "INTO-OA";
+  }
+  return "?";
+}
+
+std::string CampaignParams::cache_token() const {
+  std::ostringstream out;
+  out << "r" << runs << "_i" << init_topologies << "x" << iterations << "_p"
+      << pool << "_s" << sizing_init << "x" << sizing_iterations << "_seed"
+      << seed;
+  return out.str();
+}
+
+int CampaignSet::successes() const {
+  int count = 0;
+  for (const auto& run : runs) count += run.success;
+  return count;
+}
+
+double CampaignSet::mean_final_fom() const {
+  std::vector<double> foms;
+  for (const auto& run : runs) {
+    if (run.success) foms.push_back(run.final_fom);
+  }
+  return foms.empty() ? 0.0 : util::mean(foms);
+}
+
+std::vector<double> CampaignSet::mean_curve() const {
+  std::vector<double> mean(params.budget(), 0.0);
+  if (runs.empty()) return mean;
+  for (const auto& run : runs) {
+    for (std::size_t i = 0; i < mean.size() && i < run.curve.size(); ++i) {
+      mean[i] += run.curve[i];
+    }
+  }
+  for (auto& v : mean) v /= static_cast<double>(runs.size());
+  return mean;
+}
+
+double CampaignSet::mean_sims_to_reach(double fom) const {
+  if (runs.empty()) return static_cast<double>(params.budget());
+  double total = 0.0;
+  for (const auto& run : runs) {
+    std::size_t sims = params.budget();
+    for (std::size_t i = 0; i < run.curve.size(); ++i) {
+      if (run.curve[i] >= fom) {
+        sims = i + 1;
+        break;
+      }
+    }
+    total += static_cast<double>(sims);
+  }
+  return total / static_cast<double>(runs.size());
+}
+
+std::optional<std::size_t> CampaignSet::best_run() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].success) continue;
+    if (!best || runs[i].final_fom > runs[*best].final_fom) best = i;
+  }
+  return best;
+}
+
+namespace {
+
+std::string cache_path(const std::string& cache_dir, const std::string& spec,
+                       Method method, const CampaignParams& params) {
+  return cache_dir + "/campaign_" + spec + "_" + method_name(method) + "_" +
+         params.cache_token() + ".csv";
+}
+
+void save_cache(const std::string& path, const CampaignSet& set) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  if (!out) {
+    util::log_warn("cannot write campaign cache " + path);
+    return;
+  }
+  out.precision(12);
+  for (const auto& run : set.runs) {
+    out << "run," << run.success << "," << run.final_fom << ","
+        << run.best_topology_index << "," << run.gain_db << "," << run.gbw_hz
+        << "," << run.pm_deg << "," << run.power_w << ",\"" << run.best_topology
+        << "\"\n";
+    out << "values";
+    for (double v : run.best_values) out << "," << v;
+    out << "\ncurve";
+    for (double v : run.curve) out << "," << v;
+    out << "\n";
+  }
+}
+
+std::optional<CampaignSet> load_cache(const std::string& path,
+                                      const std::string& spec, Method method,
+                                      const CampaignParams& params) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  CampaignSet set;
+  set.spec = spec;
+  set.method = method;
+  set.params = params;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("run,", 0) != 0) return std::nullopt;  // corrupt
+    RunResult run;
+    {
+      std::istringstream ss(line.substr(4));
+      std::string field;
+      std::getline(ss, field, ',');
+      run.success = field == "1";
+      std::getline(ss, field, ',');
+      run.final_fom = std::stod(field);
+      std::getline(ss, field, ',');
+      run.best_topology_index = static_cast<std::size_t>(std::stoull(field));
+      std::getline(ss, field, ',');
+      run.gain_db = std::stod(field);
+      std::getline(ss, field, ',');
+      run.gbw_hz = std::stod(field);
+      std::getline(ss, field, ',');
+      run.pm_deg = std::stod(field);
+      std::getline(ss, field, ',');
+      run.power_w = std::stod(field);
+      std::getline(ss, field);
+      if (field.size() >= 2 && field.front() == '"' && field.back() == '"') {
+        field = field.substr(1, field.size() - 2);
+      }
+      run.best_topology = field;
+    }
+    if (!std::getline(in, line) || line.rfind("values", 0) != 0) {
+      return std::nullopt;
+    }
+    {
+      std::istringstream ss(line.substr(6));
+      std::string field;
+      while (std::getline(ss, field, ',')) {
+        if (!field.empty()) run.best_values.push_back(std::stod(field));
+      }
+    }
+    if (!std::getline(in, line) || line.rfind("curve", 0) != 0) {
+      return std::nullopt;
+    }
+    {
+      std::istringstream ss(line.substr(5));
+      std::string field;
+      while (std::getline(ss, field, ',')) {
+        if (!field.empty()) run.curve.push_back(std::stod(field));
+      }
+    }
+    set.runs.push_back(std::move(run));
+  }
+  if (set.runs.size() != params.runs) return std::nullopt;
+  return set;
+}
+
+/// One trained VAE per process, shared by every VGAE-BO campaign (the
+/// autoencoder is trained offline on unlabeled topologies, independent of
+/// spec and run).
+baselines::Vae& shared_vae(const baselines::VaeConfig& config) {
+  static std::unique_ptr<baselines::Vae> vae;
+  if (!vae) {
+    util::log_info("training shared VGAE autoencoder (once per process)...");
+    util::Rng rng(0xAEDC0DEULL);
+    vae = std::make_unique<baselines::Vae>(config, rng);
+    vae->train(rng);
+    util::log_info("VGAE reconstruction accuracy: " +
+                   std::to_string(vae->reconstruction_accuracy(500, rng)));
+  }
+  return *vae;
+}
+
+RunResult execute_run(const std::string& spec_name, Method method,
+                      const CampaignParams& params, std::uint64_t seed) {
+  const circuit::Spec& spec = circuit::spec_by_name(spec_name);
+  sizing::SizingConfig sizing_config;
+  sizing_config.init_points = params.sizing_init;
+  sizing_config.iterations = params.sizing_iterations;
+  core::TopologyEvaluator evaluator(sizing::EvalContext(spec), sizing_config);
+  util::Rng rng(seed);
+
+  core::OptimizationOutcome outcome;
+  switch (method) {
+    case Method::IntoOa:
+    case Method::IntoOaR:
+    case Method::IntoOaM: {
+      core::OptimizerConfig config;
+      config.init_topologies = params.init_topologies;
+      config.iterations = params.iterations;
+      config.candidates.pool_size = params.pool;
+      config.candidates.mutation_fraction =
+          method == Method::IntoOa ? 0.5
+          : method == Method::IntoOaM ? 1.0
+                                      : 0.0;
+      core::IntoOaOptimizer optimizer(config);
+      outcome = optimizer.run(evaluator, rng);
+      break;
+    }
+    case Method::FeGa: {
+      baselines::FeGaConfig config;
+      config.population = params.init_topologies;
+      config.max_evaluations = params.init_topologies + params.iterations;
+      outcome = baselines::FeGa(config).run(evaluator, rng);
+      break;
+    }
+    case Method::VgaeBo: {
+      baselines::VgaeBoConfig config;
+      config.init_topologies = params.init_topologies;
+      config.iterations = params.iterations;
+      config.candidates = params.pool;
+      outcome =
+          baselines::VgaeBo(config).run(evaluator, rng, shared_vae(config.vae));
+      break;
+    }
+  }
+
+  RunResult run;
+  run.success = outcome.success;
+  run.curve = evaluator.fom_curve();
+  run.curve.resize(params.budget(), run.curve.empty() ? 0.0 : run.curve.back());
+  if (outcome.best_index && outcome.success) {
+    run.final_fom = outcome.best_point.fom;
+    run.best_topology_index = outcome.best_topology.index();
+    run.best_topology = outcome.best_topology.to_string();
+    run.gain_db = outcome.best_point.perf.gain_db;
+    run.gbw_hz = outcome.best_point.perf.gbw_hz;
+    run.pm_deg = outcome.best_point.perf.pm_deg;
+    run.power_w = outcome.best_point.perf.power_w;
+    run.best_values = outcome.best_values;
+  }
+  return run;
+}
+
+}  // namespace
+
+CampaignSet run_or_load(const std::string& spec_name, Method method,
+                        const CampaignParams& params,
+                        const std::string& cache_dir) {
+  const std::string path =
+      cache_dir.empty() ? ""
+                        : cache_path(cache_dir, spec_name, method, params);
+  if (!path.empty()) {
+    if (auto cached = load_cache(path, spec_name, method, params)) {
+      util::log_info("loaded cached campaign " + path);
+      return *cached;
+    }
+  }
+
+  CampaignSet set;
+  set.spec = spec_name;
+  set.method = method;
+  set.params = params;
+  for (std::size_t r = 0; r < params.runs; ++r) {
+    const std::uint64_t seed =
+        params.seed * 1000003ULL +
+        static_cast<std::uint64_t>(method) * 7919ULL +
+        std::hash<std::string>{}(spec_name) % 104729ULL + r * 31ULL;
+    util::log_info(method_name(method) + " on " + spec_name + ": run " +
+                   std::to_string(r + 1) + "/" + std::to_string(params.runs));
+    set.runs.push_back(execute_run(spec_name, method, params, seed));
+  }
+  if (!path.empty()) save_cache(path, set);
+  return set;
+}
+
+BenchOptions BenchOptions::from_cli(const util::Cli& cli) {
+  BenchOptions options;
+  if (cli.has("quick")) {
+    options.params.runs = 3;
+    options.params.iterations = 20;
+    options.params.pool = 100;
+    options.params.sizing_init = 5;
+    options.params.sizing_iterations = 15;
+  }
+  options.params.runs = static_cast<std::size_t>(
+      cli.get_int("runs", static_cast<long>(options.params.runs)));
+  options.params.init_topologies = static_cast<std::size_t>(cli.get_int(
+      "init", static_cast<long>(options.params.init_topologies)));
+  options.params.iterations = static_cast<std::size_t>(
+      cli.get_int("iters", static_cast<long>(options.params.iterations)));
+  options.params.pool = static_cast<std::size_t>(
+      cli.get_int("pool", static_cast<long>(options.params.pool)));
+  options.params.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<long>(options.params.seed)));
+  options.cache_dir = cli.get("cache-dir", options.cache_dir);
+  if (cli.has("no-cache")) options.cache_dir.clear();
+  return options;
+}
+
+double reference_fom(const std::vector<CampaignSet>& sets_for_spec) {
+  double weakest = 0.0;
+  bool any = false;
+  for (const auto& set : sets_for_spec) {
+    if (set.successes() == 0) continue;
+    const double fom = set.mean_final_fom();
+    if (!any || fom < weakest) {
+      weakest = fom;
+      any = true;
+    }
+  }
+  return any ? 0.9 * weakest : 0.0;
+}
+
+}  // namespace intooa::bench

@@ -1,0 +1,100 @@
+#pragma once
+// Shared experiment-campaign driver for the table/figure benches. One
+// "campaign" is one optimization run of one method on one spec with the
+// paper's protocol (10 random initial topologies + 50 iterations, every
+// topology sized with 10+30 BO simulations). Campaign sets (N repeated
+// runs) are cached on disk so Fig. 5, Table II, Table III and Table V can
+// share a single expensive computation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/spec.hpp"
+#include "util/cli.hpp"
+
+namespace intooa::bench {
+
+/// The five methods of Sec. IV-A.
+enum class Method { FeGa, VgaeBo, IntoOaR, IntoOaM, IntoOa };
+
+/// All methods in the paper's table order.
+const std::vector<Method>& all_methods();
+
+/// Display name ("INTO-OA", "FE-GA", ...).
+std::string method_name(Method method);
+
+/// Campaign protocol parameters (defaults = paper).
+struct CampaignParams {
+  std::size_t runs = 10;
+  std::size_t init_topologies = 10;
+  std::size_t iterations = 50;
+  std::size_t pool = 200;
+  std::size_t sizing_init = 10;
+  std::size_t sizing_iterations = 30;
+  std::uint64_t seed = 2025;
+
+  /// Simulations per topology evaluation.
+  std::size_t sims_per_topology() const {
+    return sizing_init + sizing_iterations;
+  }
+  /// Total simulation budget of one run.
+  std::size_t budget() const {
+    return (init_topologies + iterations) * sims_per_topology();
+  }
+  /// Stable token used in cache file names.
+  std::string cache_token() const;
+};
+
+/// Outcome of one campaign run.
+struct RunResult {
+  bool success = false;
+  double final_fom = 0.0;  ///< best feasible FoM (0 when failed)
+  std::size_t best_topology_index = 0;
+  std::string best_topology;
+  double gain_db = 0.0, gbw_hz = 0.0, pm_deg = 0.0, power_w = 0.0;
+  std::vector<double> best_values;  ///< sizing of the best design
+  std::vector<double> curve;        ///< best feasible FoM after each simulation
+};
+
+/// N runs of one (spec, method) pair.
+struct CampaignSet {
+  std::string spec;
+  Method method = Method::IntoOa;
+  CampaignParams params;
+  std::vector<RunResult> runs;
+
+  /// Fraction helpers for the tables.
+  int successes() const;
+  double mean_final_fom() const;  ///< over successful runs (0 if none)
+  std::vector<double> mean_curve() const;  ///< element-wise over all runs
+  /// Mean number of simulations until the curve reaches `fom`; runs that
+  /// never reach it count as the full budget.
+  double mean_sims_to_reach(double fom) const;
+  /// Index of the best successful run (highest FoM), if any.
+  std::optional<std::size_t> best_run() const;
+};
+
+/// Runs (or loads from `cache_dir` if present) the campaign set. Pass an
+/// empty cache_dir to disable caching. Progress is logged at Info level.
+CampaignSet run_or_load(const std::string& spec_name, Method method,
+                        const CampaignParams& params,
+                        const std::string& cache_dir);
+
+/// Shared CLI handling for the campaign benches: reads --runs, --iters,
+/// --init, --pool, --seed, --quick (3 runs, 20 iterations, pool 100,
+/// sizing 5+15), --cache-dir (default "bench-cache"), --no-cache.
+struct BenchOptions {
+  CampaignParams params;
+  std::string cache_dir = "bench-cache";
+
+  static BenchOptions from_cli(const util::Cli& cli);
+};
+
+/// The paper's reference FoM per spec (the dashed lines of Fig. 5):
+/// 90% of the weakest method's mean final FoM among methods with at least
+/// one success. Returns 0 when no method succeeded.
+double reference_fom(const std::vector<CampaignSet>& sets_for_spec);
+
+}  // namespace intooa::bench

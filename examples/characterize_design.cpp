@@ -1,0 +1,97 @@
+// Full characterization of one op-amp design across every analysis the
+// simulator offers — the datasheet view a designer wants before trusting
+// a synthesized or refined topology:
+//   * AC:        open-loop gain, GBW, phase margin, pole locations
+//   * Transient: unity-follower step response, settling time, overshoot
+//   * Noise:     output/input-referred spectral density, integrated RMS
+//
+// Usage: characterize_design [--topology NMC|C1|C2|R1|R2] [--cl-pf 10]
+
+#include <cstdio>
+
+#include "circuit/behavioral.hpp"
+#include "circuit/library.hpp"
+#include "sim/metrics.hpp"
+#include "sim/mna.hpp"
+#include "sim/noise.hpp"
+#include "sim/transient.hpp"
+#include "sizing/sizer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace intooa;
+
+  const util::Cli cli(argc, argv);
+  const std::string name = cli.get("topology", "NMC");
+  const circuit::Topology topology = circuit::named_topology(name);
+
+  circuit::BehavioralConfig cfg;
+  cfg.load_cap = cli.get_double("cl-pf", 10.0) * 1e-12;
+
+  // Size the design for S-1-style constraints so the characterization is
+  // of a sensible operating point.
+  circuit::Spec spec = circuit::spec_by_name("S-1");
+  spec.load_cap = cfg.load_cap;
+  sizing::EvalContext ctx(spec, cfg);
+  util::Rng rng(9);
+  const sizing::Sizer sizer(ctx);
+  const auto sized = sizer.size(topology, rng);
+
+  std::printf("== %s, auto-sized (feasible=%s) ==\n", name.c_str(),
+              sized.best.feasible ? "yes" : "no");
+  const auto schema = circuit::make_schema(topology, cfg);
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    std::printf("  %-12s = %s\n", schema.params[i].name.c_str(),
+                util::fmt_si(sized.best_values[i]).c_str());
+  }
+
+  // --- AC analysis -------------------------------------------------------
+  const auto open_loop =
+      circuit::build_behavioral(topology, sized.best_values, cfg);
+  const auto& perf = sized.best.perf;
+  std::printf("\n-- AC (open loop) --\n");
+  std::printf("Gain   : %.2f dB\nGBW    : %.3f MHz\nPM     : %.2f deg\nPower  : %.2f uW\nFoM    : %.1f\n",
+              perf.gain_db, perf.gbw_hz / 1e6, perf.pm_deg,
+              perf.power_w / 1e-6, sized.best.fom);
+  const sim::AcSolver solver(open_loop);
+  std::printf("poles  :");
+  for (const auto& p : solver.poles()) {
+    if (std::abs(p) < 1e13) {
+      std::printf(" (%.3g%+.3gj)", p.real() / 6.2832, p.imag() / 6.2832);
+    }
+  }
+  std::printf("  [Hz]\n");
+
+  // --- Transient: unity-gain follower step ------------------------------
+  const auto follower =
+      circuit::build_behavioral(topology, sized.best_values, cfg,
+                                circuit::InputDrive::UnityFollower);
+  sim::TransientOptions tran;
+  tran.t_stop = 400.0 / std::max(perf.gbw_hz, 1e4);  // ~60 closed-loop taus
+  tran.dt = tran.t_stop / 20000.0;
+  const auto wave = sim::run_transient(follower, "vout", tran);
+  const auto step = sim::step_metrics(wave, 0.01);
+  std::printf("\n-- Transient (unity follower, 1 V step) --\n");
+  std::printf("settling (1%%) : %s  %s\novershoot     : %.2f %%\n",
+              util::fmt_si(step.settling_time_s).c_str(),
+              step.settled ? "s" : "s (not settled within window)",
+              100.0 * step.overshoot);
+
+  // --- Noise -------------------------------------------------------------
+  sim::NoiseOptions noise_options;
+  noise_options.f_hi_hz = std::max(10.0 * perf.gbw_hz, 1e6);
+  const auto noise = sim::run_noise(open_loop, "vout", noise_options);
+  std::printf("\n-- Noise --\n");
+  std::printf("output PSD at 1 kHz : %.3g V^2/Hz\n",
+              sim::output_noise_psd(open_loop, "vout", 1e3, noise_options));
+  std::printf("integrated output   : %.3g uVrms (%.1f Hz .. %.3g Hz)\n",
+              noise.rms_output_v * 1e6, noise_options.f_lo_hz,
+              noise_options.f_hi_hz);
+  if (!noise.input_psd.empty() && noise.input_psd.front() > 0.0) {
+    std::printf("input-referred at %.0f Hz : %.3g nV/rtHz\n",
+                noise.freqs_hz.front(),
+                std::sqrt(noise.input_psd.front()) * 1e9);
+  }
+  return 0;
+}

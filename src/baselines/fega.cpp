@@ -1,0 +1,144 @@
+#include "baselines/fega.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace intooa::baselines {
+
+std::vector<double> embed(const circuit::Topology& topology) {
+  std::vector<double> genes(circuit::kSlotCount);
+  for (std::size_t s = 0; s < circuit::kSlotCount; ++s) {
+    const circuit::Slot slot = circuit::all_slots()[s];
+    const auto allowed = circuit::allowed_types(slot);
+    const double idx = static_cast<double>(
+        circuit::allowed_index(slot, topology.type(slot)));
+    genes[s] = (idx + 0.5) / static_cast<double>(allowed.size());
+  }
+  return genes;
+}
+
+circuit::Topology decode_genes(std::span<const double> genes) {
+  if (genes.size() != circuit::kSlotCount) {
+    throw std::invalid_argument("decode_genes: need 5 genes");
+  }
+  std::array<circuit::SubcktType, circuit::kSlotCount> types{};
+  for (std::size_t s = 0; s < circuit::kSlotCount; ++s) {
+    const circuit::Slot slot = circuit::all_slots()[s];
+    const auto allowed = circuit::allowed_types(slot);
+    const double g = std::clamp(genes[s], 0.0, std::nextafter(1.0, 0.0));
+    const auto idx = static_cast<std::size_t>(
+        g * static_cast<double>(allowed.size()));
+    types[s] = allowed[std::min(idx, allowed.size() - 1)];
+  }
+  return circuit::Topology(types);
+}
+
+FeGa::FeGa(FeGaConfig config) : config_(config) {
+  if (config_.population < 2) {
+    throw std::invalid_argument("FeGa: population must be >= 2");
+  }
+  if (config_.elitism >= config_.population) {
+    throw std::invalid_argument("FeGa: elitism must be < population");
+  }
+  if (config_.tournament == 0) {
+    throw std::invalid_argument("FeGa: tournament must be >= 1");
+  }
+}
+
+core::OptimizationOutcome FeGa::run(core::TopologyEvaluator& evaluator,
+                                    util::Rng& rng) const {
+  struct Individual {
+    std::vector<double> genes;
+    sizing::EvalPoint point;
+  };
+
+  auto fitness_better = [](const Individual& a, const Individual& b) {
+    return sizing::better_than(a.point, b.point);
+  };
+
+  auto evaluate = [&](std::vector<double> genes) {
+    Individual ind;
+    const circuit::Topology topo = decode_genes(genes);
+    ind.genes = std::move(genes);
+    ind.point = evaluator.evaluate(topo, rng).best;
+    return ind;
+  };
+
+  // Initial population: random topologies, embedded.
+  std::vector<Individual> population;
+  population.reserve(config_.population);
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    population.push_back(evaluate(embed(circuit::Topology::random(rng))));
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    std::size_t best = rng.index(population.size());
+    for (std::size_t k = 1; k < config_.tournament; ++k) {
+      const std::size_t challenger = rng.index(population.size());
+      if (fitness_better(population[challenger], population[best])) {
+        best = challenger;
+      }
+    }
+    return population[best];
+  };
+
+  std::size_t stalled_generations = 0;
+  while (evaluator.history().size() < config_.max_evaluations &&
+         stalled_generations < 50) {
+    const std::size_t evals_before = evaluator.history().size();
+    // Breed one generation of offspring.
+    std::sort(population.begin(), population.end(), fitness_better);
+    std::vector<Individual> next(
+        population.begin(),
+        population.begin() + static_cast<long>(config_.elitism));
+
+    while (next.size() < config_.population &&
+           evaluator.history().size() < config_.max_evaluations) {
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      std::vector<double> child = pa.genes;
+      if (rng.chance(config_.crossover_rate)) {
+        for (std::size_t g = 0; g < child.size(); ++g) {
+          // Uniform gene swap with occasional arithmetic blend.
+          if (rng.chance(0.5)) child[g] = pb.genes[g];
+          if (rng.chance(0.2)) {
+            child[g] = 0.5 * (pa.genes[g] + pb.genes[g]);
+          }
+        }
+      }
+      for (double& g : child) {
+        if (rng.chance(config_.gene_mutation_rate)) {
+          g = std::clamp(g + rng.normal(0.0, config_.gene_mutation_sigma),
+                         0.0, std::nextafter(1.0, 0.0));
+        }
+      }
+      next.push_back(evaluate(std::move(child)));
+    }
+    population = std::move(next);
+    // A converged population keeps re-visiting cached topologies; inject a
+    // random immigrant when no fresh evaluation happened this generation.
+    if (evaluator.history().size() == evals_before) {
+      ++stalled_generations;
+      population.back() = evaluate(embed(circuit::Topology::random(rng)));
+    } else {
+      stalled_generations = 0;
+    }
+  }
+
+  core::OptimizationOutcome outcome;
+  const auto best_feasible = evaluator.best_feasible();
+  const auto best_any =
+      best_feasible ? best_feasible : evaluator.best_overall();
+  outcome.success = best_feasible.has_value();
+  outcome.best_index = best_any;
+  if (best_any) {
+    const auto& record = evaluator.history()[*best_any];
+    outcome.best_topology = record.topology;
+    outcome.best_point = record.sized.best;
+    outcome.best_values = record.sized.best_values;
+  }
+  return outcome;
+}
+
+}  // namespace intooa::baselines

@@ -1,0 +1,142 @@
+#include "baselines/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace intooa::baselines {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, util::Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_(in_dim * out_dim),
+      b_(out_dim, 0.0),
+      gw_(in_dim * out_dim, 0.0),
+      gb_(out_dim, 0.0) {
+  if (in_dim == 0 || out_dim == 0) {
+    throw std::invalid_argument("Linear: zero dimension");
+  }
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(in_dim + out_dim));
+  for (auto& v : w_) v = rng.uniform(-bound, bound);
+}
+
+std::vector<double> Linear::forward(std::span<const double> x) {
+  if (x.size() != in_dim_) throw std::invalid_argument("Linear: bad input size");
+  last_x_.assign(x.begin(), x.end());
+  std::vector<double> y(out_dim_);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    double acc = b_[o];
+    const double* row = w_.data() + o * in_dim_;
+    for (std::size_t i = 0; i < in_dim_; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Linear::backward(std::span<const double> grad_out) {
+  if (grad_out.size() != out_dim_) {
+    throw std::invalid_argument("Linear: bad grad size");
+  }
+  if (last_x_.size() != in_dim_) {
+    throw std::logic_error("Linear: backward before forward");
+  }
+  std::vector<double> grad_in(in_dim_, 0.0);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    const double go = grad_out[o];
+    gb_[o] += go;
+    double* grow = gw_.data() + o * in_dim_;
+    const double* wrow = w_.data() + o * in_dim_;
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      grow[i] += go * last_x_[i];
+      grad_in[i] += go * wrow[i];
+    }
+  }
+  return grad_in;
+}
+
+void Linear::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0);
+  std::fill(gb_.begin(), gb_.end(), 0.0);
+}
+
+std::vector<double*> Linear::parameters() {
+  std::vector<double*> out;
+  out.reserve(w_.size() + b_.size());
+  for (auto& v : w_) out.push_back(&v);
+  for (auto& v : b_) out.push_back(&v);
+  return out;
+}
+
+std::vector<double*> Linear::gradients() {
+  std::vector<double*> out;
+  out.reserve(gw_.size() + gb_.size());
+  for (auto& v : gw_) out.push_back(&v);
+  for (auto& v : gb_) out.push_back(&v);
+  return out;
+}
+
+std::vector<double> Relu::forward(std::span<const double> x) {
+  mask_.assign(x.size(), false);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0) {
+      y[i] = x[i];
+      mask_[i] = true;
+    }
+  }
+  return y;
+}
+
+std::vector<double> Relu::backward(std::span<const double> grad_out) const {
+  if (grad_out.size() != mask_.size()) {
+    throw std::invalid_argument("Relu: bad grad size");
+  }
+  std::vector<double> grad_in(grad_out.size(), 0.0);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    if (mask_[i]) grad_in[i] = grad_out[i];
+  }
+  return grad_in;
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::attach(std::vector<double*> params, std::vector<double*> grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Adam: param/grad count mismatch");
+  }
+  params_.insert(params_.end(), params.begin(), params.end());
+  grads_.insert(grads_.end(), grads.begin(), grads.end());
+  m_.resize(params_.size(), 0.0);
+  v_.resize(params_.size(), 0.0);
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const double g = *grads_[i];
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    *params_[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+std::vector<double> softmax(std::span<const double> logits) {
+  if (logits.empty()) return {};
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - mx);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace intooa::baselines

@@ -1,0 +1,83 @@
+#pragma once
+// Minimal neural-network substrate for the VGAE-BO baseline [15], [16]:
+// fully-connected layers with hand-derived backpropagation and the Adam
+// optimizer. No autodiff framework is needed — the VAE in vae.hpp is the
+// only consumer and its computation graph is fixed.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace intooa::baselines {
+
+/// Dense affine layer y = W x + b with cached activations for backprop.
+class Linear {
+ public:
+  /// Xavier/Glorot-uniform initialization.
+  Linear(std::size_t in_dim, std::size_t out_dim, util::Rng& rng);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+  /// Forward pass; caches `x` for the next backward() call.
+  std::vector<double> forward(std::span<const double> x);
+
+  /// Backward pass for the most recent forward(): accumulates dL/dW and
+  /// dL/db into the internal gradient buffers and returns dL/dx.
+  std::vector<double> backward(std::span<const double> grad_out);
+
+  /// Zeroes the accumulated gradients (call once per minibatch).
+  void zero_grad();
+
+  /// Flattened views used by the Adam optimizer: parameters then biases.
+  std::vector<double*> parameters();
+  std::vector<double*> gradients();
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  std::vector<double> w_;       // row-major out_dim x in_dim
+  std::vector<double> b_;
+  std::vector<double> gw_;
+  std::vector<double> gb_;
+  std::vector<double> last_x_;  // cached input
+};
+
+/// ReLU activation with cached mask.
+class Relu {
+ public:
+  std::vector<double> forward(std::span<const double> x);
+  std::vector<double> backward(std::span<const double> grad_out) const;
+
+ private:
+  std::vector<bool> mask_;
+};
+
+/// Adam optimizer over an arbitrary set of parameter/gradient pointers.
+class Adam {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  /// Registers the parameters of one module (call once per module before
+  /// the first step).
+  void attach(std::vector<double*> params, std::vector<double*> grads);
+
+  /// One Adam update over all attached parameters.
+  void step();
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<double*> params_;
+  std::vector<double*> grads_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+/// Numerically stable softmax over a contiguous span.
+std::vector<double> softmax(std::span<const double> logits);
+
+}  // namespace intooa::baselines

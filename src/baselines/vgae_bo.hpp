@@ -1,0 +1,54 @@
+#pragma once
+// VGAE-BO baseline [15], [16]: Bayesian optimization in the continuous
+// latent space of a (variational) autoencoder over topologies. The VAE is
+// trained once per run on random topologies; BO then models the metrics
+// with a shared-kernel GP over latent coordinates, optimizes wEI across a
+// sampled latent pool, and decodes the winner back to the nearest valid
+// topology. The decode round-trip is many-to-one and discontinuous — the
+// structural weakness (relative to direct graph-space optimization) that
+// the paper's comparison demonstrates.
+
+#include <cstddef>
+
+#include "baselines/vae.hpp"
+#include "core/evaluator.hpp"
+#include "core/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace intooa::baselines {
+
+/// Latent-space BO configuration (defaults = paper protocol: 10 initial
+/// topologies, 50 iterations, 200 acquisition candidates).
+struct VgaeBoConfig {
+  VaeConfig vae;
+  std::size_t init_topologies = 10;
+  std::size_t iterations = 50;
+  std::size_t candidates = 200;
+  double prior_sigma = 1.5;       ///< latent sampling spread
+  int refit_hyper_every = 2;
+};
+
+/// The VGAE-BO topology optimizer.
+class VgaeBo {
+ public:
+  explicit VgaeBo(VgaeBoConfig config = {});
+
+  /// Trains a fresh VAE, then runs latent-space BO against the shared
+  /// evaluator.
+  core::OptimizationOutcome run(core::TopologyEvaluator& evaluator,
+                                util::Rng& rng) const;
+
+  /// Runs latent-space BO with an already-trained autoencoder. The VGAE of
+  /// [16] is trained offline on unlabeled topologies, so one trained model
+  /// may be shared across campaign repetitions (the experiment harness
+  /// does this to avoid re-training per run).
+  core::OptimizationOutcome run(core::TopologyEvaluator& evaluator,
+                                util::Rng& rng, Vae& vae) const;
+
+  const VgaeBoConfig& config() const { return config_; }
+
+ private:
+  VgaeBoConfig config_;
+};
+
+}  // namespace intooa::baselines

@@ -1,0 +1,243 @@
+#include "circuit/behavioral.hpp"
+
+#include "circuit/circuit_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace intooa::circuit {
+
+std::size_t ParamSchema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return i;
+  }
+  throw std::invalid_argument("ParamSchema: unknown parameter " + name);
+}
+
+bool ParamSchema::contains(const std::string& name) const {
+  for (const auto& p : params) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<double> ParamSchema::from_unit(std::span<const double> u) const {
+  if (u.size() != params.size()) {
+    throw std::invalid_argument("ParamSchema::from_unit: size mismatch");
+  }
+  std::vector<double> out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double t = std::clamp(u[i], 0.0, 1.0);
+    const auto& p = params[i];
+    if (p.log_scale) {
+      out[i] = std::exp(std::log(p.lo) + t * (std::log(p.hi) - std::log(p.lo)));
+    } else {
+      out[i] = p.lo + t * (p.hi - p.lo);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ParamSchema::to_unit(std::span<const double> values) const {
+  if (values.size() != params.size()) {
+    throw std::invalid_argument("ParamSchema::to_unit: size mismatch");
+  }
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto& p = params[i];
+    const double v = std::clamp(values[i], p.lo, p.hi);
+    if (p.log_scale) {
+      out[i] = (std::log(v) - std::log(p.lo)) / (std::log(p.hi) - std::log(p.lo));
+    } else {
+      out[i] = (v - p.lo) / (p.hi - p.lo);
+    }
+  }
+  return out;
+}
+
+ParamSchema make_schema(const Topology& topology, const BehavioralConfig& cfg) {
+  ParamSchema schema;
+  for (int i = 1; i <= 3; ++i) {
+    schema.params.push_back(
+        {"gm" + std::to_string(i), cfg.gm_lo, cfg.gm_hi, true});
+  }
+  for (Slot slot : all_slots()) {
+    const SubcktType type = topology.type(slot);
+    if (type == SubcktType::None) continue;
+    const std::string prefix = slot_name(slot) + ".";
+    if (has_gm(type)) {
+      schema.params.push_back({prefix + "gm", cfg.gm_lo, cfg.gm_hi, true});
+    }
+    if (has_resistor(type)) {
+      schema.params.push_back({prefix + "R", cfg.r_lo, cfg.r_hi, true});
+    }
+    if (has_capacitor(type)) {
+      schema.params.push_back({prefix + "C", cfg.c_lo, cfg.c_hi, true});
+    }
+  }
+  return schema;
+}
+
+namespace {
+
+/// Adds the output parasitics every real transconductor carries: finite
+/// output resistance A0/gm and junction/self capacitance. Without these a
+/// feedforward gm into a lightly-biased node could boost DC gain far past
+/// A0^3 (an idealization artifact the transistor level cannot realize).
+void add_gm_parasitics(Netlist& net, const std::string& name, NetNode out,
+                       NetNode gnd, double gm, const BehavioralConfig& cfg) {
+  net.add_resistor(name + ".ro", out, gnd, cfg.stage_intrinsic_gain / gm);
+  const double co =
+      gm / (2.0 * std::numbers::pi * cfg.stage_ft_hz) + cfg.stage_c0;
+  net.add_capacitor(name + ".co", out, gnd, co);
+}
+
+/// Stamps one occupied variable slot into the netlist.
+void build_slot(Netlist& net, Slot slot, SubcktType type,
+                double gm_value, double r_value, double c_value,
+                const BehavioralConfig& cfg) {
+  const auto [node_a, node_b] = slot_nodes(slot);
+  const NetNode a = net.node(node_name(node_a));
+  const NetNode b = net.node(node_name(node_b));
+  const NetNode gnd = net.node("gnd");
+  const std::string base = slot_name(slot);
+
+  // Pure passives first.
+  switch (type) {
+    case SubcktType::None:
+      return;
+    case SubcktType::R:
+      net.add_resistor(base + ".R", a, b, r_value);
+      return;
+    case SubcktType::C:
+      net.add_capacitor(base + ".C", a, b, c_value);
+      return;
+    case SubcktType::RCp:
+      net.add_resistor(base + ".R", a, b, r_value);
+      net.add_capacitor(base + ".C", a, b, c_value);
+      return;
+    case SubcktType::RCs: {
+      const NetNode mid = net.node(base + ".m");
+      net.add_resistor(base + ".R", a, mid, r_value);
+      net.add_capacitor(base + ".C", mid, b, c_value);
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Transconductor types.
+  const SubcktStructure s = structure_of(type);
+  const NetNode ctrl = (s.direction == Direction::Fwd) ? a : b;
+  const NetNode out = (s.direction == Direction::Fwd) ? b : a;
+  const double gm_signed =
+      (s.polarity == Polarity::Pos) ? gm_value : -gm_value;
+  const double bias = gm_value / cfg.gm_over_id;
+
+  if (!s.has_passive) {
+    net.add_vccs(base + ".gm", out, gnd, ctrl, gnd, gm_signed, bias);
+    add_gm_parasitics(net, base, out, gnd, gm_value, cfg);
+    return;
+  }
+  if (s.combine == Combine::Parallel) {
+    net.add_vccs(base + ".gm", out, gnd, ctrl, gnd, gm_signed, bias);
+    add_gm_parasitics(net, base, out, gnd, gm_value, cfg);
+    if (s.passive == PassiveKind::R) {
+      net.add_resistor(base + ".R", a, b, r_value);
+    } else {
+      net.add_capacitor(base + ".C", a, b, c_value);
+    }
+    return;
+  }
+  // Series: gm drives an internal node; the passive carries the current to
+  // the output terminal.
+  const NetNode mid = net.node(base + ".m");
+  net.add_vccs(base + ".gm", mid, gnd, ctrl, gnd, gm_signed, bias);
+  add_gm_parasitics(net, base, mid, gnd, gm_value, cfg);
+  if (s.passive == PassiveKind::R) {
+    net.add_resistor(base + ".Rs", mid, out, r_value);
+  } else {
+    net.add_capacitor(base + ".Cs", mid, out, c_value);
+  }
+}
+
+}  // namespace
+
+Netlist build_behavioral(const Topology& topology,
+                         std::span<const double> values,
+                         const BehavioralConfig& cfg, InputDrive drive) {
+  const ParamSchema schema = make_schema(topology, cfg);
+  if (values.size() != schema.size()) {
+    throw std::invalid_argument(
+        "build_behavioral: expected " + std::to_string(schema.size()) +
+        " parameters, got " + std::to_string(values.size()));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i]) || values[i] <= 0.0) {
+      throw std::invalid_argument("build_behavioral: parameter " +
+                                  schema.params[i].name +
+                                  " must be positive and finite");
+    }
+  }
+
+  Netlist net;
+  const NetNode gnd = net.node("gnd");
+  const NetNode vin = net.node("vin");
+  const NetNode v1 = net.node("v1");
+  const NetNode v2 = net.node("v2");
+  const NetNode vout = net.node("vout");
+
+  // Stimulus: direct drive for open-loop analysis, or an ideal summing
+  // VCVS closing the unity-gain loop (vin = src - vout).
+  if (drive == InputDrive::OpenLoop) {
+    net.add_vsource("in", vin, gnd, 1.0);
+  } else {
+    const NetNode src = net.node("src");
+    net.add_vsource("in", src, gnd, 1.0);
+    net.add_vcvs("fb", vin, gnd, src, vout, 1.0);
+  }
+
+  // Fixed amplifier stages with output parasitics.
+  const NetNode stage_out[3] = {v1, v2, vout};
+  const NetNode stage_in[3] = {vin, v1, v2};
+  for (int i = 0; i < 3; ++i) {
+    const double gm = values[static_cast<std::size_t>(i)];
+    const double gm_signed = (kStagePolarity[i] == Polarity::Pos) ? gm : -gm;
+    const std::string name = "gm" + std::to_string(i + 1);
+    net.add_vccs(name, stage_out[i], gnd, stage_in[i], gnd, gm_signed,
+                 gm / cfg.gm_over_id);
+    net.add_resistor("Ro" + std::to_string(i + 1), stage_out[i], gnd,
+                     cfg.stage_intrinsic_gain / gm);
+    const double co =
+        gm / (2.0 * std::numbers::pi * cfg.stage_ft_hz) + cfg.stage_c0;
+    net.add_capacitor("Co" + std::to_string(i + 1), stage_out[i], gnd, co);
+  }
+
+  // Load capacitor.
+  net.add_capacitor("CL", vout, gnd, cfg.load_cap);
+
+  // Variable subcircuits.
+  for (Slot slot : all_slots()) {
+    const SubcktType type = topology.type(slot);
+    if (type == SubcktType::None) continue;
+    const std::string prefix = slot_name(slot) + ".";
+    const double gm_value =
+        has_gm(type) ? values[schema.index_of(prefix + "gm")] : 0.0;
+    const double r_value =
+        has_resistor(type) ? values[schema.index_of(prefix + "R")] : 0.0;
+    const double c_value =
+        has_capacitor(type) ? values[schema.index_of(prefix + "C")] : 0.0;
+    build_slot(net, slot, type, gm_value, r_value, c_value, cfg);
+  }
+
+  // GMIN at every node created so far (except ground) keeps internal
+  // series-capacitor nodes from floating at DC.
+  for (NetNode n = 1; n < net.node_count(); ++n) {
+    net.add_resistor("gmin" + std::to_string(n), n, gnd, 1.0 / cfg.gmin);
+  }
+  return net;
+}
+
+}  // namespace intooa::circuit

@@ -1,0 +1,110 @@
+#pragma once
+// Behavior-level netlist builder (Sec. II-C): turns a Topology plus a
+// sizing-parameter vector into the linear small-signal netlist the AC
+// simulator evaluates. Also defines the per-topology parameter schema the
+// sizing BO optimizes over.
+//
+// Behavioral model (Fig. 1):
+//   - three fixed stages gm1 (vin->v1, inverting), gm2 (v1->v2,
+//     non-inverting), gm3 (v2->vout, inverting), each with parasitic output
+//     resistance Ro_i = A0 / gm_i (A0 = per-stage intrinsic gain) and
+//     output capacitance Co_i = gm_i / (2 pi fT) + C0;
+//   - load capacitor C_L at vout;
+//   - up to five variable subcircuits per the Topology;
+//   - a tiny GMIN conductance at every node (same device as SPICE's GMIN)
+//     so series-capacitor internal nodes never float at low frequency.
+//
+// Power model: every transconductor burns a bias current gm / (gm/Id) at
+// the supply, with gm/Id fixed at a moderate-inversion value; static power
+// is Vdd times the summed bias currents.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/topology.hpp"
+
+namespace intooa::circuit {
+
+/// One tunable sizing parameter with its search range.
+struct ParamSpec {
+  std::string name;   ///< e.g. "gm1" or "v1-vout.C"
+  double lo = 0.0;    ///< lower bound (inclusive)
+  double hi = 0.0;    ///< upper bound (inclusive)
+  bool log_scale = true;  ///< search in log space (all analog sizes are)
+};
+
+/// Ordered list of a topology's tunable parameters.
+struct ParamSchema {
+  std::vector<ParamSpec> params;
+
+  std::size_t size() const { return params.size(); }
+
+  /// Index of the parameter named `name`; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// True if a parameter named `name` exists.
+  bool contains(const std::string& name) const;
+
+  /// Maps a unit-cube point u in [0,1]^d to physical values (log or linear
+  /// per ParamSpec).
+  std::vector<double> from_unit(std::span<const double> u) const;
+
+  /// Inverse of from_unit (values are clamped into range first).
+  std::vector<double> to_unit(std::span<const double> values) const;
+};
+
+/// Technology/model constants of the behavioral substrate.
+struct BehavioralConfig {
+  double vdd = 1.8;                   ///< supply voltage [V] (paper: 1.8 V)
+  /// A0 = gm*Ro per fixed stage. 72 (37 dB) gives a 113 dB unloaded
+  /// three-stage gain: the >=85 dB specs punish resistive loading and the
+  /// >=110 dB spec (S-2) is feasible only for nearly unloaded topologies,
+  /// mirroring the selectivity the paper's S-2 exhibits.
+  double stage_intrinsic_gain = 72.0;
+  /// Stage output-capacitance model Co = gm/(2 pi fT) + C0. The values
+  /// below put the parasitic poles of a 100 uA/V stage near 60 MHz, so
+  /// high GBW costs real bias current — the power/bandwidth tradeoff the
+  /// FoM rewards and the GBW specs stress.
+  double stage_ft_hz = 120e6;
+  double stage_c0 = 150e-15;
+  /// Bias efficiency of every transconductor [S/A]. 8 S/A (strong-ish
+  /// inversion, as high-bandwidth stages need) makes the power
+  /// constraints genuinely binding: bandwidth is bought with microamps.
+  double gm_over_id = 8.0;
+  double gmin = 1e-12;                ///< leak conductance at each node [S]
+  double load_cap = 10e-12;           ///< C_L [F]; set from the target Spec
+
+  // Sizing ranges.
+  double gm_lo = 2e-6, gm_hi = 2e-3;  ///< transconductances [S]
+  double r_lo = 1e3, r_hi = 1e8;      ///< resistors [ohm]
+  double c_lo = 5e-14, c_hi = 2e-9;   ///< capacitors [F]
+};
+
+/// Builds the ordered parameter schema of `topology`: gm1..gm3 first, then
+/// the parameters of each occupied slot in canonical slot order (gm before
+/// R before C within a slot). Names are stable across topologies, which
+/// lets the refinement flow carry over sizes of unmodified subcircuits.
+ParamSchema make_schema(const Topology& topology, const BehavioralConfig& cfg);
+
+/// How the amplifier input is driven.
+enum class InputDrive {
+  /// vin is driven directly by the AC/step source (open-loop analysis —
+  /// the configuration of every Sec. IV experiment).
+  OpenLoop,
+  /// vin = V(src) - V(vout): the unity-gain follower loop used by
+  /// time-domain settling analysis. (The behavioral model is single-ended,
+  /// so the subtraction is realized with an ideal VCVS.)
+  UnityFollower,
+};
+
+/// Builds the behavioral netlist of `topology` with parameter `values`
+/// aligned to make_schema(topology, cfg). Throws std::invalid_argument on a
+/// size mismatch or out-of-range values.
+Netlist build_behavioral(const Topology& topology,
+                         std::span<const double> values,
+                         const BehavioralConfig& cfg,
+                         InputDrive drive = InputDrive::OpenLoop);
+
+}  // namespace intooa::circuit

@@ -1,0 +1,68 @@
+#include "circuit/circuit_graph.hpp"
+
+#include <stdexcept>
+
+namespace intooa::circuit {
+
+std::string stage_label(std::size_t stage) {
+  if (stage >= 3) throw std::out_of_range("stage_label: stage out of range");
+  return kStagePolarity[stage] == Polarity::Pos ? "+gm" : "-gm";
+}
+
+graph::Graph build_circuit_graph(const Topology& topology) {
+  graph::Graph g;
+
+  // Circuit nodes, in Node enum order.
+  const graph::NodeId vin = g.add_node(node_name(Node::Vin));
+  const graph::NodeId v1 = g.add_node(node_name(Node::V1));
+  const graph::NodeId v2 = g.add_node(node_name(Node::V2));
+  const graph::NodeId vout = g.add_node(node_name(Node::Vout));
+  const graph::NodeId gnd = g.add_node(node_name(Node::Gnd));
+
+  auto circuit_node = [&](Node n) -> graph::NodeId {
+    switch (n) {
+      case Node::Vin: return vin;
+      case Node::V1: return v1;
+      case Node::V2: return v2;
+      case Node::Vout: return vout;
+      case Node::Gnd: return gnd;
+    }
+    throw std::invalid_argument("build_circuit_graph: bad node");
+  };
+
+  // Fixed amplifier stages gm1..gm3.
+  const Node stage_terminals[3][2] = {{Node::Vin, Node::V1},
+                                      {Node::V1, Node::V2},
+                                      {Node::V2, Node::Vout}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const graph::NodeId stage = g.add_node(stage_label(i));
+    g.add_edge(stage, circuit_node(stage_terminals[i][0]));
+    g.add_edge(stage, circuit_node(stage_terminals[i][1]));
+  }
+
+  // Occupied variable slots; None slots are elided.
+  for (Slot slot : all_slots()) {
+    const SubcktType type = topology.type(slot);
+    if (type == SubcktType::None) continue;
+    const graph::NodeId sub = g.add_node(graph_label(type));
+    const auto [a, b] = slot_nodes(slot);
+    g.add_edge(sub, circuit_node(a));
+    g.add_edge(sub, circuit_node(b));
+  }
+  return g;
+}
+
+std::array<graph::NodeId, kSlotCount> slot_node_ids(const Topology& topology) {
+  std::array<graph::NodeId, kSlotCount> ids;
+  ids.fill(kInvalidNode);
+  // Node order in build_circuit_graph: 5 circuit nodes, 3 stages, then
+  // occupied slots in canonical order.
+  graph::NodeId next = 8;
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    if (topology.type(all_slots()[i]) == SubcktType::None) continue;
+    ids[i] = next++;
+  }
+  return ids;
+}
+
+}  // namespace intooa::circuit

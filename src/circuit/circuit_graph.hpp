@@ -1,0 +1,39 @@
+#pragma once
+// Circuit-graph construction (Sec. III-A): the dedicated graph
+// representation whose WL features drive the surrogate model. Circuit nodes
+// AND subcircuits become labeled graph nodes; connections become undirected
+// edges; "no connection" slots are elided entirely (the paper's third
+// representational improvement over [16]).
+//
+// The builder is deterministic: node order is circuit nodes (vin, v1, v2,
+// vout, gnd), then the three fixed stages, then occupied variable slots in
+// canonical order. Equal topologies therefore produce equal graphs.
+
+#include "circuit/topology.hpp"
+#include "graph/graph.hpp"
+
+namespace intooa::circuit {
+
+/// Fixed-stage polarities of the behavioral three-stage amplifier
+/// (inverting, non-inverting, inverting — the standard NMC arrangement).
+inline constexpr Polarity kStagePolarity[3] = {Polarity::Neg, Polarity::Pos,
+                                               Polarity::Neg};
+
+/// Graph label of fixed stage `i` (0-based): "-gm" or "+gm" per
+/// kStagePolarity.
+std::string stage_label(std::size_t stage);
+
+/// Builds the circuit graph of `topology`:
+///   nodes: 5 circuit nodes + 3 fixed stages + one node per occupied slot,
+///          labeled with node names / subcircuit short names;
+///   edges: each subcircuit node connects to its two terminal circuit nodes.
+/// Node count is 8..13, edge count 6..16, matching the bounds quoted in
+/// Sec. III-B.
+graph::Graph build_circuit_graph(const Topology& topology);
+
+/// Graph node id of each occupied slot's subcircuit node in
+/// build_circuit_graph(topology)'s node order; kInvalidNode for None slots.
+inline constexpr graph::NodeId kInvalidNode = static_cast<graph::NodeId>(-1);
+std::array<graph::NodeId, kSlotCount> slot_node_ids(const Topology& topology);
+
+}  // namespace intooa::circuit

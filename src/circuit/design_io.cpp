@@ -1,0 +1,208 @@
+#include "circuit/design_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace intooa::circuit {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Minimal tolerant scanner for the fixed document shape produced by
+/// to_json: finds `"key":` and reads the value token(s) after it.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  std::string string_field(const std::string& key) const {
+    std::size_t pos = find_key(key);
+    pos = text_.find('"', pos);
+    if (pos == std::string::npos) throw bad(key);
+    std::string out;
+    for (std::size_t i = pos + 1; i < text_.size(); ++i) {
+      if (text_[i] == '\\' && i + 1 < text_.size()) {
+        out += text_[++i];
+      } else if (text_[i] == '"') {
+        return out;
+      } else {
+        out += text_[i];
+      }
+    }
+    throw bad(key);
+  }
+
+  double number_field(const std::string& key) const {
+    std::size_t pos = skip_ws(find_key(key));
+    try {
+      return std::stod(text_.substr(pos));
+    } catch (const std::exception&) {
+      throw bad(key);
+    }
+  }
+
+  bool bool_field(const std::string& key) const {
+    const std::size_t pos = skip_ws(find_key(key));
+    if (text_.compare(pos, 4, "true") == 0) return true;
+    if (text_.compare(pos, 5, "false") == 0) return false;
+    throw bad(key);
+  }
+
+  std::vector<std::string> string_array(const std::string& key) const {
+    return array_items(key);
+  }
+
+  std::vector<double> number_array(const std::string& key) const {
+    std::vector<double> out;
+    for (const auto& item : array_items(key)) {
+      try {
+        out.push_back(std::stod(item));
+      } catch (const std::exception&) {
+        throw bad(key);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t find_key(const std::string& key) const {
+    const std::string needle = "\"" + key + "\"";
+    const std::size_t at = text_.find(needle);
+    if (at == std::string::npos) throw bad(key);
+    const std::size_t colon = text_.find(':', at + needle.size());
+    if (colon == std::string::npos) throw bad(key);
+    return colon + 1;
+  }
+
+  std::size_t skip_ws(std::size_t pos) const {
+    while (pos < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos]))) {
+      ++pos;
+    }
+    return pos;
+  }
+
+  std::vector<std::string> array_items(const std::string& key) const {
+    std::size_t pos = skip_ws(find_key(key));
+    if (pos >= text_.size() || text_[pos] != '[') throw bad(key);
+    const std::size_t end = text_.find(']', pos);
+    if (end == std::string::npos) throw bad(key);
+    std::vector<std::string> items;
+    std::string current;
+    bool in_string = false;
+    for (std::size_t i = pos + 1; i < end; ++i) {
+      const char c = text_[i];
+      if (c == '"') {
+        in_string = !in_string;
+        continue;
+      }
+      if (c == ',' && !in_string) {
+        items.push_back(current);
+        current.clear();
+        continue;
+      }
+      if (!in_string && std::isspace(static_cast<unsigned char>(c))) continue;
+      current += c;
+    }
+    if (!current.empty()) items.push_back(current);
+    return items;
+  }
+
+  static std::invalid_argument bad(const std::string& key) {
+    return std::invalid_argument("design_from_json: bad or missing field '" +
+                                 key + "'");
+  }
+
+  const std::string& text_;
+};
+
+}  // namespace
+
+std::string to_json(const SavedDesign& design) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n";
+  out << "  \"name\": \"" << escape(design.name) << "\",\n";
+  out << "  \"spec\": \"" << escape(design.spec_name) << "\",\n";
+  out << "  \"slots\": [";
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    if (i) out << ", ";
+    out << "\"" << short_name(design.topology.types()[i]) << "\"";
+  }
+  out << "],\n";
+  out << "  \"values\": [";
+  for (std::size_t i = 0; i < design.values.size(); ++i) {
+    if (i) out << ", ";
+    out << design.values[i];
+  }
+  out << "],\n";
+  out << "  \"performance\": {\n";
+  out << "    \"valid\": " << (design.performance.valid ? "true" : "false")
+      << ",\n";
+  out << "    \"gain_db\": " << design.performance.gain_db << ",\n";
+  out << "    \"gbw_hz\": " << design.performance.gbw_hz << ",\n";
+  out << "    \"pm_deg\": " << design.performance.pm_deg << ",\n";
+  out << "    \"power_w\": " << design.performance.power_w << "\n";
+  out << "  },\n";
+  out << "  \"fom\": " << design.fom << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+SavedDesign design_from_json(const std::string& json) {
+  const Scanner scan(json);
+  SavedDesign design;
+  design.name = scan.string_field("name");
+  design.spec_name = scan.string_field("spec");
+
+  const auto slots = scan.string_array("slots");
+  if (slots.size() != kSlotCount) {
+    throw std::invalid_argument("design_from_json: need exactly 5 slots");
+  }
+  std::array<SubcktType, kSlotCount> types{};
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    const auto type = subckt_from_name(slots[i]);
+    if (!type) {
+      throw std::invalid_argument("design_from_json: unknown subcircuit '" +
+                                  slots[i] + "'");
+    }
+    types[i] = *type;
+  }
+  design.topology = Topology(types);
+
+  design.values = scan.number_array("values");
+  design.performance.valid = scan.bool_field("valid");
+  design.performance.gain_db = scan.number_field("gain_db");
+  design.performance.gbw_hz = scan.number_field("gbw_hz");
+  design.performance.pm_deg = scan.number_field("pm_deg");
+  design.performance.power_w = scan.number_field("power_w");
+  design.fom = scan.number_field("fom");
+  return design;
+}
+
+void save_design(const SavedDesign& design, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_design: cannot open " + path);
+  file << to_json(design);
+  if (!file) throw std::runtime_error("save_design: write failed " + path);
+}
+
+SavedDesign load_design(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_design: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return design_from_json(buffer.str());
+}
+
+}  // namespace intooa::circuit

@@ -1,0 +1,40 @@
+#pragma once
+// Design persistence: save/load a sized op-amp design (topology + sizing
+// values + recorded performance) as a small JSON document. This is how a
+// synthesized or refined design leaves the optimizer and re-enters later
+// flows (transistor mapping, characterization, refinement) without
+// re-running a campaign.
+
+#include <string>
+#include <vector>
+
+#include "circuit/spec.hpp"
+#include "circuit/topology.hpp"
+
+namespace intooa::circuit {
+
+/// A persistable sized design.
+struct SavedDesign {
+  std::string name;        ///< free-form label
+  std::string spec_name;   ///< Table-I spec it was designed for ("" if none)
+  Topology topology;
+  std::vector<double> values;  ///< schema-ordered parameter values
+  Performance performance;     ///< as recorded at save time
+  double fom = 0.0;
+
+  bool operator==(const SavedDesign&) const = default;
+};
+
+/// Serializes to a human-readable JSON document.
+std::string to_json(const SavedDesign& design);
+
+/// Parses a document produced by to_json. Throws std::invalid_argument on
+/// malformed input (unknown subcircuit names, missing fields, bad
+/// numbers).
+SavedDesign design_from_json(const std::string& json);
+
+/// Convenience file I/O; throws std::runtime_error on I/O failure.
+void save_design(const SavedDesign& design, const std::string& path);
+SavedDesign load_design(const std::string& path);
+
+}  // namespace intooa::circuit

@@ -1,0 +1,42 @@
+#include "circuit/library.hpp"
+
+#include <stdexcept>
+
+namespace intooa::circuit {
+
+Topology named_topology(const std::string& name) {
+  using T = SubcktType;
+  // Slot order: vin-v2, vin-vout, v1-vout, v1-gnd, v2-gnd.
+  if (name == "bare") {
+    return Topology();
+  }
+  if (name == "NMC") {
+    return Topology({T::None, T::None, T::C, T::None, T::None});
+  }
+  if (name == "C1") {
+    // Thandri/Silva-Martinez NMCFF: feedforward transconductor to the
+    // output, active -gm || C branch between v1 and vout, no Miller caps.
+    return Topology({T::None, T::GmNegFwd, T::GmNegFwdParC, T::None, T::None});
+  }
+  if (name == "R1") {
+    // Fig. 7(a): the parallel -gm/C branch is replaced with a bare -gm.
+    return named_topology("C1").with(Slot::V1Vout, T::GmNegFwd);
+  }
+  if (name == "C2") {
+    // Peng et al. impedance-adapting compensation: Miller capacitor in the
+    // v1-vout slot, series-RC impedance adaptation shunting v2, and a -gm
+    // feedforward from vin into v2.
+    return Topology({T::GmNegFwd, T::None, T::C, T::None, T::RCs});
+  }
+  if (name == "R2") {
+    // Fig. 7(b): the vin-v2 feedforward becomes a series +gm-C branch.
+    return named_topology("C2").with(Slot::VinV2, T::GmPosFwdSerC);
+  }
+  throw std::invalid_argument("named_topology: unknown name " + name);
+}
+
+std::vector<std::string> topology_library_names() {
+  return {"bare", "NMC", "C1", "C2", "R1", "R2"};
+}
+
+}  // namespace intooa::circuit

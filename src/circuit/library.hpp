@@ -1,0 +1,34 @@
+#pragma once
+// A small library of named behavior-level topologies:
+//   - "NMC": the classic nested-Miller-compensated three-stage amp
+//     (single Miller branch in the v1-vout slot);
+//   - "C1": the feedforward-compensated amplifier of Thandri &
+//     Silva-Martinez [19] (no Miller capacitors; -gm feedforward to vout and
+//     an active -gm || C branch between v1 and vout), the first refinement
+//     seed of Sec. IV-C;
+//   - "C2": the impedance-adapting compensated amplifier of Peng et al.
+//     [20] (Miller capacitor plus series-RC impedance adaptation at v2 and
+//     a -gm feedforward into v2), the second refinement seed;
+//   - "R1"/"R2": the refined versions reported in Fig. 7 (C1 with the
+//     -gm||C branch reduced to -gm; C2 with the vin-v2 feedforward replaced
+//     by a series +gm-C branch).
+//
+// The C1/C2 encodings are behavior-level projections of the cited
+// transistor circuits into this design space, matching the slot edits the
+// paper describes for Fig. 7.
+
+#include <string>
+#include <vector>
+
+#include "circuit/topology.hpp"
+
+namespace intooa::circuit {
+
+/// Returns the named topology; throws std::invalid_argument for unknown
+/// names. Known names: "bare", "NMC", "C1", "C2", "R1", "R2".
+Topology named_topology(const std::string& name);
+
+/// All known names, for enumeration in examples/tests.
+std::vector<std::string> topology_library_names();
+
+}  // namespace intooa::circuit

@@ -1,0 +1,138 @@
+#include "circuit/netlist.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace intooa::circuit {
+
+Netlist::Netlist() {
+  names_.push_back("gnd");
+  index_["gnd"] = 0;
+  index_["0"] = 0;
+}
+
+NetNode Netlist::node(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const NetNode id = names_.size();
+  names_.push_back(name);
+  index_[name] = id;
+  return id;
+}
+
+std::optional<NetNode> Netlist::find_node(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Netlist::node_label(NetNode id) const {
+  check_node(id);
+  return names_[id];
+}
+
+void Netlist::add_resistor(std::string name, NetNode n1, NetNode n2,
+                           double ohms) {
+  check_node(n1);
+  check_node(n2);
+  if (!(ohms > 0.0) || !std::isfinite(ohms)) {
+    throw std::invalid_argument("Netlist: resistor " + name +
+                                " needs positive finite ohms");
+  }
+  resistors_.push_back({std::move(name), n1, n2, ohms});
+}
+
+void Netlist::add_capacitor(std::string name, NetNode n1, NetNode n2,
+                            double farads) {
+  check_node(n1);
+  check_node(n2);
+  if (!(farads > 0.0) || !std::isfinite(farads)) {
+    throw std::invalid_argument("Netlist: capacitor " + name +
+                                " needs positive finite farads");
+  }
+  capacitors_.push_back({std::move(name), n1, n2, farads});
+}
+
+void Netlist::add_vccs(std::string name, NetNode out_pos, NetNode out_neg,
+                       NetNode ctrl_pos, NetNode ctrl_neg, double gm,
+                       double bias_current) {
+  check_node(out_pos);
+  check_node(out_neg);
+  check_node(ctrl_pos);
+  check_node(ctrl_neg);
+  if (!std::isfinite(gm) || gm == 0.0) {
+    throw std::invalid_argument("Netlist: vccs " + name +
+                                " needs nonzero finite gm");
+  }
+  if (bias_current < 0.0 || !std::isfinite(bias_current)) {
+    throw std::invalid_argument("Netlist: vccs " + name +
+                                " needs nonnegative bias current");
+  }
+  vccs_.push_back(
+      {std::move(name), out_pos, out_neg, ctrl_pos, ctrl_neg, gm, bias_current});
+}
+
+void Netlist::add_vsource(std::string name, NetNode pos, NetNode neg,
+                          double amplitude) {
+  check_node(pos);
+  check_node(neg);
+  vsources_.push_back({std::move(name), pos, neg, amplitude});
+}
+
+void Netlist::add_vcvs(std::string name, NetNode out_pos, NetNode out_neg,
+                       NetNode ctrl_pos, NetNode ctrl_neg, double gain) {
+  check_node(out_pos);
+  check_node(out_neg);
+  check_node(ctrl_pos);
+  check_node(ctrl_neg);
+  if (!std::isfinite(gain)) {
+    throw std::invalid_argument("Netlist: vcvs " + name +
+                                " needs a finite gain");
+  }
+  vcvs_.push_back({std::move(name), out_pos, out_neg, ctrl_pos, ctrl_neg, gain});
+}
+
+double Netlist::static_power(double vdd) const {
+  double current = 0.0;
+  for (const auto& g : vccs_) current += g.bias_current;
+  return vdd * current;
+}
+
+std::string Netlist::to_spice() const {
+  std::ostringstream out;
+  out << "* netlist (" << names_.size() << " nodes)\n";
+  for (const auto& r : resistors_) {
+    out << "R" << r.name << " " << names_[r.n1] << " " << names_[r.n2] << " "
+        << util::fmt_si(r.ohms) << "\n";
+  }
+  for (const auto& c : capacitors_) {
+    out << "C" << c.name << " " << names_[c.n1] << " " << names_[c.n2] << " "
+        << util::fmt_si(c.farads) << "\n";
+  }
+  for (const auto& g : vccs_) {
+    out << "G" << g.name << " " << names_[g.out_pos] << " "
+        << names_[g.out_neg] << " " << names_[g.ctrl_pos] << " "
+        << names_[g.ctrl_neg] << " " << util::fmt_si(g.gm) << "\n";
+  }
+  for (const auto& v : vsources_) {
+    out << "V" << v.name << " " << names_[v.pos] << " " << names_[v.neg]
+        << " AC " << util::fmt_si(v.amplitude) << "\n";
+  }
+  for (const auto& e : vcvs_) {
+    out << "E" << e.name << " " << names_[e.out_pos] << " "
+        << names_[e.out_neg] << " " << names_[e.ctrl_pos] << " "
+        << names_[e.ctrl_neg] << " " << util::fmt_si(e.gain) << "\n";
+  }
+  return out.str();
+}
+
+void Netlist::check_node(NetNode id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range("Netlist: node id out of range");
+  }
+}
+
+}  // namespace intooa::circuit

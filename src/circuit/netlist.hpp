@@ -1,0 +1,124 @@
+#pragma once
+// Linear small-signal netlist: the data structure consumed by the MNA AC
+// solver (`intooa::sim`). Holds R / C / VCCS / independent-V elements over
+// named nodes, plus the behavioral power model (transconductor bias
+// currents). Both the behavior-level builder and the transistor-level
+// mapper produce this representation, so one simulator serves both flows —
+// exactly the role Hspice plays in the paper.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace intooa::circuit {
+
+/// Node index within a Netlist; ground is always index 0.
+using NetNode = std::size_t;
+
+/// Linear resistor between two nodes.
+struct Resistor {
+  std::string name;
+  NetNode n1 = 0;
+  NetNode n2 = 0;
+  double ohms = 0.0;
+};
+
+/// Linear capacitor between two nodes.
+struct Capacitor {
+  std::string name;
+  NetNode n1 = 0;
+  NetNode n2 = 0;
+  double farads = 0.0;
+};
+
+/// Voltage-controlled current source. Sign convention: a current of
+/// gm * (V(ctrl_pos) - V(ctrl_neg)) is injected INTO out_pos and drawn out
+/// of out_neg; gm may be negative (inverting transconductor).
+struct Vccs {
+  std::string name;
+  NetNode out_pos = 0;
+  NetNode out_neg = 0;
+  NetNode ctrl_pos = 0;
+  NetNode ctrl_neg = 0;
+  double gm = 0.0;
+  /// Bias current drawn from the supply by this transconductor, used by the
+  /// behavioral power model (0 for power-free mathematical elements).
+  double bias_current = 0.0;
+};
+
+/// Independent voltage source (AC stimulus), amplitude in volts.
+struct Vsource {
+  std::string name;
+  NetNode pos = 0;
+  NetNode neg = 0;
+  double amplitude = 1.0;
+};
+
+/// Voltage-controlled voltage source (ideal):
+/// V(out_pos) - V(out_neg) = gain * (V(ctrl_pos) - V(ctrl_neg)).
+/// Used to close feedback loops around the op-amp (e.g. the unity-gain
+/// follower configuration for transient settling analysis).
+struct Vcvs {
+  std::string name;
+  NetNode out_pos = 0;
+  NetNode out_neg = 0;
+  NetNode ctrl_pos = 0;
+  NetNode ctrl_neg = 0;
+  double gain = 1.0;
+};
+
+/// Mutable netlist under construction. Node 0 is ground ("gnd" / "0").
+class Netlist {
+ public:
+  Netlist();
+
+  /// Returns the node id for `name`, creating it if new. "gnd" and "0" both
+  /// map to ground.
+  NetNode node(const std::string& name);
+
+  /// Looks up an existing node id; nullopt if the name is unknown.
+  std::optional<NetNode> find_node(const std::string& name) const;
+
+  /// Name of node `id`.
+  const std::string& node_label(NetNode id) const;
+
+  /// Number of nodes including ground.
+  std::size_t node_count() const { return names_.size(); }
+
+  void add_resistor(std::string name, NetNode n1, NetNode n2, double ohms);
+  void add_capacitor(std::string name, NetNode n1, NetNode n2, double farads);
+  void add_vccs(std::string name, NetNode out_pos, NetNode out_neg,
+                NetNode ctrl_pos, NetNode ctrl_neg, double gm,
+                double bias_current);
+  void add_vsource(std::string name, NetNode pos, NetNode neg,
+                   double amplitude);
+  void add_vcvs(std::string name, NetNode out_pos, NetNode out_neg,
+                NetNode ctrl_pos, NetNode ctrl_neg, double gain);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Vccs>& vccs() const { return vccs_; }
+  const std::vector<Vsource>& vsources() const { return vsources_; }
+  const std::vector<Vcvs>& vcvs() const { return vcvs_; }
+
+  /// Static power: supply voltage times the sum of all bias currents.
+  double static_power(double vdd) const;
+
+  /// SPICE-flavored text dump (for examples and debugging).
+  std::string to_spice() const;
+
+ private:
+  void check_node(NetNode id) const;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NetNode> index_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Vccs> vccs_;
+  std::vector<Vsource> vsources_;
+  std::vector<Vcvs> vcvs_;
+};
+
+}  // namespace intooa::circuit

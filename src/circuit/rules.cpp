@@ -1,0 +1,108 @@
+#include "circuit/rules.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace intooa::circuit {
+
+const std::array<Slot, kSlotCount>& all_slots() {
+  static const std::array<Slot, kSlotCount> slots = {
+      Slot::VinV2, Slot::VinVout, Slot::V1Vout, Slot::V1Gnd, Slot::V2Gnd};
+  return slots;
+}
+
+std::string node_name(Node node) {
+  switch (node) {
+    case Node::Vin: return "vin";
+    case Node::V1: return "v1";
+    case Node::V2: return "v2";
+    case Node::Vout: return "vout";
+    case Node::Gnd: return "gnd";
+  }
+  throw std::invalid_argument("node_name: bad node");
+}
+
+std::pair<Node, Node> slot_nodes(Slot slot) {
+  switch (slot) {
+    case Slot::VinV2: return {Node::Vin, Node::V2};
+    case Slot::VinVout: return {Node::Vin, Node::Vout};
+    case Slot::V1Vout: return {Node::V1, Node::Vout};
+    case Slot::V1Gnd: return {Node::V1, Node::Gnd};
+    case Slot::V2Gnd: return {Node::V2, Node::Gnd};
+  }
+  throw std::invalid_argument("slot_nodes: bad slot");
+}
+
+std::string slot_name(Slot slot) {
+  const auto [a, b] = slot_nodes(slot);
+  return node_name(a) + "-" + node_name(b);
+}
+
+namespace {
+
+const std::vector<SubcktType>& feedforward_types() {
+  static const std::vector<SubcktType> types = {
+      SubcktType::None,         SubcktType::GmPosFwd,
+      SubcktType::GmNegFwd,     SubcktType::GmPosFwdSerR,
+      SubcktType::GmNegFwdSerR, SubcktType::GmPosFwdSerC,
+      SubcktType::GmNegFwdSerC,
+  };
+  return types;
+}
+
+const std::vector<SubcktType>& compensation_types() {
+  static const std::vector<SubcktType> types = [] {
+    std::vector<SubcktType> all(all_subckt_types().begin(),
+                                all_subckt_types().end());
+    return all;
+  }();
+  return types;
+}
+
+const std::vector<SubcktType>& shunt_types() {
+  static const std::vector<SubcktType> types = {
+      SubcktType::None, SubcktType::R, SubcktType::C, SubcktType::RCp,
+      SubcktType::RCs,
+  };
+  return types;
+}
+
+}  // namespace
+
+std::span<const SubcktType> allowed_types(Slot slot) {
+  switch (slot) {
+    case Slot::VinV2:
+    case Slot::VinVout:
+      return feedforward_types();
+    case Slot::V1Vout:
+      return compensation_types();
+    case Slot::V1Gnd:
+    case Slot::V2Gnd:
+      return shunt_types();
+  }
+  throw std::invalid_argument("allowed_types: bad slot");
+}
+
+bool is_allowed(Slot slot, SubcktType type) {
+  const auto types = allowed_types(slot);
+  return std::find(types.begin(), types.end(), type) != types.end();
+}
+
+std::size_t allowed_index(Slot slot, SubcktType type) {
+  const auto types = allowed_types(slot);
+  const auto it = std::find(types.begin(), types.end(), type);
+  if (it == types.end()) {
+    throw std::invalid_argument("allowed_index: type " + short_name(type) +
+                                " not allowed in slot " + slot_name(slot));
+  }
+  return static_cast<std::size_t>(it - types.begin());
+}
+
+std::size_t design_space_size() {
+  std::size_t total = 1;
+  for (Slot slot : all_slots()) total *= allowed_types(slot).size();
+  return total;
+}
+
+}  // namespace intooa::circuit

@@ -1,0 +1,67 @@
+#pragma once
+// The op-amp topology design-space rules "R" of Sec. II-C: which subcircuit
+// types each of the five variable slots may take. The paper (following
+// [14]) fixes the per-slot counts — 7, 7, 25, 5, 5, for a total of
+// 7*7*25*5*5 = 30625 topologies — and we reconstruct the sets so the
+// electrical roles match:
+//
+//   vin-v2, vin-vout : feed-forward paths. Only transconductors make sense
+//                      (a passive from the low-impedance input would load
+//                      the driver, and direction is fixed away from vin):
+//                      None + {+gm,-gm} x {bare, series-R, series-C} = 7.
+//   v1-vout          : the main compensation branch: all 25 types.
+//   v1-gnd, v2-gnd   : shunt loading/compensation: passives only:
+//                      None, R, C, RCp, RCs = 5.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "circuit/subckt.hpp"
+
+namespace intooa::circuit {
+
+/// The five variable-subcircuit slots, in canonical order.
+enum class Slot : std::uint8_t {
+  VinV2 = 0,   ///< feed-forward vin -> v2
+  VinVout = 1, ///< feed-forward vin -> vout
+  V1Vout = 2,  ///< compensation branch between v1 and vout
+  V1Gnd = 3,   ///< shunt at v1
+  V2Gnd = 4,   ///< shunt at v2
+};
+
+/// Number of variable slots.
+inline constexpr std::size_t kSlotCount = 5;
+
+/// All slots in canonical order.
+const std::array<Slot, kSlotCount>& all_slots();
+
+/// The five circuit nodes of the behavioral model.
+enum class Node : std::uint8_t { Vin = 0, V1 = 1, V2 = 2, Vout = 3, Gnd = 4 };
+
+/// Node name as used in netlists and circuit graphs ("vin", "v1", ...).
+std::string node_name(Node node);
+
+/// Canonical (first, second) terminal pair of a slot; transconductor
+/// Direction::Fwd senses `first` and drives `second`.
+std::pair<Node, Node> slot_nodes(Slot slot);
+
+/// Short slot name, e.g. "vin-v2".
+std::string slot_name(Slot slot);
+
+/// The allowed subcircuit types for `slot` (always includes
+/// SubcktType::None).
+std::span<const SubcktType> allowed_types(Slot slot);
+
+/// True if `type` may occupy `slot` under the design-space rules.
+bool is_allowed(Slot slot, SubcktType type);
+
+/// Index of `type` within allowed_types(slot); throws std::invalid_argument
+/// if not allowed.
+std::size_t allowed_index(Slot slot, SubcktType type);
+
+/// Total number of topologies in the design space (30625).
+std::size_t design_space_size();
+
+}  // namespace intooa::circuit

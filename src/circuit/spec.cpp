@@ -1,0 +1,68 @@
+#include "circuit/spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace intooa::circuit {
+
+const std::array<std::string, Spec::kConstraintCount>&
+Spec::constraint_names() {
+  static const std::array<std::string, kConstraintCount> names = {
+      "Gain", "GBW", "PM", "Power"};
+  return names;
+}
+
+std::array<double, Spec::kConstraintCount> Spec::margins(
+    const Performance& p) const {
+  if (!p.valid) return {10.0, 10.0, 10.0, 10.0};
+  std::array<double, kConstraintCount> m{};
+  m[0] = (gain_db_min - p.gain_db) / gain_db_min;
+  // GBW spans decades; a log margin keeps the GP target well-scaled.
+  m[1] = std::log10(gbw_hz_min / std::max(p.gbw_hz, 1e-3));
+  m[2] = (pm_deg_min - p.pm_deg) / pm_deg_min;
+  m[3] = (p.power_w - power_w_max) / power_w_max;
+  return m;
+}
+
+bool Spec::satisfied(const Performance& p) const {
+  if (!p.valid) return false;
+  for (double m : margins(p)) {
+    if (m > 0.0) return false;
+  }
+  return true;
+}
+
+double Spec::violation(const Performance& p) const {
+  double acc = 0.0;
+  for (double m : margins(p)) acc += std::max(0.0, m);
+  return acc;
+}
+
+double fom(const Performance& p, double load_cap_farads) {
+  if (!p.valid || p.power_w <= 0.0) return 0.0;
+  const double gbw_mhz = p.gbw_hz / 1e6;
+  const double cl_pf = load_cap_farads / 1e-12;
+  const double power_mw = p.power_w / 1e-3;
+  return gbw_mhz * cl_pf / power_mw;
+}
+
+const std::vector<Spec>& paper_specs() {
+  static const std::vector<Spec> specs = {
+      //        name   gain    gbw      pm    power     CL
+      Spec{"S-1", 85.0, 0.5e6, 55.0, 750e-6, 10e-12},
+      Spec{"S-2", 110.0, 0.5e6, 55.0, 750e-6, 10e-12},
+      Spec{"S-3", 85.0, 5e6, 55.0, 750e-6, 10e-12},
+      Spec{"S-4", 85.0, 0.5e6, 55.0, 150e-6, 10e-12},
+      Spec{"S-5", 85.0, 0.5e6, 55.0, 750e-6, 10000e-12},
+  };
+  return specs;
+}
+
+const Spec& spec_by_name(const std::string& name) {
+  for (const Spec& s : paper_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("spec_by_name: unknown spec " + name);
+}
+
+}  // namespace intooa::circuit

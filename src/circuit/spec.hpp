@@ -1,0 +1,66 @@
+#pragma once
+// Design specifications (Table I) and the op-amp figure of merit (Eq. 6).
+// A Spec turns raw simulated performance into the normalized constraint
+// margins (c <= 0 means satisfied) consumed by the constrained-BO
+// acquisition, and into the FoM objective.
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace intooa::circuit {
+
+/// Simulated op-amp performance. `valid` is false when the AC analysis
+/// failed structurally (singular matrix, DC gain below 0 dB, or no unity
+/// crossing); the numeric fields are then meaningless.
+struct Performance {
+  double gain_db = 0.0;
+  double gbw_hz = 0.0;
+  double pm_deg = 0.0;
+  double power_w = 0.0;
+  bool valid = false;
+  std::string failure;  ///< reason when !valid
+
+  bool operator==(const Performance&) const = default;
+};
+
+/// One design-specification set of Table I.
+struct Spec {
+  std::string name;       ///< "S-1" .. "S-5"
+  double gain_db_min = 0.0;
+  double gbw_hz_min = 0.0;
+  double pm_deg_min = 0.0;
+  double power_w_max = 0.0;
+  double load_cap = 0.0;  ///< C_L [F]
+
+  /// Number of constrained metrics (Gain, GBW, PM, Power).
+  static constexpr std::size_t kConstraintCount = 4;
+
+  /// Metric names in margin order.
+  static const std::array<std::string, kConstraintCount>& constraint_names();
+
+  /// Normalized constraint margins, <= 0 iff satisfied:
+  ///   [ (Gmin - G)/Gmin, log10(GBWmin/GBW), (PMmin - PM)/PMmin,
+  ///     (P - Pmax)/Pmax ].
+  /// An invalid Performance maps to large positive margins (+10).
+  std::array<double, kConstraintCount> margins(const Performance& p) const;
+
+  /// True when every margin is <= 0 (and the performance is valid).
+  bool satisfied(const Performance& p) const;
+
+  /// Sum of positive margins — the scalar violation used for ranking
+  /// infeasible designs (0 when satisfied).
+  double violation(const Performance& p) const;
+};
+
+/// Figure of merit of Eq. 6: FoM = GBW[MHz] * C_L[pF] / Power[mW].
+/// Returns 0 for invalid performance.
+double fom(const Performance& p, double load_cap_farads);
+
+/// The five specification sets of Table I (supply fixed at 1.8 V).
+const std::vector<Spec>& paper_specs();
+
+/// Looks up a paper spec by name ("S-1".."S-5"); throws if unknown.
+const Spec& spec_by_name(const std::string& name);
+
+}  // namespace intooa::circuit

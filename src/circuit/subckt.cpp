@@ -1,0 +1,137 @@
+#include "circuit/subckt.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace intooa::circuit {
+
+const std::array<SubcktType, kSubcktTypeCount>& all_subckt_types() {
+  static const std::array<SubcktType, kSubcktTypeCount> types = {
+      SubcktType::None,         SubcktType::R,
+      SubcktType::C,            SubcktType::RCp,
+      SubcktType::RCs,          SubcktType::GmPosFwd,
+      SubcktType::GmNegFwd,     SubcktType::GmPosBwd,
+      SubcktType::GmNegBwd,     SubcktType::GmPosFwdSerR,
+      SubcktType::GmPosFwdSerC, SubcktType::GmPosFwdParR,
+      SubcktType::GmPosFwdParC, SubcktType::GmNegFwdSerR,
+      SubcktType::GmNegFwdSerC, SubcktType::GmNegFwdParR,
+      SubcktType::GmNegFwdParC, SubcktType::GmPosBwdSerR,
+      SubcktType::GmPosBwdSerC, SubcktType::GmPosBwdParR,
+      SubcktType::GmPosBwdParC, SubcktType::GmNegBwdSerR,
+      SubcktType::GmNegBwdSerC, SubcktType::GmNegBwdParR,
+      SubcktType::GmNegBwdParC,
+  };
+  return types;
+}
+
+SubcktStructure structure_of(SubcktType type) {
+  SubcktStructure s;
+  switch (type) {
+    case SubcktType::None:
+      s.is_none = true;
+      return s;
+    case SubcktType::R:
+      s.has_passive = true;
+      s.passive = PassiveKind::R;
+      return s;
+    case SubcktType::C:
+      s.has_passive = true;
+      s.passive = PassiveKind::C;
+      return s;
+    case SubcktType::RCp:
+      s.has_passive = true;  // both R and C; flagged via is_rc below
+      s.combine = Combine::Parallel;
+      return s;
+    case SubcktType::RCs:
+      s.has_passive = true;
+      s.combine = Combine::Series;
+      return s;
+    default:
+      break;
+  }
+  // All remaining types carry a transconductor.
+  s.has_gm = true;
+  const auto idx = static_cast<int>(type);
+  const int base = static_cast<int>(SubcktType::GmPosFwd);
+  const int rel = idx - base;
+  if (rel < 4) {
+    // Bare gm: Pos/Neg x Fwd/Bwd in enum order PosFwd, NegFwd, PosBwd,
+    // NegBwd.
+    s.polarity = (rel % 2 == 0) ? Polarity::Pos : Polarity::Neg;
+    s.direction = (rel < 2) ? Direction::Fwd : Direction::Bwd;
+    return s;
+  }
+  // Compound: blocks of 4 per (polarity, direction):
+  //   [SerR, SerC, ParR, ParC]
+  const int comp = rel - 4;
+  const int block = comp / 4;  // 0 PosFwd, 1 NegFwd, 2 PosBwd, 3 NegBwd
+  const int within = comp % 4;
+  s.polarity = (block % 2 == 0) ? Polarity::Pos : Polarity::Neg;
+  s.direction = (block < 2) ? Direction::Fwd : Direction::Bwd;
+  s.has_passive = true;
+  s.combine = (within < 2) ? Combine::Series : Combine::Parallel;
+  s.passive = (within % 2 == 0) ? PassiveKind::R : PassiveKind::C;
+  return s;
+}
+
+std::string short_name(SubcktType type) {
+  switch (type) {
+    case SubcktType::None: return "none";
+    case SubcktType::R: return "R";
+    case SubcktType::C: return "C";
+    case SubcktType::RCp: return "RCp";
+    case SubcktType::RCs: return "RCs";
+    default: break;
+  }
+  const SubcktStructure s = structure_of(type);
+  std::string name = (s.polarity == Polarity::Pos) ? "+gm" : "-gm";
+  if (s.has_passive) {
+    name += (s.passive == PassiveKind::R) ? "R" : "C";
+    name += (s.combine == Combine::Series) ? "s" : "p";
+  }
+  if (s.direction == Direction::Bwd) name += "~";
+  return name;
+}
+
+std::string graph_label(SubcktType type) { return short_name(type); }
+
+std::optional<SubcktType> subckt_from_name(const std::string& name) {
+  static const std::unordered_map<std::string, SubcktType> lookup = [] {
+    std::unordered_map<std::string, SubcktType> map;
+    for (SubcktType type : all_subckt_types()) map[short_name(type)] = type;
+    return map;
+  }();
+  const auto it = lookup.find(name);
+  if (it == lookup.end()) return std::nullopt;
+  return it->second;
+}
+
+bool has_gm(SubcktType type) { return structure_of(type).has_gm; }
+
+bool has_resistor(SubcktType type) {
+  if (type == SubcktType::R || type == SubcktType::RCp ||
+      type == SubcktType::RCs) {
+    return true;
+  }
+  const SubcktStructure s = structure_of(type);
+  return s.has_gm && s.has_passive && s.passive == PassiveKind::R;
+}
+
+bool has_capacitor(SubcktType type) {
+  if (type == SubcktType::C || type == SubcktType::RCp ||
+      type == SubcktType::RCs) {
+    return true;
+  }
+  const SubcktStructure s = structure_of(type);
+  return s.has_gm && s.has_passive && s.passive == PassiveKind::C;
+}
+
+std::size_t parameter_count(SubcktType type) {
+  std::size_t count = 0;
+  if (has_gm(type)) ++count;
+  if (has_resistor(type)) ++count;
+  if (has_capacitor(type)) ++count;
+  return count;
+}
+
+}  // namespace intooa::circuit

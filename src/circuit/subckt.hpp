@@ -1,0 +1,109 @@
+#pragma once
+// The 25 variable-subcircuit types of the behavior-level op-amp design
+// space (Sec. II-C):
+//   - no connection                                   (1)
+//   - a single R or C                                 (2)
+//   - R and C in parallel or series                   (2)
+//   - a transconductor gm, 2 polarities x 2 directions(4)
+//   - gm with R or C in series or parallel,
+//     2 polarities x 2 directions x 2 passives x 2    (16)
+//
+// "Direction" is defined relative to the slot's canonical (first, second)
+// node pair: Fwd senses the first node and drives the second; Bwd senses
+// the second and drives the first.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace intooa::circuit {
+
+/// Transconductor polarity: sign of the controlled current source.
+enum class Polarity : std::uint8_t { Pos, Neg };
+
+/// Transconductor direction relative to the slot's canonical node order.
+enum class Direction : std::uint8_t { Fwd, Bwd };
+
+/// Passive element kind inside a compound subcircuit.
+enum class PassiveKind : std::uint8_t { R, C };
+
+/// How a passive combines with the transconductor output (or with the other
+/// passive in RCp/RCs).
+enum class Combine : std::uint8_t { Series, Parallel };
+
+/// All 25 variable-subcircuit types.
+enum class SubcktType : std::uint8_t {
+  None = 0,
+  R,
+  C,
+  RCp,  ///< R parallel C
+  RCs,  ///< R series C
+  GmPosFwd,
+  GmNegFwd,
+  GmPosBwd,
+  GmNegBwd,
+  GmPosFwdSerR,
+  GmPosFwdSerC,
+  GmPosFwdParR,
+  GmPosFwdParC,
+  GmNegFwdSerR,
+  GmNegFwdSerC,
+  GmNegFwdParR,
+  GmNegFwdParC,
+  GmPosBwdSerR,
+  GmPosBwdSerC,
+  GmPosBwdParR,
+  GmPosBwdParC,
+  GmNegBwdSerR,
+  GmNegBwdSerC,
+  GmNegBwdParR,
+  GmNegBwdParC,
+};
+
+/// Number of distinct subcircuit types.
+inline constexpr std::size_t kSubcktTypeCount = 25;
+
+/// All types in enum order, for iteration.
+const std::array<SubcktType, kSubcktTypeCount>& all_subckt_types();
+
+/// Structural decomposition of a type.
+struct SubcktStructure {
+  bool has_gm = false;
+  Polarity polarity = Polarity::Pos;   ///< meaningful iff has_gm
+  Direction direction = Direction::Fwd;  ///< meaningful iff has_gm
+  bool has_passive = false;
+  PassiveKind passive = PassiveKind::R;  ///< meaningful iff has_passive
+  Combine combine = Combine::Parallel;   ///< meaningful iff both present
+  bool is_none = false;
+};
+
+/// Decomposes a type into its structural components.
+SubcktStructure structure_of(SubcktType type);
+
+/// Short canonical name, e.g. "-gmRs" (the paper's notation for the
+/// series-connected -gm and R), "RCs", "+gm", "none". Bwd types get a
+/// trailing "~", e.g. "-gm~".
+std::string short_name(SubcktType type);
+
+/// Label used for the subcircuit's node in the circuit graph. Identical to
+/// short_name — one graph label per type, as in Fig. 3.
+std::string graph_label(SubcktType type);
+
+/// Parses a short_name back to the type; returns nullopt for unknown names.
+std::optional<SubcktType> subckt_from_name(const std::string& name);
+
+/// True when the type contributes a transconductor (consumes bias power).
+bool has_gm(SubcktType type);
+
+/// True when the type contributes a resistor.
+bool has_resistor(SubcktType type);
+
+/// True when the type contributes a capacitor.
+bool has_capacitor(SubcktType type);
+
+/// Number of tunable parameters the subcircuit adds to the sizing problem
+/// (gm value and/or passive value); 0 for None.
+std::size_t parameter_count(SubcktType type);
+
+}  // namespace intooa::circuit

@@ -1,0 +1,128 @@
+#include "circuit/topology.hpp"
+
+#include <stdexcept>
+
+namespace intooa::circuit {
+
+Topology::Topology() {
+  types_.fill(SubcktType::None);
+}
+
+Topology::Topology(const std::array<SubcktType, kSlotCount>& types)
+    : types_(types) {
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    const Slot slot = all_slots()[i];
+    if (!is_allowed(slot, types_[i])) {
+      throw std::invalid_argument("Topology: type " + short_name(types_[i]) +
+                                  " not allowed in slot " + slot_name(slot));
+    }
+  }
+}
+
+SubcktType Topology::type(Slot slot) const {
+  return types_[static_cast<std::size_t>(slot)];
+}
+
+Topology Topology::with(Slot slot, SubcktType type) const {
+  if (!is_allowed(slot, type)) {
+    throw std::invalid_argument("Topology::with: type " + short_name(type) +
+                                " not allowed in slot " + slot_name(slot));
+  }
+  Topology copy = *this;
+  copy.types_[static_cast<std::size_t>(slot)] = type;
+  return copy;
+}
+
+std::size_t Topology::index() const {
+  std::size_t idx = 0;
+  for (Slot slot : all_slots()) {
+    idx = idx * allowed_types(slot).size() + allowed_index(slot, type(slot));
+  }
+  return idx;
+}
+
+Topology Topology::from_index(std::size_t index) {
+  if (index >= design_space_size()) {
+    throw std::out_of_range("Topology::from_index: index out of range");
+  }
+  std::array<SubcktType, kSlotCount> types{};
+  for (std::size_t i = kSlotCount; i-- > 0;) {
+    const Slot slot = all_slots()[i];
+    const auto allowed = allowed_types(slot);
+    types[i] = allowed[index % allowed.size()];
+    index /= allowed.size();
+  }
+  return Topology(types);
+}
+
+Topology Topology::random(util::Rng& rng) {
+  std::array<SubcktType, kSlotCount> types{};
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    const auto allowed = allowed_types(all_slots()[i]);
+    types[i] = allowed[rng.index(allowed.size())];
+  }
+  return Topology(types);
+}
+
+Topology Topology::mutated(util::Rng& rng, double expected_mutations) const {
+  if (expected_mutations <= 0.0) {
+    throw std::invalid_argument("Topology::mutated: expected_mutations <= 0");
+  }
+  const double per_slot =
+      std::min(1.0, expected_mutations / static_cast<double>(kSlotCount));
+
+  auto mutate_slot = [&](Topology& topo, Slot slot) {
+    const auto allowed = allowed_types(slot);
+    // Draw a different type uniformly among the alternatives.
+    const std::size_t current = allowed_index(slot, topo.type(slot));
+    std::size_t pick = rng.index(allowed.size() - 1);
+    if (pick >= current) ++pick;
+    topo.types_[static_cast<std::size_t>(slot)] = allowed[pick];
+  };
+
+  Topology child = *this;
+  bool any = false;
+  for (Slot slot : all_slots()) {
+    if (rng.chance(per_slot)) {
+      mutate_slot(child, slot);
+      any = true;
+    }
+  }
+  if (!any) {
+    mutate_slot(child, all_slots()[rng.index(kSlotCount)]);
+  }
+  return child;
+}
+
+std::size_t Topology::hamming_distance(const Topology& other) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    if (types_[i] != other.types_[i]) ++count;
+  }
+  return count;
+}
+
+std::size_t Topology::variable_parameter_count() const {
+  std::size_t count = 0;
+  for (SubcktType type : types_) count += parameter_count(type);
+  return count;
+}
+
+std::string Topology::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    if (i) out += ", ";
+    out += slot_name(all_slots()[i]) + ":" + short_name(types_[i]);
+  }
+  return out + "]";
+}
+
+std::vector<Topology> enumerate_design_space() {
+  const std::size_t total = design_space_size();
+  std::vector<Topology> all;
+  all.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) all.push_back(Topology::from_index(i));
+  return all;
+}
+
+}  // namespace intooa::circuit

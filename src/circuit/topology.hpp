@@ -1,0 +1,74 @@
+#pragma once
+// A behavior-level op-amp topology: one subcircuit-type choice per variable
+// slot, under the design-space rules. Provides the bijection to a dense
+// index in [0, 30625) (used for visited-set bookkeeping and exhaustive
+// enumeration), uniform sampling, and the single-slot mutation primitive of
+// the candidate generation strategy (Sec. III-D).
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/rules.hpp"
+#include "circuit/subckt.hpp"
+#include "util/rng.hpp"
+
+namespace intooa::circuit {
+
+/// Value-semantic topology: the 5-slot type vector.
+class Topology {
+ public:
+  /// All-None topology (valid: the bare three-stage amp).
+  Topology();
+
+  /// From an explicit type array; throws std::invalid_argument if any slot
+  /// gets a type its rule set forbids.
+  explicit Topology(const std::array<SubcktType, kSlotCount>& types);
+
+  /// Type occupying `slot`.
+  SubcktType type(Slot slot) const;
+
+  /// Returns a copy with `slot` set to `type`; throws if not allowed.
+  Topology with(Slot slot, SubcktType type) const;
+
+  /// The raw 5-slot vector in canonical slot order.
+  const std::array<SubcktType, kSlotCount>& types() const { return types_; }
+
+  /// Dense mixed-radix index in [0, design_space_size()).
+  std::size_t index() const;
+
+  /// Inverse of index().
+  static Topology from_index(std::size_t index);
+
+  /// Uniform sample from the whole design space.
+  static Topology random(util::Rng& rng);
+
+  /// Mutation operator of Sec. III-D: each slot is independently re-drawn
+  /// (to a *different* allowed type) with probability 1/kSlotCount scaled
+  /// by `expected_mutations`, so the expected number of mutated subcircuits
+  /// equals `expected_mutations`. If no slot fired, one uniformly chosen
+  /// slot is mutated so the result always differs from the parent.
+  Topology mutated(util::Rng& rng, double expected_mutations = 1.0) const;
+
+  /// Number of slots whose type differs from `other`.
+  std::size_t hamming_distance(const Topology& other) const;
+
+  /// Total count of tunable subcircuit parameters across the variable slots
+  /// (excludes the 3 fixed-stage gm parameters).
+  std::size_t variable_parameter_count() const;
+
+  /// Human-readable one-liner, e.g.
+  /// "[vin-v2:-gm, vin-vout:none, v1-vout:RCs, v1-gnd:none, v2-gnd:C]".
+  std::string to_string() const;
+
+  auto operator<=>(const Topology&) const = default;
+
+ private:
+  std::array<SubcktType, kSlotCount> types_;
+};
+
+/// Enumerates the entire design space in index order (30625 entries).
+std::vector<Topology> enumerate_design_space();
+
+}  // namespace intooa::circuit

@@ -1,0 +1,64 @@
+#include "core/evaluator.hpp"
+
+namespace intooa::core {
+
+TopologyEvaluator::TopologyEvaluator(sizing::EvalContext context,
+                                     sizing::SizingConfig config)
+    : sizer_(std::move(context), config) {}
+
+const sizing::SizedResult& TopologyEvaluator::evaluate(
+    const circuit::Topology& topology, util::Rng& rng) {
+  const std::size_t key = topology.index();
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return history_[it->second].sized;
+
+  EvalRecord record;
+  record.topology = topology;
+  record.sims_before = total_simulations_;
+  record.sized = sizer_.size(topology, rng);
+  total_simulations_ += record.sized.simulations;
+  history_.push_back(std::move(record));
+  cache_[key] = history_.size() - 1;
+  return history_.back().sized;
+}
+
+bool TopologyEvaluator::visited(const circuit::Topology& topology) const {
+  return cache_.count(topology.index()) > 0;
+}
+
+std::optional<std::size_t> TopologyEvaluator::best_feasible() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const auto& point = history_[i].sized.best;
+    if (!point.feasible) continue;
+    if (!best || point.fom > history_[*best].sized.best.fom) best = i;
+  }
+  return best;
+}
+
+std::optional<std::size_t> TopologyEvaluator::best_overall() const {
+  if (history_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < history_.size(); ++i) {
+    if (sizing::better_than(history_[i].sized.best,
+                            history_[best].sized.best)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> TopologyEvaluator::fom_curve() const {
+  std::vector<double> curve;
+  curve.reserve(total_simulations_);
+  double best = 0.0;
+  for (const auto& record : history_) {
+    for (const auto& point : record.sized.history) {
+      if (point.feasible && point.fom > best) best = point.fom;
+      curve.push_back(best);
+    }
+  }
+  return curve;
+}
+
+}  // namespace intooa::core

@@ -1,0 +1,71 @@
+#pragma once
+// Topology-level evaluation service shared by INTO-OA and every baseline:
+// sizes a topology with the inner BO loop (40 simulations), caches results
+// by topology index, and keeps the global simulation counter and
+// evaluation history that the Fig. 5 / Table II accounting is built on.
+// Using one evaluator for all methods guarantees identical cost accounting
+// across methods, as in the paper.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/spec.hpp"
+#include "circuit/topology.hpp"
+#include "sizing/sizer.hpp"
+#include "util/rng.hpp"
+
+namespace intooa::core {
+
+/// One topology evaluation in campaign order.
+struct EvalRecord {
+  circuit::Topology topology;
+  sizing::SizedResult sized;
+  std::size_t sims_before = 0;  ///< cumulative simulations before this eval
+};
+
+/// Caching, counting wrapper around the sizing loop.
+class TopologyEvaluator {
+ public:
+  TopologyEvaluator(sizing::EvalContext context,
+                    sizing::SizingConfig config = {});
+
+  /// Sizes `topology` (or returns the cached result) and appends to the
+  /// history on a fresh evaluation. The paper's methods never re-evaluate
+  /// a visited topology, so cache hits do not consume simulations.
+  const sizing::SizedResult& evaluate(const circuit::Topology& topology,
+                                      util::Rng& rng);
+
+  /// True when the topology has been evaluated already.
+  bool visited(const circuit::Topology& topology) const;
+
+  /// Total simulator calls consumed so far.
+  std::size_t total_simulations() const { return total_simulations_; }
+
+  /// All fresh evaluations in order.
+  const std::vector<EvalRecord>& history() const { return history_; }
+
+  /// Best feasible record index (by FoM), if any feasible design was seen.
+  std::optional<std::size_t> best_feasible() const;
+
+  /// Best record index under the constrained ranking (feasible-by-FoM,
+  /// else least-violating); nullopt when no evaluations happened.
+  std::optional<std::size_t> best_overall() const;
+
+  /// Best-feasible-FoM-so-far sampled per simulation: element s is the
+  /// best feasible FoM after s+1 simulations (0 while infeasible) — the
+  /// Fig. 5 curve of one run.
+  std::vector<double> fom_curve() const;
+
+  const sizing::EvalContext& context() const { return sizer_.context(); }
+  const sizing::Sizer& sizer() const { return sizer_; }
+
+ private:
+  sizing::Sizer sizer_;
+  std::unordered_map<std::size_t, std::size_t> cache_;  // topo index -> record
+  std::vector<EvalRecord> history_;
+  std::size_t total_simulations_ = 0;
+};
+
+}  // namespace intooa::core

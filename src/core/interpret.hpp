@@ -1,0 +1,51 @@
+#pragma once
+// Interpretability layer (Sec. III-C): translates WL-GP posterior-mean
+// gradients (Eq. 5) into per-subcircuit performance attributions. For each
+// occupied variable slot of a topology, the slot's graph node carries one
+// WL feature per depth (its compressed label); the gradient of the metric
+// with respect to those features is the structure's estimated impact —
+// sign gives direction, magnitude gives sensitivity, exactly as the paper
+// validates against remove-and-resimulate sensitivity analysis in
+// Sec. IV-B.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/topology.hpp"
+#include "gp/wlgp.hpp"
+
+namespace intooa::core {
+
+/// Gradient attribution of one circuit structure (feature) for one metric.
+struct StructureImpact {
+  std::size_t feature_id = 0;
+  int depth = 0;            ///< WL iteration at which the feature appears
+  std::string structure;    ///< human-readable provenance, e.g. "RCs{v1,vout}"
+  double gradient = 0.0;    ///< d(metric)/d(feature count), Eq. 5
+  std::optional<circuit::Slot> slot;  ///< set when attributable to one slot
+};
+
+/// Per-slot gradient attribution of `model`'s metric over `topology`.
+/// For each occupied slot, reports the gradients of its depth-0..max_depth
+/// WL features (max_depth capped at the model's chosen h). The depth-1
+/// entry is the paper's per-subcircuit attribution: the subcircuit label
+/// in its connection context.
+std::vector<StructureImpact> slot_impacts(const gp::WlGp& model,
+                                          const circuit::Topology& topology,
+                                          int max_depth = 1);
+
+/// Aggregate attribution of one slot: the gradient of the slot node's
+/// deepest available feature (depth min(max_depth, chosen h)), which
+/// captures the subcircuit in context. Returns 0 gradient for None slots.
+double slot_gradient(const gp::WlGp& model, const circuit::Topology& topology,
+                     circuit::Slot slot, int depth = 1);
+
+/// Ranks all features known to the model's featurizer by |gradient| for
+/// this metric, keeping the `top_k` strongest up to depth `max_depth` —
+/// the "most critical structures" view used to explain novel designs.
+std::vector<StructureImpact> top_structures(const gp::WlGp& model,
+                                            std::size_t top_k,
+                                            int max_depth = 1);
+
+}  // namespace intooa::core

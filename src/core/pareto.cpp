@@ -1,0 +1,59 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace intooa::core {
+
+std::vector<TradeoffPoint> pareto_front(
+    const std::vector<EvalRecord>& history, const circuit::Spec& spec,
+    TradeoffPlane plane) {
+  std::vector<TradeoffPoint> candidates;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const auto& point = history[i].sized.best;
+    if (!point.feasible) continue;
+    TradeoffPoint tp;
+    tp.history_index = i;
+    tp.topology = history[i].topology;
+    tp.cost_axis = point.perf.power_w;
+    tp.gain_axis = plane == TradeoffPlane::FomVsPower
+                       ? circuit::fom(point.perf, spec.load_cap)
+                       : point.perf.gbw_hz;
+    candidates.push_back(std::move(tp));
+  }
+
+  // Sort by cost ascending, gain descending; a point survives iff its gain
+  // beats everything cheaper.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              if (a.cost_axis != b.cost_axis) return a.cost_axis < b.cost_axis;
+              return a.gain_axis > b.gain_axis;
+            });
+  std::vector<TradeoffPoint> front;
+  double best_gain = -std::numeric_limits<double>::infinity();
+  for (const auto& tp : candidates) {
+    if (tp.gain_axis > best_gain) {
+      best_gain = tp.gain_axis;
+      front.push_back(tp);
+    }
+  }
+  return front;
+}
+
+double hypervolume(const std::vector<TradeoffPoint>& front, double ref_cost,
+                   double ref_gain) {
+  // Points are non-dominated and cost-sorted (as produced by
+  // pareto_front); accumulate the dominated rectangles left-to-right.
+  double volume = 0.0;
+  double prev_gain = ref_gain;
+  // Iterate from the cheapest (highest marginal gain contribution comes
+  // from cost headroom to the reference).
+  for (const auto& tp : front) {
+    if (tp.cost_axis > ref_cost || tp.gain_axis < ref_gain) continue;
+    volume += (ref_cost - tp.cost_axis) * (tp.gain_axis - prev_gain);
+    prev_gain = tp.gain_axis;
+  }
+  return volume;
+}
+
+}  // namespace intooa::core

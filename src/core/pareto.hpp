@@ -1,0 +1,43 @@
+#pragma once
+// Multi-objective view of a finished campaign: designers rarely want a
+// single FoM-optimal point — they want the FoM/power (or GBW/power)
+// tradeoff curve. Every design the evaluator already simulated carries
+// all metrics, so Pareto extraction is free post-processing of the
+// campaign history. Includes the standard 2-D hypervolume indicator for
+// comparing fronts between methods or configurations.
+
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace intooa::core {
+
+/// One point on the tradeoff plane (orientation normalized internally so
+/// that larger `gain_axis` and smaller `cost_axis` are better).
+struct TradeoffPoint {
+  std::size_t history_index = 0;  ///< into the evaluator history
+  circuit::Topology topology;
+  double gain_axis = 0.0;  ///< e.g. FoM (maximize)
+  double cost_axis = 0.0;  ///< e.g. power in W (minimize)
+};
+
+/// Which tradeoff plane to extract.
+enum class TradeoffPlane {
+  FomVsPower,  ///< Eq. 6 FoM (max) vs. static power (min)
+  GbwVsPower,  ///< bandwidth (max) vs. static power (min)
+};
+
+/// Extracts the non-dominated feasible designs of `history` on the chosen
+/// plane, sorted by ascending cost. Infeasible/invalid designs are
+/// excluded (a Pareto point must be a design one could actually ship).
+std::vector<TradeoffPoint> pareto_front(
+    const std::vector<EvalRecord>& history, const circuit::Spec& spec,
+    TradeoffPlane plane = TradeoffPlane::FomVsPower);
+
+/// 2-D hypervolume of a front w.r.t. a reference point (ref_cost >= all
+/// costs, ref_gain <= all gains for a meaningful value): the area
+/// dominated by the front inside the reference box. Larger is better.
+double hypervolume(const std::vector<TradeoffPoint>& front, double ref_cost,
+                   double ref_gain);
+
+}  // namespace intooa::core

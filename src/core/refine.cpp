@@ -1,0 +1,172 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/circuit_graph.hpp"
+#include "core/interpret.hpp"
+#include "util/log.hpp"
+
+namespace intooa::core {
+
+namespace {
+
+/// Carries component sizes from an old (topology, values) pair into a new
+/// topology's schema by parameter name; parameters that only exist in the
+/// new schema start at the geometric middle of their range.
+std::vector<double> carry_values(const circuit::ParamSchema& old_schema,
+                                 std::span<const double> old_values,
+                                 const circuit::ParamSchema& new_schema) {
+  std::vector<double> out(new_schema.size());
+  for (std::size_t i = 0; i < new_schema.size(); ++i) {
+    const auto& spec = new_schema.params[i];
+    if (old_schema.contains(spec.name)) {
+      out[i] = old_values[old_schema.index_of(spec.name)];
+    } else {
+      out[i] = spec.log_scale ? std::sqrt(spec.lo * spec.hi)
+                              : 0.5 * (spec.lo + spec.hi);
+    }
+  }
+  return out;
+}
+
+/// Indices of the parameters belonging to `slot` in `schema`.
+std::vector<std::size_t> slot_param_indices(const circuit::ParamSchema& schema,
+                                            circuit::Slot slot) {
+  const std::string prefix = circuit::slot_name(slot) + ".";
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema.params[i].name.rfind(prefix, 0) == 0) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace
+
+Refiner::Refiner(sizing::EvalContext context, RefineConfig config)
+    : context_(context), sizer_(context), config_(config) {
+  if (config_.sims_per_attempt < 4) {
+    throw std::invalid_argument("Refiner: sims_per_attempt too small");
+  }
+  if (config_.max_alternatives == 0) {
+    throw std::invalid_argument("Refiner: max_alternatives must be > 0");
+  }
+}
+
+RefineResult Refiner::refine(const circuit::Topology& trusted,
+                             std::span<const double> base_values,
+                             const RefineModels& models,
+                             util::Rng& rng) const {
+  const circuit::ParamSchema old_schema =
+      circuit::make_schema(trusted, context_.behavioral);
+  if (base_values.size() != old_schema.size()) {
+    throw std::invalid_argument("Refiner::refine: base_values size mismatch");
+  }
+
+  RefineResult result;
+  result.original = trusted;
+  result.refined = trusted;
+  result.original_point = sizing::evaluate_sized(trusted, base_values, context_);
+  result.refined_point = result.original_point;
+
+  // Step 1: critical metric = most violated constraint margin.
+  const auto& margins = result.original_point.margins;
+  result.critical_metric = static_cast<std::size_t>(
+      std::max_element(margins.begin(), margins.end()) - margins.begin());
+  const gp::WlGp* critical_model = models.constraints[result.critical_metric];
+  if (critical_model == nullptr || !critical_model->trained()) {
+    throw std::invalid_argument(
+        "Refiner::refine: no trained model for critical metric " +
+        circuit::Spec::constraint_names()[result.critical_metric]);
+  }
+
+  // Step 2: occupied slot with the largest critical-margin gradient.
+  std::optional<circuit::Slot> worst_slot;
+  double worst_gradient = -std::numeric_limits<double>::infinity();
+  for (circuit::Slot slot : circuit::all_slots()) {
+    if (trusted.type(slot) == circuit::SubcktType::None) continue;
+    const double g = slot_gradient(*critical_model, trusted, slot);
+    if (g > worst_gradient) {
+      worst_gradient = g;
+      worst_slot = slot;
+    }
+  }
+  if (!worst_slot) {
+    // Fully bare trusted design: fall back to the compensation slot.
+    worst_slot = circuit::Slot::V1Vout;
+  }
+  result.changed_slot = *worst_slot;
+  result.old_type = trusted.type(*worst_slot);
+
+  // Step 3: rank the slot's alternatives by predicted critical margin.
+  struct Alternative {
+    circuit::SubcktType type;
+    double predicted_margin;
+  };
+  std::vector<Alternative> alternatives;
+  for (circuit::SubcktType type : circuit::allowed_types(*worst_slot)) {
+    if (type == result.old_type) continue;
+    const circuit::Topology modified = trusted.with(*worst_slot, type);
+    const graph::Graph g = circuit::build_circuit_graph(modified);
+    alternatives.push_back({type, critical_model->predict(g).mean});
+  }
+  std::sort(alternatives.begin(), alternatives.end(),
+            [](const Alternative& a, const Alternative& b) {
+              return a.predicted_margin < b.predicted_margin;
+            });
+
+  // Step 4: attempt replacements, resizing only the modified subcircuit.
+  const std::size_t tries =
+      std::min(config_.max_alternatives, alternatives.size());
+  for (std::size_t a = 0; a < tries; ++a) {
+    const circuit::SubcktType new_type = alternatives[a].type;
+    const circuit::Topology modified = trusted.with(*worst_slot, new_type);
+    const circuit::ParamSchema new_schema =
+        circuit::make_schema(modified, context_.behavioral);
+    const std::vector<double> carried =
+        carry_values(old_schema, base_values, new_schema);
+    const std::vector<std::size_t> free_idx =
+        slot_param_indices(new_schema, *worst_slot);
+
+    RefineAttempt attempt;
+    attempt.new_type = new_type;
+    std::vector<double> attempt_values = carried;
+
+    if (free_idx.empty()) {
+      // Replacement has no tunable parameters (e.g. None): one simulation.
+      attempt.result = sizing::evaluate_sized(modified, carried, context_);
+      attempt.simulations = 1;
+    } else {
+      const sizing::SizedResult sized = sizer_.resize_subset(
+          modified, carried, free_idx, rng, config_.sims_per_attempt);
+      attempt.result = sized.best;
+      attempt.simulations = sized.simulations;
+      attempt_values = sized.best_values;
+    }
+    result.simulations += attempt.simulations;
+    result.attempts.push_back(attempt);
+
+    util::log_debug("refine attempt " + circuit::short_name(new_type) +
+                    " feasible=" + std::to_string(attempt.result.feasible));
+
+    if (attempt.result.feasible) {
+      result.success = true;
+      result.refined = modified;
+      result.refined_values = attempt_values;
+      result.refined_point = attempt.result;
+      result.new_type = new_type;
+      break;
+    }
+    // Keep the best attempt so far even if infeasible.
+    if (sizing::better_than(attempt.result, result.refined_point)) {
+      result.refined = modified;
+      result.refined_values = attempt_values;
+      result.refined_point = attempt.result;
+      result.new_type = new_type;
+    }
+  }
+  return result;
+}
+
+}  // namespace intooa::core

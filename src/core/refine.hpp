@@ -1,0 +1,92 @@
+#pragma once
+// Gradient-guided topology refinement (Sec. III-C, validated in Sec. IV-C /
+// Fig. 7 / Table IV): improve a trusted existing design so it meets a
+// target Spec while changing exactly one variable subcircuit and resizing
+// only the modified part.
+//
+// Procedure (mirroring the paper):
+//   1. simulate the trusted design; the critical metric is its most
+//      violated constraint margin (lower margin = better);
+//   2. among the occupied variable slots, the one whose WL feature has the
+//      LARGEST critical-margin gradient contributes most negatively — it
+//      is selected for replacement;
+//   3. alternatives for that slot are ranked most-promising-first by the
+//      WL-GP (smallest predicted critical margin — the model-side
+//      realization of "the alternative with the smallest gradient");
+//   4. each attempt resizes only the modified subcircuit's parameters
+//      (sizes of every untouched component are preserved) on a small
+//      simulation budget, and stops at the first attempt meeting the Spec.
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "circuit/spec.hpp"
+#include "circuit/topology.hpp"
+#include "core/evaluator.hpp"
+#include "gp/wlgp.hpp"
+#include "sizing/sizer.hpp"
+#include "util/rng.hpp"
+
+namespace intooa::core {
+
+/// Refinement budget knobs (defaults = paper protocol: 40 simulations per
+/// attempt, up to 3 alternatives tried).
+struct RefineConfig {
+  std::size_t sims_per_attempt = 40;
+  std::size_t max_alternatives = 3;
+};
+
+/// Trained surrogate models driving the refinement. Constraint models are
+/// in Spec::constraint_names() order and model the normalized margins
+/// (lower = better).
+struct RefineModels {
+  const gp::WlGp* objective = nullptr;  ///< log-FoM model (optional)
+  std::array<const gp::WlGp*, circuit::Spec::kConstraintCount> constraints{};
+};
+
+/// One attempted replacement.
+struct RefineAttempt {
+  circuit::SubcktType new_type = circuit::SubcktType::None;
+  sizing::EvalPoint result;
+  std::size_t simulations = 0;
+};
+
+/// Refinement outcome.
+struct RefineResult {
+  circuit::Topology original;
+  sizing::EvalPoint original_point;
+  std::size_t critical_metric = 0;  ///< index into Spec::constraint_names()
+
+  bool success = false;
+  circuit::Topology refined;        ///< == original when !success
+  std::vector<double> refined_values;
+  sizing::EvalPoint refined_point;
+  circuit::Slot changed_slot = circuit::Slot::V1Vout;
+  circuit::SubcktType old_type = circuit::SubcktType::None;
+  circuit::SubcktType new_type = circuit::SubcktType::None;
+
+  std::vector<RefineAttempt> attempts;
+  std::size_t simulations = 0;  ///< total across attempts
+};
+
+/// Gradient-guided refiner bound to one Spec (via the EvalContext).
+class Refiner {
+ public:
+  Refiner(sizing::EvalContext context, RefineConfig config = {});
+
+  /// Refines `trusted` (with its trusted sizing `base_values`, in schema
+  /// order) using the trained `models`. Throws std::invalid_argument when
+  /// no constraint model is provided for the critical metric.
+  RefineResult refine(const circuit::Topology& trusted,
+                      std::span<const double> base_values,
+                      const RefineModels& models, util::Rng& rng) const;
+
+ private:
+  sizing::EvalContext context_;
+  sizing::Sizer sizer_;
+  RefineConfig config_;
+};
+
+}  // namespace intooa::core

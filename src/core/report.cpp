@@ -1,0 +1,85 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "core/interpret.hpp"
+#include "util/table.hpp"
+
+namespace intooa::core {
+
+namespace {
+
+const char* direction_word(double margin_gradient) {
+  // Margins are lower-is-better: a negative gradient means "more of this
+  // structure helps this metric".
+  if (margin_gradient < 0.0) return "helps";
+  if (margin_gradient > 0.0) return "hurts";
+  return "neutral";
+}
+
+}  // namespace
+
+std::string explain_design(const IntoOaOptimizer& optimizer,
+                           const circuit::Topology& topology,
+                           const sizing::EvalPoint& point,
+                           const circuit::Spec& spec,
+                           const ReportOptions& options) {
+  std::ostringstream out;
+  out << "# Design report: " << topology.to_string() << "\n\n";
+
+  // --- Performance vs. spec ---------------------------------------------
+  out << "## Performance (spec " << spec.name << ")\n\n";
+  out << "| metric | value | requirement | margin | met |\n";
+  out << "|---|---|---|---|---|\n";
+  const auto& margins = point.margins;
+  const auto row = [&](const std::string& metric, const std::string& value,
+                       const std::string& req, double margin) {
+    out << "| " << metric << " | " << value << " | " << req << " | "
+        << util::fmt(margin, 3) << " | " << (margin <= 0.0 ? "yes" : "NO")
+        << " |\n";
+  };
+  row("Gain", util::fmt_fixed(point.perf.gain_db, 2) + " dB",
+      ">= " + util::fmt(spec.gain_db_min, 3) + " dB", margins[0]);
+  row("GBW", util::fmt_fixed(point.perf.gbw_hz / 1e6, 3) + " MHz",
+      ">= " + util::fmt(spec.gbw_hz_min / 1e6, 3) + " MHz", margins[1]);
+  row("PM", util::fmt_fixed(point.perf.pm_deg, 2) + " deg",
+      ">= " + util::fmt(spec.pm_deg_min, 3) + " deg", margins[2]);
+  row("Power", util::fmt_fixed(point.perf.power_w / 1e-6, 2) + " uW",
+      "<= " + util::fmt(spec.power_w_max / 1e-6, 3) + " uW", margins[3]);
+  out << "\nFoM (Eq. 6): **" << util::fmt_fixed(point.fom, 2) << "**, "
+      << (point.feasible ? "all constraints met" : "constraints violated")
+      << ".\n\n";
+
+  // --- Per-subcircuit attributions ---------------------------------------
+  out << "## Subcircuit attributions (WL-GP gradients, Eq. 5)\n\n";
+  out << "Margins are lower-is-better; 'helps' means adding this structure "
+         "moves the metric toward the spec.\n\n";
+  const auto& names = circuit::Spec::constraint_names();
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    const auto& model = optimizer.constraint_model(m);
+    out << "### " << names[m] << " (model h = " << model.chosen_h() << ")\n\n";
+    bool any = false;
+    for (const auto& impact :
+         slot_impacts(model, topology, options.max_depth)) {
+      if (impact.depth == 0) continue;
+      out << "- `" << impact.structure
+          << "`: gradient " << util::fmt(impact.gradient, 3) << " ("
+          << direction_word(impact.gradient) << ")\n";
+      any = true;
+    }
+    if (!any) out << "- (no occupied variable slots)\n";
+    out << "\n";
+  }
+
+  // --- Globally strongest structures -------------------------------------
+  out << "## Strongest structures in the objective surrogate\n\n";
+  for (const auto& s : top_structures(optimizer.objective_model(),
+                                      options.top_k, options.max_depth)) {
+    out << "- `" << s.structure << "` (depth " << s.depth
+        << "): d(log10 FoM)/d(count) = " << util::fmt(s.gradient, 3) << "\n";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace intooa::core

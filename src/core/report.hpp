@@ -1,0 +1,32 @@
+#pragma once
+// Design-explanation reports: renders everything INTO-OA knows about one
+// design — performance vs. spec, per-subcircuit WL-GP gradient
+// attributions for every metric, and the strongest structures in the
+// surrogates' view — as a markdown document a designer can archive next to
+// the design (the deliverable form of the paper's interpretability story).
+
+#include <string>
+
+#include "circuit/spec.hpp"
+#include "circuit/topology.hpp"
+#include "core/optimizer.hpp"
+#include "sizing/evaluate.hpp"
+
+namespace intooa::core {
+
+/// Report options.
+struct ReportOptions {
+  int max_depth = 1;         ///< WL depth of the attributions shown
+  std::size_t top_k = 5;     ///< strongest structures per metric
+};
+
+/// Renders a markdown explanation of `topology` (with evaluation `point`
+/// against `spec`) using the trained per-metric models of `optimizer`.
+/// The optimizer must have completed a run().
+std::string explain_design(const IntoOaOptimizer& optimizer,
+                           const circuit::Topology& topology,
+                           const sizing::EvalPoint& point,
+                           const circuit::Spec& spec,
+                           const ReportOptions& options = {});
+
+}  // namespace intooa::core

@@ -1,0 +1,48 @@
+#include "gp/acquisition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace intooa::gp {
+
+namespace {
+constexpr double kVarFloor = 1e-18;
+}
+
+double expected_improvement(double mean, double variance, double best) {
+  if (variance < 0.0) {
+    throw std::invalid_argument("expected_improvement: negative variance");
+  }
+  const double improvement = mean - best;
+  if (variance <= kVarFloor) return improvement > 0.0 ? improvement : 0.0;
+  const double sigma = std::sqrt(variance);
+  const double z = improvement / sigma;
+  return improvement * util::normal_cdf(z) + sigma * util::normal_pdf(z);
+}
+
+double probability_feasible(double mean, double variance) {
+  if (variance < 0.0) {
+    throw std::invalid_argument("probability_feasible: negative variance");
+  }
+  if (variance <= kVarFloor) return mean <= 0.0 ? 1.0 : 0.0;
+  return util::normal_cdf(-mean / std::sqrt(variance));
+}
+
+double weighted_ei(const WeiInputs& in) {
+  if (in.constraint_means.size() != in.constraint_variances.size()) {
+    throw std::invalid_argument("weighted_ei: constraint span size mismatch");
+  }
+  double pf = 1.0;
+  for (std::size_t i = 0; i < in.constraint_means.size(); ++i) {
+    pf *= probability_feasible(in.constraint_means[i],
+                               in.constraint_variances[i]);
+  }
+  if (!in.have_feasible) return pf;
+  return expected_improvement(in.objective_mean, in.objective_variance,
+                              in.best_feasible) *
+         pf;
+}
+
+}  // namespace intooa::gp

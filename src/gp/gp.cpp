@@ -1,0 +1,144 @@
+#include "gp/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace intooa::gp {
+
+namespace {
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // log(2*pi)/2
+
+const std::vector<double>& lengthscale_grid() {
+  static const std::vector<double> grid = {0.05, 0.08, 0.13, 0.2, 0.33,
+                                           0.5,  0.8,  1.3,  2.0, 3.0};
+  return grid;
+}
+
+const std::vector<double>& noise_grid() {
+  static const std::vector<double> grid = {1e-8, 1e-6, 1e-4, 1e-3, 1e-2, 1e-1};
+  return grid;
+}
+}  // namespace
+
+double GpRegressor::kernel_value(std::span<const double> a,
+                                 std::span<const double> b,
+                                 double lengthscale) const {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("GpRegressor: dimension mismatch");
+  }
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-0.5 * d2 / (lengthscale * lengthscale));
+}
+
+void GpRegressor::fit(const std::vector<std::vector<double>>& inputs,
+                      std::span<const double> targets) {
+  if (inputs.size() != targets.size()) {
+    throw std::invalid_argument("GpRegressor::fit: size mismatch");
+  }
+  if (inputs.size() < 2) {
+    throw std::invalid_argument("GpRegressor::fit: need at least 2 points");
+  }
+  const std::size_t dim = inputs.front().size();
+  for (const auto& row : inputs) {
+    if (row.size() != dim) {
+      throw std::invalid_argument("GpRegressor::fit: ragged inputs");
+    }
+  }
+
+  inputs_ = inputs;
+  y_mean_ = util::mean(targets);
+  const double sd = util::stddev(targets);
+  y_scale_ = sd > 1e-12 ? sd : 1.0;
+
+  std::vector<double> y_std(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    y_std[i] = (targets[i] - y_mean_) / y_scale_;
+  }
+
+  const std::size_t n = inputs_.size();
+  double best_lml = -std::numeric_limits<double>::infinity();
+  GpHyper best;
+
+  for (double ls : lengthscale_grid()) {
+    // Base Gram matrix for this lengthscale (signal variance 1).
+    la::MatrixD base(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double k = kernel_value(inputs_[i], inputs_[j], ls);
+        base(i, j) = k;
+        base(j, i) = k;
+      }
+    }
+    for (double noise : noise_grid()) {
+      la::MatrixD gram = base;
+      for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise;
+      double lml;
+      try {
+        const la::Cholesky chol(gram);
+        const auto alpha = chol.solve(y_std);
+        double fit_term = 0.0;
+        for (std::size_t i = 0; i < n; ++i) fit_term += y_std[i] * alpha[i];
+        lml = -0.5 * fit_term - 0.5 * chol.log_det() -
+              kHalfLog2Pi * static_cast<double>(n);
+      } catch (const la::SingularMatrixError&) {
+        continue;
+      }
+      if (lml > best_lml) {
+        best_lml = lml;
+        best.lengthscale = ls;
+        best.noise_variance = noise;
+        best.signal_variance = 1.0;
+        best.log_marginal_likelihood = lml;
+      }
+    }
+  }
+  if (!std::isfinite(best_lml)) {
+    throw std::runtime_error("GpRegressor::fit: no viable hyperparameters");
+  }
+  hyper_ = best;
+
+  la::MatrixD gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = kernel_value(inputs_[i], inputs_[j], hyper_.lengthscale);
+      gram(i, j) = k;
+      gram(j, i) = k;
+    }
+    gram(i, i) += hyper_.noise_variance;
+  }
+  chol_ = std::make_unique<la::Cholesky>(gram);
+  alpha_ = chol_->solve(y_std);
+}
+
+Prediction GpRegressor::predict(std::span<const double> x) const {
+  if (!trained()) {
+    throw std::logic_error("GpRegressor::predict: model not trained");
+  }
+  const std::size_t n = inputs_.size();
+  std::vector<double> kvec(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kvec[i] = kernel_value(inputs_[i], x, hyper_.lengthscale);
+  }
+  double mean_std = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_std += kvec[i] * alpha_[i];
+
+  const auto v = chol_->solve_lower(kvec);
+  double quad = 0.0;
+  for (double vi : v) quad += vi * vi;
+  const double var_std = std::max(0.0, hyper_.signal_variance - quad);
+
+  Prediction out;
+  out.mean = mean_std * y_scale_ + y_mean_;
+  out.variance = var_std * y_scale_ * y_scale_;
+  return out;
+}
+
+}  // namespace intooa::gp

@@ -1,0 +1,70 @@
+#pragma once
+// Gaussian process regression over R^d with maximum-likelihood
+// hyperparameter selection — the surrogate of the continuous sizing BO
+// (Sec. II-B). Targets are standardized internally; predictions are
+// reported in original units.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
+
+namespace intooa::gp {
+
+/// Posterior prediction at one query point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< always >= 0 (clamped)
+};
+
+/// Hyperparameters selected by maximum likelihood.
+struct GpHyper {
+  double lengthscale = 0.5;
+  double signal_variance = 1.0;
+  double noise_variance = 1e-6;
+  double log_marginal_likelihood = 0.0;
+};
+
+/// GP regressor with an RBF kernel on [0,1]^d-normalized inputs.
+///
+/// Hyperparameters (lengthscale, noise) are chosen by exhaustive search
+/// over a log grid — robust and easily fast enough at sizing-BO data sizes
+/// (N <= 40). Signal variance is fixed at 1 because targets are
+/// standardized to unit variance.
+class GpRegressor {
+ public:
+  GpRegressor() = default;
+
+  /// Fits the model to `inputs` (N rows, equal dimension) and `targets`
+  /// (length N). Requires N >= 2 and non-degenerate targets are handled
+  /// (constant targets yield a flat posterior at that constant).
+  void fit(const std::vector<std::vector<double>>& inputs,
+           std::span<const double> targets);
+
+  /// True once fit() has succeeded.
+  bool trained() const { return chol_ != nullptr; }
+
+  /// Posterior mean/variance at `x` in original target units.
+  Prediction predict(std::span<const double> x) const;
+
+  /// Hyperparameters of the last fit.
+  const GpHyper& hyper() const { return hyper_; }
+
+  /// Number of training points.
+  std::size_t size() const { return inputs_.size(); }
+
+ private:
+  double kernel_value(std::span<const double> a, std::span<const double> b,
+                      double lengthscale) const;
+
+  std::vector<std::vector<double>> inputs_;
+  std::vector<double> alpha_;  // K^{-1} y (standardized)
+  std::unique_ptr<la::Cholesky> chol_;
+  GpHyper hyper_;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+};
+
+}  // namespace intooa::gp

@@ -1,0 +1,54 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+
+namespace intooa::gp {
+
+namespace {
+double squared_distance(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("Kernel: dimension mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void check_params(double lengthscale, double signal_variance) {
+  if (lengthscale <= 0.0) {
+    throw std::invalid_argument("Kernel: lengthscale must be positive");
+  }
+  if (signal_variance <= 0.0) {
+    throw std::invalid_argument("Kernel: signal variance must be positive");
+  }
+}
+}  // namespace
+
+RbfKernel::RbfKernel(double lengthscale, double signal_variance)
+    : lengthscale_(lengthscale), signal_variance_(signal_variance) {
+  check_params(lengthscale, signal_variance);
+}
+
+double RbfKernel::operator()(std::span<const double> x,
+                             std::span<const double> y) const {
+  const double d2 = squared_distance(x, y);
+  return signal_variance_ * std::exp(-0.5 * d2 / (lengthscale_ * lengthscale_));
+}
+
+Matern52Kernel::Matern52Kernel(double lengthscale, double signal_variance)
+    : lengthscale_(lengthscale), signal_variance_(signal_variance) {
+  check_params(lengthscale, signal_variance);
+}
+
+double Matern52Kernel::operator()(std::span<const double> x,
+                                  std::span<const double> y) const {
+  const double r = std::sqrt(squared_distance(x, y)) / lengthscale_;
+  const double sqrt5r = std::sqrt(5.0) * r;
+  return signal_variance_ * (1.0 + sqrt5r + 5.0 * r * r / 3.0) *
+         std::exp(-sqrt5r);
+}
+
+}  // namespace intooa::gp

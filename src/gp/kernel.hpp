@@ -1,0 +1,62 @@
+#pragma once
+// Covariance kernels for the continuous-space Gaussian process used by the
+// inner sizing loop (Sec. II-A: "an automated sizing method [1] based on
+// Bayesian Optimization finds the best sizing x* under performance
+// constraints"). Inputs are expected to be normalized to [0,1]^d by the
+// sizing layer, so a single isotropic lengthscale is adequate and cheap to
+// fit by maximum likelihood.
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace intooa::gp {
+
+/// Stationary covariance function interface over R^d.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance k(x, y). Both spans must have equal length.
+  virtual double operator()(std::span<const double> x,
+                            std::span<const double> y) const = 0;
+
+  /// Kernel family name for diagnostics.
+  virtual std::string name() const = 0;
+};
+
+/// Squared-exponential kernel sigma_f^2 exp(-||x-y||^2 / (2 l^2)).
+class RbfKernel final : public Kernel {
+ public:
+  RbfKernel(double lengthscale, double signal_variance);
+  double operator()(std::span<const double> x,
+                    std::span<const double> y) const override;
+  std::string name() const override { return "rbf"; }
+
+  double lengthscale() const { return lengthscale_; }
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  double lengthscale_;
+  double signal_variance_;
+};
+
+/// Matern-5/2 kernel; smoother fits than RBF when the sizing response has
+/// kinks (e.g. phase-margin cliffs near pole-zero crossovers).
+class Matern52Kernel final : public Kernel {
+ public:
+  Matern52Kernel(double lengthscale, double signal_variance);
+  double operator()(std::span<const double> x,
+                    std::span<const double> y) const override;
+  std::string name() const override { return "matern52"; }
+
+  double lengthscale() const { return lengthscale_; }
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  double lengthscale_;
+  double signal_variance_;
+};
+
+}  // namespace intooa::gp

@@ -1,0 +1,195 @@
+#include "gp/wlgp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace intooa::gp {
+
+namespace {
+constexpr double kHalfLog2Pi = 0.9189385332046727;
+
+// Signal-variance grid. Raw WL dot products of these circuit graphs are
+// O(10..100), so with unit-variance targets the prior scale sits well below
+// 1; the grid brackets that range generously.
+const std::vector<double>& signal_grid() {
+  static const std::vector<double> grid = {0.002, 0.005, 0.01, 0.03,
+                                           0.1,   0.3,   1.0};
+  return grid;
+}
+
+const std::vector<double>& noise_grid() {
+  static const std::vector<double> grid = {1e-6, 1e-4, 1e-3, 1e-2, 1e-1};
+  return grid;
+}
+}  // namespace
+
+WlGp::WlGp(std::shared_ptr<graph::WlFeaturizer> featurizer, WlGpConfig config)
+    : featurizer_(std::move(featurizer)), config_(config) {
+  if (!featurizer_) throw std::invalid_argument("WlGp: null featurizer");
+  if (config_.max_h > featurizer_->max_h()) {
+    throw std::invalid_argument("WlGp: config.max_h exceeds featurizer max_h");
+  }
+  if (!config_.fit_h &&
+      (config_.fixed_h < 0 || config_.fixed_h > config_.max_h)) {
+    throw std::invalid_argument("WlGp: fixed_h out of range");
+  }
+}
+
+graph::SparseVec WlGp::filtered(const graph::SparseVec& full, int h) const {
+  graph::SparseVec out;
+  for (const auto& [idx, val] : full.entries()) {
+    if (featurizer_->depth_of(idx) <= h) out.add(idx, val);
+  }
+  return out;
+}
+
+void WlGp::fit(const std::vector<graph::Graph>& graphs,
+               std::span<const double> targets) {
+  if (graphs.size() != targets.size()) {
+    throw std::invalid_argument("WlGp::fit: size mismatch");
+  }
+  if (graphs.size() < 2) {
+    throw std::invalid_argument("WlGp::fit: need at least 2 observations");
+  }
+
+  // Standardize targets.
+  y_mean_ = util::mean(targets);
+  const double sd = util::stddev(targets);
+  y_scale_ = sd > 1e-12 ? sd : 1.0;
+  std::vector<double> y_std(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    y_std[i] = (targets[i] - y_mean_) / y_scale_;
+  }
+
+  // Full-depth features once per graph; per-h features are depth filters.
+  const std::size_t n = graphs.size();
+  std::vector<graph::SparseVec> full(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    full[i] = featurizer_->features(graphs[i], config_.max_h);
+  }
+
+  const int h_lo = config_.fit_h ? 0 : config_.fixed_h;
+  const int h_hi = config_.fit_h ? config_.max_h : config_.fixed_h;
+
+  double best_lml = -std::numeric_limits<double>::infinity();
+  int best_h = h_lo;
+  double best_signal = signal_grid().front();
+  double best_noise = noise_grid().front();
+
+  for (int h = h_lo; h <= h_hi; ++h) {
+    std::vector<graph::SparseVec> feats(n);
+    for (std::size_t i = 0; i < n; ++i) feats[i] = filtered(full[i], h);
+    la::MatrixD base(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double k = graph::dot(feats[i], feats[j]);
+        base(i, j) = k;
+        base(j, i) = k;
+      }
+    }
+    for (double signal : signal_grid()) {
+      for (double noise : noise_grid()) {
+        la::MatrixD gram = base;
+        gram *= signal;
+        for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise;
+        double lml;
+        try {
+          const la::Cholesky chol(gram);
+          const auto alpha = chol.solve(y_std);
+          double fit_term = 0.0;
+          for (std::size_t i = 0; i < n; ++i) fit_term += y_std[i] * alpha[i];
+          lml = -0.5 * fit_term - 0.5 * chol.log_det() -
+                kHalfLog2Pi * static_cast<double>(n);
+        } catch (const la::SingularMatrixError&) {
+          continue;
+        }
+        if (lml > best_lml) {
+          best_lml = lml;
+          best_h = h;
+          best_signal = signal;
+          best_noise = noise;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best_lml)) {
+    throw std::runtime_error("WlGp::fit: no viable hyperparameters");
+  }
+
+  hyper_h_ = best_h;
+  hyper_signal_ = best_signal;
+  hyper_noise_ = best_noise;
+  hyper_lml_ = best_lml;
+
+  features_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) features_[i] = filtered(full[i], best_h);
+  la::MatrixD gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = hyper_signal_ * graph::dot(features_[i], features_[j]);
+      gram(i, j) = k;
+      gram(j, i) = k;
+    }
+    gram(i, i) += hyper_noise_;
+  }
+  chol_ = std::make_unique<la::Cholesky>(gram);
+  alpha_ = chol_->solve(y_std);
+}
+
+Prediction WlGp::predict(const graph::Graph& g) const {
+  if (!trained()) throw std::logic_error("WlGp::predict: model not trained");
+  return predict_from_features(featurizer_->features(g, config_.max_h));
+}
+
+Prediction WlGp::predict_from_features(const graph::SparseVec& full) const {
+  if (!trained()) throw std::logic_error("WlGp::predict: model not trained");
+  const graph::SparseVec phi = filtered(full, hyper_h_);
+  const std::size_t n = features_.size();
+  std::vector<double> kvec(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kvec[i] = hyper_signal_ * graph::dot(phi, features_[i]);
+  }
+  double mean_std = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_std += kvec[i] * alpha_[i];
+
+  const auto v = chol_->solve_lower(kvec);
+  double quad = 0.0;
+  for (double vi : v) quad += vi * vi;
+  const double self = hyper_signal_ * graph::dot(phi, phi);
+  const double var_std = std::max(0.0, self - quad);
+
+  Prediction out;
+  out.mean = mean_std * y_scale_ + y_mean_;
+  out.variance = var_std * y_scale_ * y_scale_;
+  return out;
+}
+
+std::vector<double> WlGp::mean_gradient() const {
+  if (!trained()) {
+    throw std::logic_error("WlGp::mean_gradient: model not trained");
+  }
+  std::vector<double> grad(featurizer_->label_count(), 0.0);
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    for (const auto& [idx, val] : features_[i].entries()) {
+      grad[idx] += alpha_[i] * val;
+    }
+  }
+  for (double& g : grad) g *= hyper_signal_ * y_scale_;
+  return grad;
+}
+
+double WlGp::mean_gradient(std::size_t feature_id) const {
+  if (!trained()) {
+    throw std::logic_error("WlGp::mean_gradient: model not trained");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    acc += alpha_[i] * features_[i].get(feature_id);
+  }
+  return acc * hyper_signal_ * y_scale_;
+}
+
+}  // namespace intooa::gp

@@ -1,0 +1,70 @@
+#pragma once
+// Labeled undirected graph — the circuit-graph representation of Sec. III-A.
+// Both circuit nodes (vin, v1, ...) and subcircuits (R, C, +gm, RCs, ...)
+// become graph nodes carrying a string label; connections become undirected
+// edges. Loops (feedback/feedforward cycles) are naturally representable,
+// which is the paper's first advantage over the DAGs of [16].
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace intooa::graph {
+
+/// Node identifier within one Graph.
+using NodeId = std::size_t;
+
+/// Undirected labeled graph with value semantics. Parallel edges are
+/// collapsed (the WL relabeling of [17] is defined on neighbor *sets* with
+/// multiplicity — we keep multiplicity by storing neighbor lists, but
+/// adding the same edge twice is idempotent). Self-loops are rejected: a
+/// subcircuit never connects a node to itself in this design space.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a node with the given label; returns its id (ids are dense,
+  /// starting at 0, in insertion order).
+  NodeId add_node(std::string label);
+
+  /// Adds an undirected edge between two existing nodes. Duplicate edges
+  /// are ignored; self-loops throw std::invalid_argument.
+  void add_edge(NodeId a, NodeId b);
+
+  std::size_t node_count() const { return labels_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Label of node `id` (bounds-checked).
+  const std::string& label(NodeId id) const;
+
+  /// Neighbor list of node `id`, sorted ascending (bounds-checked).
+  const std::vector<NodeId>& neighbors(NodeId id) const;
+
+  /// True if an edge {a, b} exists.
+  bool has_edge(NodeId a, NodeId b) const;
+
+  /// All labels indexed by node id.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// True when every node can reach node 0 (or the graph is empty). Valid
+  /// op-amp circuit graphs are connected; this check guards against
+  /// malformed topology encodings.
+  bool is_connected() const;
+
+  /// Human-readable adjacency dump used by examples and failure messages.
+  std::string to_string() const;
+
+  /// Structural equality: same labels in the same node order and the same
+  /// edge set. (Not isomorphism — circuit graphs are built deterministically
+  /// from topology vectors, so node order is canonical.)
+  bool operator==(const Graph&) const = default;
+
+ private:
+  void check(NodeId id) const;
+
+  std::vector<std::string> labels_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace intooa::graph

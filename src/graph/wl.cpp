@@ -1,0 +1,108 @@
+#include "graph/wl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace intooa::graph {
+
+WlFeaturizer::WlFeaturizer(int max_h) : max_h_(max_h) {
+  if (max_h < 0) throw std::invalid_argument("WlFeaturizer: max_h < 0");
+}
+
+std::size_t WlFeaturizer::intern(const std::string& signature, int depth,
+                                 std::string provenance) {
+  const auto [it, inserted] = ids_.try_emplace(signature, provenance_.size());
+  if (inserted) {
+    provenance_.push_back(std::move(provenance));
+    depth_.push_back(depth);
+  }
+  return it->second;
+}
+
+std::vector<std::vector<std::size_t>> WlFeaturizer::node_labels(const Graph& g,
+                                                                int h) {
+  if (h < 0 || h > max_h_) {
+    throw std::invalid_argument("WlFeaturizer::node_labels: h out of range");
+  }
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<std::size_t>> levels;
+  levels.reserve(static_cast<std::size_t>(h) + 1);
+
+  // Iteration 0: raw node labels.
+  std::vector<std::size_t> current(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::string& label = g.label(v);
+    current[v] = intern("0|" + label, 0, label);
+  }
+  levels.push_back(current);
+
+  // Iterations 1..h: neighborhood aggregation + label compression. The
+  // signature uses compressed integer ids (the "hash" of Fig. 4(c)); the
+  // provenance string keeps the readable rooted-subtree expansion.
+  std::vector<std::size_t> next(n);
+  for (int iter = 1; iter <= h; ++iter) {
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<std::size_t> neigh;
+      neigh.reserve(g.neighbors(v).size());
+      for (NodeId u : g.neighbors(v)) neigh.push_back(current[u]);
+      std::sort(neigh.begin(), neigh.end());
+
+      std::string signature =
+          std::to_string(iter) + "|" + std::to_string(current[v]) + "(";
+      std::string readable = provenance_[current[v]] + "{";
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        if (i) {
+          signature += ",";
+          readable += ",";
+        }
+        signature += std::to_string(neigh[i]);
+        readable += provenance_[neigh[i]];
+      }
+      signature += ")";
+      readable += "}";
+      next[v] = intern(signature, iter, std::move(readable));
+    }
+    current = next;
+    levels.push_back(current);
+  }
+  return levels;
+}
+
+SparseVec WlFeaturizer::features(const Graph& g, int h) {
+  SparseVec phi;
+  for (const auto& level : node_labels(g, h)) {
+    for (std::size_t id : level) phi.add(id, 1.0);
+  }
+  return phi;
+}
+
+int WlFeaturizer::depth_of(std::size_t id) const {
+  if (id >= depth_.size()) {
+    throw std::out_of_range("WlFeaturizer::depth_of: unknown label id");
+  }
+  return depth_[id];
+}
+
+const std::string& WlFeaturizer::provenance(std::size_t id) const {
+  if (id >= provenance_.size()) {
+    throw std::out_of_range("WlFeaturizer::provenance: unknown label id");
+  }
+  return provenance_[id];
+}
+
+double wl_kernel(WlFeaturizer& featurizer, const Graph& a, const Graph& b,
+                 int h) {
+  return dot(featurizer.features(a, h), featurizer.features(b, h));
+}
+
+double wl_kernel_normalized(WlFeaturizer& featurizer, const Graph& a,
+                            const Graph& b, int h) {
+  const SparseVec fa = featurizer.features(a, h);
+  const SparseVec fb = featurizer.features(b, h);
+  const double denom = fa.norm() * fb.norm();
+  if (denom == 0.0) return 0.0;
+  return dot(fa, fb) / denom;
+}
+
+}  // namespace intooa::graph

@@ -1,0 +1,95 @@
+#include "la/cholesky.hpp"
+
+namespace intooa::la {
+
+Cholesky::Cholesky(const MatrixD& a, double initial_jitter, int max_attempts) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) mean_diag += a(i, i);
+  mean_diag = a.rows() ? mean_diag / static_cast<double>(a.rows()) : 1.0;
+  if (mean_diag <= 0.0) mean_diag = 1.0;
+
+  if (try_factorize(a, 0.0)) {
+    jitter_ = 0.0;
+    return;
+  }
+  double jitter = initial_jitter * mean_diag;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (try_factorize(a, jitter)) {
+      jitter_ = jitter;
+      return;
+    }
+    jitter *= 10.0;
+  }
+  throw SingularMatrixError(
+      "Cholesky: matrix not positive definite even with jitter");
+}
+
+bool Cholesky::try_factorize(const MatrixD& a, double jitter) {
+  const std::size_t n = a.rows();
+  l_ = MatrixD(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / ljj;
+    }
+  }
+  return true;
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = order();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::solve: size mismatch");
+  std::vector<double> y = solve_lower(b);
+  // Back substitution: L^T x = y.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= l_(c, ri) * y[c];
+    y[ri] = acc / l_(ri, ri);
+  }
+  return y;
+}
+
+MatrixD Cholesky::solve(const MatrixD& b) const {
+  if (b.rows() != order()) {
+    throw std::invalid_argument("Cholesky::solve: row mismatch");
+  }
+  MatrixD x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const auto sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
+  const std::size_t n = order();
+  if (b.size() != n) {
+    throw std::invalid_argument("Cholesky::solve_lower: size mismatch");
+  }
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= l_(r, c) * y[c];
+    y[r] = acc / l_(r, r);
+  }
+  return y;
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < order(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace intooa::la

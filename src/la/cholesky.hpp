@@ -1,0 +1,60 @@
+#pragma once
+// Cholesky factorization for symmetric positive-definite systems — the
+// numerically right way to invert Gaussian process Gram matrices (Eqs. 3-4
+// of the paper). Includes adaptive diagonal jitter, the standard remedy for
+// Gram matrices that are PSD-but-nearly-singular (duplicate or
+// near-duplicate topologies produce identical WL feature rows).
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+
+namespace intooa::la {
+
+/// A = L L^T factorization of a symmetric positive-definite real matrix.
+class Cholesky {
+ public:
+  /// Factorizes `a`. If the bare factorization fails, retries with
+  /// geometrically increasing diagonal jitter starting at `initial_jitter`
+  /// times the mean diagonal, up to `max_attempts` times (capping the
+  /// jitter near 1e-2 of the diagonal scale so genuinely indefinite
+  /// matrices are rejected rather than masked); throws SingularMatrixError
+  /// if all attempts fail. The jitter actually applied is reported by
+  /// `jitter()`.
+  explicit Cholesky(const MatrixD& a, double initial_jitter = 1e-10,
+                    int max_attempts = 9);
+
+  std::size_t order() const { return l_.rows(); }
+
+  /// The diagonal jitter that was added to make the factorization succeed
+  /// (0 when none was needed).
+  double jitter() const { return jitter_; }
+
+  /// Solves A x = b via forward + back substitution.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A X = B column by column.
+  MatrixD solve(const MatrixD& b) const;
+
+  /// Solves L y = b (forward substitution only); used for GP variance
+  /// computations where v = L^{-1} k gives sigma^2 = k** - v^T v.
+  std::vector<double> solve_lower(std::span<const double> b) const;
+
+  /// log |A| = 2 sum_i log L_ii — needed by the GP marginal likelihood.
+  double log_det() const;
+
+  /// The lower-triangular factor.
+  const MatrixD& lower() const { return l_; }
+
+ private:
+  bool try_factorize(const MatrixD& a, double jitter);
+
+  MatrixD l_;
+  double jitter_ = 0.0;
+};
+
+}  // namespace intooa::la

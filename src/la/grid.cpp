@@ -1,0 +1,30 @@
+#include "la/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace intooa::la {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) return {};
+  if (n == 1) {
+    if (lo != hi) throw std::invalid_argument("linspace: n==1 with lo!=hi");
+    return {lo};
+  }
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0) {
+    throw std::invalid_argument("logspace: bounds must be positive");
+  }
+  auto exponents = linspace(std::log10(lo), std::log10(hi), n);
+  for (auto& e : exponents) e = std::pow(10.0, e);
+  return exponents;
+}
+
+}  // namespace intooa::la

@@ -1,0 +1,18 @@
+#pragma once
+// 1-D grid generators used for AC frequency sweeps (log-spaced) and
+// hyperparameter scans (linear).
+
+#include <cstddef>
+#include <vector>
+
+namespace intooa::la {
+
+/// `n` points from `lo` to `hi` inclusive, linearly spaced. n >= 2 required
+/// unless lo == hi (then any n >= 1 returns copies of lo).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// `n` points from `lo` to `hi` inclusive, logarithmically spaced; both
+/// bounds must be positive.
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+}  // namespace intooa::la

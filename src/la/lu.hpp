@@ -1,0 +1,139 @@
+#pragma once
+// LU factorization with partial pivoting for real and complex square
+// systems. This is the workhorse of the MNA AC solver: one factorization +
+// solve per frequency point. Orders are tiny (<= ~40), so an O(n^3) dense
+// factorization is the right tool.
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace intooa::la {
+
+/// Thrown when a pivot underflows: the circuit matrix is singular (e.g. a
+/// floating node in a malformed netlist) or the GP Gram matrix is rank
+/// deficient.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+inline double abs_of(double v) { return std::fabs(v); }
+inline double abs_of(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace detail
+
+/// PA = LU factorization of a square matrix with row partial pivoting.
+/// The factors are stored compactly in one matrix (unit-diagonal L below,
+/// U on and above the diagonal).
+template <Scalar T>
+class Lu {
+ public:
+  /// Factorizes `a`; throws SingularMatrixError when a pivot magnitude
+  /// falls below `pivot_tol` times the largest initial element.
+  explicit Lu(Matrix<T> a, double pivot_tol = 1e-13) : lu_(std::move(a)) {
+    if (lu_.rows() != lu_.cols()) {
+      throw std::invalid_argument("Lu: matrix must be square");
+    }
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    double scale = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        scale = std::max(scale, detail::abs_of(lu_(r, c)));
+      }
+    }
+    if (scale == 0.0) throw SingularMatrixError("Lu: zero matrix");
+    const double threshold = pivot_tol * scale;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Partial pivot: largest magnitude in column k at or below row k.
+      std::size_t pivot_row = k;
+      double pivot_mag = detail::abs_of(lu_(k, k));
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const double mag = detail::abs_of(lu_(r, k));
+        if (mag > pivot_mag) {
+          pivot_mag = mag;
+          pivot_row = r;
+        }
+      }
+      if (pivot_mag < threshold) {
+        throw SingularMatrixError("Lu: singular matrix (pivot " +
+                                  std::to_string(pivot_mag) + ")");
+      }
+      if (pivot_row != k) {
+        for (std::size_t c = 0; c < n; ++c) {
+          std::swap(lu_(k, c), lu_(pivot_row, c));
+        }
+        std::swap(perm_[k], perm_[pivot_row]);
+        parity_ = !parity_;
+      }
+      const T pivot = lu_(k, k);
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const T factor = lu_(r, k) / pivot;
+        lu_(r, k) = factor;
+        if (factor == T{}) continue;
+        for (std::size_t c = k + 1; c < n; ++c) {
+          lu_(r, c) -= factor * lu_(k, c);
+        }
+      }
+    }
+  }
+
+  std::size_t order() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  std::vector<T> solve(std::span<const T> b) const {
+    const std::size_t n = order();
+    if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
+    std::vector<T> x(n);
+    // Forward substitution with permutation applied: L y = P b.
+    for (std::size_t r = 0; r < n; ++r) {
+      T acc = b[perm_[r]];
+      for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+      x[r] = acc;
+    }
+    // Back substitution: U x = y.
+    for (std::size_t ri = n; ri-- > 0;) {
+      T acc = x[ri];
+      for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+      x[ri] = acc / lu_(ri, ri);
+    }
+    return x;
+  }
+
+  /// Solves A X = B column by column.
+  Matrix<T> solve(const Matrix<T>& b) const {
+    if (b.rows() != order()) {
+      throw std::invalid_argument("Lu::solve: row mismatch");
+    }
+    Matrix<T> x(b.rows(), b.cols());
+    std::vector<T> col(b.rows());
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+      const auto sol = solve(col);
+      for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+    }
+    return x;
+  }
+
+  /// Determinant (product of U's diagonal, sign from the permutation).
+  T determinant() const {
+    T det = parity_ ? T{-1} : T{1};
+    for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
+    return det;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  bool parity_ = false;  // true when an odd number of row swaps occurred
+};
+
+}  // namespace intooa::la

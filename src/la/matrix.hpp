@@ -1,0 +1,176 @@
+#pragma once
+// Dense row-major matrix template used by both numerical substrates of the
+// project: the complex-valued Modified Nodal Analysis solver (T =
+// std::complex<double>) and the Gaussian process layer (T = double). The
+// matrices involved are small (MNA systems of order <= ~40, GP Gram
+// matrices of order <= ~70), so a straightforward cache-friendly dense
+// implementation beats anything fancier.
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace intooa::la {
+
+/// Scalar concept: the element types this library supports.
+template <typename T>
+concept Scalar = std::is_same_v<T, double> || std::is_same_v<T, std::complex<double>>;
+
+/// Dense row-major matrix with value semantics.
+template <Scalar T>
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, T fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construction from nested initializer lists; all rows must have equal
+  /// length.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_) {
+        throw std::invalid_argument("Matrix: ragged initializer list");
+      }
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access.
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access.
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Row view (contiguous in row-major storage).
+  std::span<T> row(std::size_t r) {
+    return std::span<T>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const T> row(std::size_t r) const {
+    return std::span<const T>(data_.data() + r * cols_, cols_);
+  }
+
+  /// Raw storage access for tests and serialization.
+  std::span<const T> data() const { return data_; }
+
+  /// Sets every element to zero, keeping the shape.
+  void set_zero() { data_.assign(data_.size(), T{}); }
+
+  /// Matrix-vector product. Requires x.size() == cols().
+  std::vector<T> matvec(std::span<const T> x) const {
+    if (x.size() != cols_) throw std::invalid_argument("matvec: size mismatch");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      T acc{};
+      const T* rowp = data_.data() + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) acc += rowp[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+  /// Matrix-matrix product (ikj loop order for locality).
+  Matrix matmul(const Matrix& other) const {
+    if (cols_ != other.rows_) {
+      throw std::invalid_argument("matmul: inner dimension mismatch");
+    }
+    Matrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const T aik = (*this)(i, k);
+        if (aik == T{}) continue;
+        const T* brow = other.data_.data() + k * other.cols_;
+        T* orow = out.data_.data() + i * other.cols_;
+        for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+      }
+    }
+    return out;
+  }
+
+  /// Transpose copy.
+  Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    }
+    return out;
+  }
+
+  /// Element-wise sum; shapes must match.
+  Matrix& operator+=(const Matrix& other) {
+    if (rows_ != other.rows_ || cols_ != other.cols_) {
+      throw std::invalid_argument("Matrix+=: shape mismatch");
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+  }
+
+  /// Scales every element.
+  Matrix& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw std::out_of_range("Matrix::at: index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixC = Matrix<std::complex<double>>;
+
+/// Dot product of two equal-length vectors.
+template <Scalar T>
+T dot(std::span<const T> a, std::span<const T> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace intooa::la

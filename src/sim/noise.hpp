@@ -1,0 +1,47 @@
+#pragma once
+// Small-signal noise analysis (the .NOISE analysis of the Hspice
+// stand-in). Every resistor contributes thermal current noise 4kT/R and
+// every transconductor channel noise 4*k*T*gamma*gm; each source's
+// current PSD is propagated to the output through the transimpedance
+// obtained from the adjoint-free solve_current() of the MNA solver.
+// Output-referred and input-referred spectra plus the integrated RMS
+// output noise are reported.
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace intooa::sim {
+
+/// Noise-analysis options.
+struct NoiseOptions {
+  double f_lo_hz = 1.0;
+  double f_hi_hz = 1e8;
+  std::size_t points_per_decade = 10;
+  double temperature_k = 300.0;
+  /// Channel-noise excess factor gamma (long-channel theory: 2/3; short
+  /// channels run hotter).
+  double gm_noise_gamma = 0.7;
+};
+
+/// Result of a noise sweep.
+struct NoiseResult {
+  std::vector<double> freqs_hz;
+  std::vector<double> output_psd;  ///< V^2/Hz at the output node
+  std::vector<double> input_psd;   ///< V^2/Hz referred to the input source
+                                   ///< (0 where the gain is ~0 or no source)
+  double integrated_output_v2 = 0.0;  ///< integral of output_psd over the band
+  double rms_output_v = 0.0;          ///< sqrt of the integral
+};
+
+/// Output noise PSD [V^2/Hz] at node `out` and frequency `freq_hz`.
+double output_noise_psd(const circuit::Netlist& netlist, const std::string& out,
+                        double freq_hz, const NoiseOptions& options = {});
+
+/// Full noise sweep of node `out`. Input referral uses the netlist's
+/// independent voltage source(s) as the input.
+NoiseResult run_noise(const circuit::Netlist& netlist, const std::string& out,
+                      const NoiseOptions& options = {});
+
+}  // namespace intooa::sim

@@ -1,0 +1,107 @@
+#include "sim/transient.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/lu.hpp"
+#include "sim/mna.hpp"
+
+namespace intooa::sim {
+
+double Waveform::final_value() const {
+  return value.empty() ? 0.0 : value.back();
+}
+
+Waveform run_transient(const circuit::Netlist& netlist, const std::string& out,
+                       const TransientOptions& options) {
+  const auto out_node = netlist.find_node(out);
+  if (!out_node) {
+    throw std::invalid_argument("run_transient: unknown output node " + out);
+  }
+  if (!(options.dt > 0.0) || !(options.t_stop > options.dt)) {
+    throw std::invalid_argument("run_transient: bad time options");
+  }
+
+  const AcSolver stamps(netlist);
+  const la::MatrixD& g = stamps.conductance();
+  const la::MatrixD& c = stamps.capacitance();
+  const std::size_t n = stamps.order();
+
+  // Trapezoidal rule on C x' + G x = b(t):
+  //   (2C/dt + G) x_{k+1} = (2C/dt - G) x_k + b_k + b_{k+1}.
+  la::MatrixD lhs(n, n), rhs_mat(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double cc = 2.0 * c(i, j) / options.dt;
+      lhs(i, j) = cc + g(i, j);
+      rhs_mat(i, j) = cc - g(i, j);
+    }
+  }
+  const la::Lu<double> lu(lhs);
+
+  // Step input: sources at full amplitude for every t > 0. The RHS vector
+  // of the AC assembly holds exactly the source amplitudes.
+  std::vector<double> b(n, 0.0);
+  {
+    // Reconstruct the source vector from the netlist (node rows carry no
+    // independent sources in this element set).
+    const std::size_t nv = netlist.node_count() - 1;
+    const auto& sources = netlist.vsources();
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      b[nv + k] = sources[k].amplitude;
+    }
+  }
+
+  const auto steps = static_cast<std::size_t>(options.t_stop / options.dt);
+  std::vector<double> x(n, 0.0);  // rest: caps discharged, sources at 0
+  Waveform wave;
+  wave.time.reserve(steps + 1);
+  wave.value.reserve(steps + 1);
+  wave.time.push_back(0.0);
+  wave.value.push_back(0.0);
+
+  std::vector<double> rhs(n);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const auto cx = rhs_mat.matvec(x);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = cx[i] + 2.0 * b[i];
+    x = lu.solve(rhs);
+    wave.time.push_back(static_cast<double>(k) * options.dt);
+    wave.value.push_back(*out_node == 0 ? 0.0 : x[*out_node - 1]);
+  }
+  return wave;
+}
+
+StepMetrics step_metrics(const Waveform& waveform, double tolerance) {
+  StepMetrics metrics;
+  if (waveform.value.size() < 2) return metrics;
+  // A diverged (unstable) response: report "never settled" rather than
+  // nonsense derived from NaN/overflowed samples. 1e9 is far beyond any
+  // physical small-signal excursion of these 1-V-scale steps.
+  for (double v : waveform.value) {
+    if (!std::isfinite(v) || std::fabs(v) > 1e9) {
+      metrics.settled = false;
+      metrics.settling_time_s = waveform.time.back();
+      metrics.overshoot = std::numeric_limits<double>::infinity();
+      return metrics;
+    }
+  }
+  const double final = waveform.final_value();
+  const double scale = std::fabs(final) > 1e-12 ? std::fabs(final) : 1.0;
+
+  double peak = waveform.value.front();
+  std::size_t last_outside = 0;
+  for (std::size_t i = 0; i < waveform.value.size(); ++i) {
+    peak = std::max(peak, waveform.value[i]);
+    if (std::fabs(waveform.value[i] - final) > tolerance * scale) {
+      last_outside = i;
+    }
+  }
+  metrics.overshoot = std::max(0.0, (peak - final) / scale);
+  metrics.settled = last_outside + 1 < waveform.value.size();
+  metrics.settling_time_s =
+      metrics.settled ? waveform.time[last_outside + 1] : waveform.time.back();
+  return metrics;
+}
+
+}  // namespace intooa::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Transient (time-domain) simulation of the linear MNA system with the
+// trapezoidal rule — the .TRAN analysis of the Hspice stand-in. Primary
+// use: closed-loop step responses of synthesized op-amps (unity-gain
+// follower), yielding settling time and overshoot, the time-domain
+// counterparts of the phase-margin constraint.
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace intooa::sim {
+
+/// Transient run options. The independent voltage sources step from 0 to
+/// their amplitude at t = 0 (initial condition: all states at rest).
+struct TransientOptions {
+  double t_stop = 1e-5;   ///< end time [s]
+  double dt = 1e-9;       ///< fixed trapezoidal step [s]
+};
+
+/// Sampled waveform of one node.
+struct Waveform {
+  std::vector<double> time;
+  std::vector<double> value;
+
+  /// Value at the last sample.
+  double final_value() const;
+};
+
+/// Runs the transient analysis and returns node `out`'s waveform.
+/// Throws std::invalid_argument for unknown nodes/bad options and
+/// la::SingularMatrixError for structurally singular systems.
+Waveform run_transient(const circuit::Netlist& netlist, const std::string& out,
+                       const TransientOptions& options = {});
+
+/// Step-response metrics relative to the response's own final value.
+struct StepMetrics {
+  double settling_time_s = 0.0;  ///< last excursion outside the tolerance band
+  double overshoot = 0.0;        ///< (peak - final) / |final|, >= 0
+  bool settled = false;          ///< response entered and stayed in the band
+};
+
+/// Computes settling (to within `tolerance` of the final value, e.g. 0.01
+/// for 1%) and overshoot of a step-response waveform.
+StepMetrics step_metrics(const Waveform& waveform, double tolerance = 0.01);
+
+}  // namespace intooa::sim

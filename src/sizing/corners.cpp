@@ -1,0 +1,61 @@
+#include "sizing/corners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace intooa::sizing {
+
+circuit::BehavioralConfig Corner::apply(
+    const circuit::BehavioralConfig& typical) const {
+  circuit::BehavioralConfig out = typical;
+  out.stage_intrinsic_gain *= intrinsic_gain_scale;
+  out.stage_ft_hz *= ft_scale;
+  out.gm_over_id *= gm_over_id_scale;
+  out.stage_c0 *= c0_scale;
+  return out;
+}
+
+const std::vector<Corner>& standard_corners() {
+  static const std::vector<Corner> corners = {
+      //        name      A0    fT    gm/Id  C0
+      Corner{"typ", 1.0, 1.0, 1.0, 1.0},
+      Corner{"fast", 1.2, 1.2, 1.1, 0.8},
+      Corner{"slow", 0.8, 0.8, 0.9, 1.2},
+      Corner{"lowgain", 0.8, 1.0, 1.0, 1.0},
+      Corner{"hicap", 1.0, 0.8, 1.0, 1.2},
+  };
+  return corners;
+}
+
+CornerSweep evaluate_corners(const circuit::Topology& topology,
+                             std::span<const double> values,
+                             const EvalContext& typical,
+                             const std::vector<Corner>& corners) {
+  CornerSweep sweep;
+  sweep.all_feasible = !corners.empty();
+  sweep.min_fom = std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    EvalContext ctx = typical;
+    ctx.behavioral = corners[i].apply(typical.behavioral);
+    // The corner never changes the load the spec demands.
+    ctx.behavioral.load_cap = typical.spec.load_cap;
+
+    CornerResult result;
+    result.corner = corners[i];
+    result.point = evaluate_sized(topology, values, ctx);
+    sweep.all_feasible = sweep.all_feasible && result.point.feasible;
+    sweep.min_fom = std::min(sweep.min_fom, result.point.fom);
+    const double violation = result.point.violation();
+    if (violation > sweep.worst_violation || i == 0) {
+      sweep.worst_violation = violation;
+      sweep.worst_index = i;
+    }
+    sweep.results.push_back(std::move(result));
+  }
+  if (!std::isfinite(sweep.min_fom)) sweep.min_fom = 0.0;
+  return sweep;
+}
+
+}  // namespace intooa::sizing

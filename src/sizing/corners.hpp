@@ -1,0 +1,63 @@
+#pragma once
+// Process-corner / variation analysis for behavioral designs. Real analog
+// flows never sign off on a single typical point: the behavioral model
+// constants (per-stage intrinsic gain, stage fT, bias efficiency) shift
+// with process and temperature, and a synthesized topology is only
+// trustworthy if it meets the spec across those shifts. This module
+// defines multiplicative corners over BehavioralConfig and evaluates a
+// sized design at each, reporting per-corner performance and worst-case
+// margins — the variation-awareness that e.g. McConaghy et al.'s
+// synthesis line [9] argues is essential for trustworthy topologies.
+
+#include <string>
+#include <vector>
+
+#include "sizing/evaluate.hpp"
+
+namespace intooa::sizing {
+
+/// One process corner: multiplicative perturbations of the behavioral
+/// model constants (1.0 = typical).
+struct Corner {
+  std::string name;
+  double intrinsic_gain_scale = 1.0;  ///< per-stage A0
+  double ft_scale = 1.0;              ///< stage transition frequency
+  double gm_over_id_scale = 1.0;      ///< bias efficiency (power shifts)
+  double c0_scale = 1.0;              ///< fixed parasitic capacitance
+
+  /// Applies the corner to a typical configuration.
+  circuit::BehavioralConfig apply(
+      const circuit::BehavioralConfig& typical) const;
+};
+
+/// A standard five-corner set: typical, fast (strong devices, light
+/// parasitics), slow (weak devices, heavy parasitics), low-gain and
+/// high-parasitic corners. Spreads are +-20% (gain/fT/C0) and +-10%
+/// (gm/Id), representative of inter-die process spread.
+const std::vector<Corner>& standard_corners();
+
+/// Performance of one design at one corner.
+struct CornerResult {
+  Corner corner;
+  EvalPoint point;
+};
+
+/// Corner-sweep summary.
+struct CornerSweep {
+  std::vector<CornerResult> results;
+  std::size_t worst_index = 0;  ///< corner with the largest spec violation
+  bool all_feasible = false;    ///< design meets the spec at every corner
+  double worst_violation = 0.0;
+  double min_fom = 0.0;  ///< smallest FoM across corners (0 if any invalid)
+};
+
+/// Evaluates (topology, values) against the context's spec at every corner
+/// (the designer's component values are held fixed; corners shift only the
+/// model constants). Costs corners.size() simulations.
+CornerSweep evaluate_corners(const circuit::Topology& topology,
+                             std::span<const double> values,
+                             const EvalContext& typical,
+                             const std::vector<Corner>& corners =
+                                 standard_corners());
+
+}  // namespace intooa::sizing

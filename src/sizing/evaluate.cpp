@@ -1,0 +1,50 @@
+#include "sizing/evaluate.hpp"
+
+#include <cmath>
+
+namespace intooa::sizing {
+
+double EvalPoint::objective() const {
+  return std::log10(std::max(fom, 1e-6));
+}
+
+double EvalPoint::violation() const {
+  double acc = 0.0;
+  for (double m : margins) acc += std::max(0.0, m);
+  return acc;
+}
+
+EvalContext::EvalContext(const circuit::Spec& s, circuit::BehavioralConfig b,
+                         sim::AcOptions a)
+    : spec(s), behavioral(b), ac(a) {
+  behavioral.load_cap = spec.load_cap;
+}
+
+EvalPoint evaluate_sized(const circuit::Topology& topology,
+                         std::span<const double> values,
+                         const EvalContext& ctx) {
+  EvalPoint point;
+  circuit::Netlist net;
+  try {
+    net = circuit::build_behavioral(topology, values, ctx.behavioral);
+  } catch (const std::invalid_argument&) {
+    // Malformed parameters: report as maximally infeasible rather than
+    // aborting a whole optimization campaign.
+    point.perf.failure = "netlist construction failed";
+    point.margins.fill(10.0);
+    return point;
+  }
+  point.perf = sim::evaluate_opamp(net, ctx.behavioral.vdd, "vout", ctx.ac);
+  point.fom = circuit::fom(point.perf, ctx.spec.load_cap);
+  point.margins = ctx.spec.margins(point.perf);
+  point.feasible = ctx.spec.satisfied(point.perf);
+  return point;
+}
+
+bool better_than(const EvalPoint& point, const EvalPoint& incumbent) {
+  if (point.feasible != incumbent.feasible) return point.feasible;
+  if (point.feasible) return point.fom > incumbent.fom;
+  return point.violation() < incumbent.violation();
+}
+
+}  // namespace intooa::sizing

@@ -1,0 +1,57 @@
+#pragma once
+// One sized-circuit evaluation: the unit of cost in every experiment
+// (Table II's "# Sim." counts exactly these). Bundles simulation, FoM and
+// normalized constraint margins for one (topology, parameter vector) pair.
+
+#include <array>
+#include <span>
+
+#include "circuit/behavioral.hpp"
+#include "circuit/spec.hpp"
+#include "circuit/topology.hpp"
+#include "sim/metrics.hpp"
+
+namespace intooa::sizing {
+
+/// Result of simulating one sized design against a Spec.
+struct EvalPoint {
+  circuit::Performance perf;
+  double fom = 0.0;  ///< Eq. 6, 0 when invalid
+  std::array<double, circuit::Spec::kConstraintCount> margins{};
+  bool feasible = false;
+
+  /// Scalar BO objective: log10(FoM) clamped from below. Log-domain keeps
+  /// the GP target well-scaled across the orders of magnitude FoM spans.
+  double objective() const;
+
+  /// Sum of positive margins (0 when feasible).
+  double violation() const;
+};
+
+/// Simulation + scoring options shared by the sizing loop and every
+/// experiment harness.
+struct EvalContext {
+  circuit::Spec spec;
+  circuit::BehavioralConfig behavioral;
+  sim::AcOptions ac;
+
+  /// Constructs a context whose behavioral load capacitor is taken from
+  /// the spec (the paper varies C_L per specification set).
+  explicit EvalContext(const circuit::Spec& s,
+                       circuit::BehavioralConfig b = {},
+                       sim::AcOptions a = {});
+};
+
+/// Builds the behavioral netlist for (topology, values) and evaluates it.
+/// Never throws on circuit pathologies: structural failures come back as
+/// an infeasible EvalPoint with perf.valid == false.
+EvalPoint evaluate_sized(const circuit::Topology& topology,
+                         std::span<const double> values,
+                         const EvalContext& ctx);
+
+/// True when `point` is better than `incumbent` under the constrained
+/// ranking: any feasible beats any infeasible; feasible points compare by
+/// FoM; infeasible points compare by (lower) violation.
+bool better_than(const EvalPoint& point, const EvalPoint& incumbent);
+
+}  // namespace intooa::sizing

@@ -1,0 +1,75 @@
+#pragma once
+// Continuous sizing Bayesian optimization (the inner loop of Eq. 1): for a
+// fixed topology, find parameter values maximizing FoM under the Spec's
+// constraints. Follows the paper's protocol — 10 random initial points and
+// 30 BO iterations with the wEI acquisition [1] — for a fixed budget of 40
+// simulations per topology.
+//
+// Also provides `resize_subset`, the restricted sizing used by topology
+// refinement (Sec. III-C): only the parameters of the modified subcircuit
+// vary, all other component values stay at their trusted-design values.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/behavioral.hpp"
+#include "circuit/spec.hpp"
+#include "circuit/topology.hpp"
+#include "sizing/evaluate.hpp"
+#include "util/rng.hpp"
+
+namespace intooa::sizing {
+
+/// Sizing-loop configuration (defaults = paper protocol).
+struct SizingConfig {
+  std::size_t init_points = 10;
+  std::size_t iterations = 30;
+  std::size_t candidates = 256;   ///< acquisition pool per iteration
+  int refit_hyper_every = 4;      ///< full MLE refit period (1 = every iter)
+};
+
+/// Outcome of sizing one topology.
+struct SizedResult {
+  circuit::Topology topology;
+  std::vector<double> best_values;  ///< physical units, schema order
+  EvalPoint best;                   ///< evaluation of best_values
+  std::size_t simulations = 0;      ///< simulator calls consumed
+
+  /// Per-simulation history, in evaluation order (length == simulations);
+  /// used to build the Fig. 5 best-FoM-vs-#sim curves.
+  std::vector<EvalPoint> history;
+};
+
+/// GP-based sizing optimizer for one Spec.
+class Sizer {
+ public:
+  Sizer(EvalContext context, SizingConfig config = {});
+
+  /// Runs the 10+30 wEI BO on all parameters of `topology`.
+  SizedResult size(const circuit::Topology& topology, util::Rng& rng) const;
+
+  /// Restricted sizing: parameters at indices `free_indices` (within the
+  /// topology's schema) are optimized; the rest stay at `base_values`.
+  /// `base_values` must match the schema. Budget = init_points+iterations
+  /// unless overridden by `budget` (> 0).
+  SizedResult resize_subset(const circuit::Topology& topology,
+                            std::span<const double> base_values,
+                            std::span<const std::size_t> free_indices,
+                            util::Rng& rng, std::size_t budget = 0) const;
+
+  const EvalContext& context() const { return context_; }
+  const SizingConfig& config() const { return config_; }
+
+ private:
+  SizedResult optimize(const circuit::Topology& topology,
+                       const circuit::ParamSchema& schema,
+                       std::span<const double> base_unit,
+                       std::span<const std::size_t> free_indices,
+                       std::size_t init_points, std::size_t iterations,
+                       util::Rng& rng) const;
+
+  EvalContext context_;
+  SizingConfig config_;
+};
+
+}  // namespace intooa::sizing

@@ -1,0 +1,58 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace intooa::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string key = arg.substr(2);
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is itself a flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: flag --" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: flag --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+}  // namespace intooa::util

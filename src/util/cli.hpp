@@ -1,0 +1,42 @@
+#pragma once
+// Tiny command-line flag parser shared by the bench binaries and examples.
+// Supports "--key value", "--key=value" and boolean "--flag" forms; anything
+// else is collected as a positional argument.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace intooa::util {
+
+/// Parsed command line. Unknown flags are accepted (the benches share a
+/// common option set but each uses only a subset).
+class Cli {
+ public:
+  /// Parses argv (argv[0] is skipped). Throws std::invalid_argument on a
+  /// trailing "--key" with no value when the next token is another flag —
+  /// such keys are treated as boolean instead, so parsing never fails.
+  Cli(int argc, const char* const* argv);
+
+  /// True if the flag was present (with or without a value).
+  bool has(const std::string& key) const;
+
+  /// String value of the flag, or `fallback` when absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Integer value of the flag, or `fallback` when absent.
+  long get_int(const std::string& key, long fallback) const;
+
+  /// Double value of the flag, or `fallback` when absent.
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace intooa::util

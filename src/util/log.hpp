@@ -1,0 +1,27 @@
+#pragma once
+// Minimal leveled logging for long-running optimization campaigns. The
+// benches raise the level to Info so users can watch run/iteration progress;
+// tests leave it at Warn to keep output clean.
+
+#include <string>
+
+namespace intooa::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Emits `message` to stderr with a level tag if `level` passes the filter.
+void log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace intooa::util

@@ -1,0 +1,61 @@
+#pragma once
+// Small statistics helpers used by the experiment harnesses (averaging
+// optimization curves over runs, success-rate tables) and by the Gaussian
+// process code (standardizing targets).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace intooa::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation (n-1 denominator); returns 0 when
+/// fewer than two samples are present.
+double stddev(std::span<const double> xs);
+
+/// Population variance (n denominator); returns 0 for an empty span.
+double variance(std::span<const double> xs);
+
+/// Median via partial sort of a copy.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+/// Index of the maximum element; requires a non-empty span.
+std::size_t argmax(std::span<const double> xs);
+
+/// Index of the minimum element; requires a non-empty span.
+std::size_t argmin(std::span<const double> xs);
+
+/// Element-wise running maximum: out[i] = max(xs[0..i]). Used to turn raw
+/// per-iteration FoM traces into the monotone "best so far" curves of Fig. 5.
+std::vector<double> running_max(std::span<const double> xs);
+
+/// Standard normal probability density.
+double normal_pdf(double z);
+
+/// Standard normal cumulative distribution (via erfc for accuracy in the
+/// tails, which matters for expected-improvement at well-explored points).
+double normal_cdf(double z);
+
+/// Pearson correlation of two equal-length samples; returns 0 if either
+/// sample is degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary of a sample used by table printers.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes count/mean/stddev/min/max in one pass.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace intooa::util

@@ -1,0 +1,110 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace intooa::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&]() {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  return out + "\"";
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << csv_escape(headers_[c]);
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << csv_escape(row[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  file << to_csv();
+  if (!file) throw std::runtime_error("Table::write_csv: write failed " + path);
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_speedup(double ratio) { return fmt_fixed(ratio, 2) + "x"; }
+
+std::string fmt_rate(int successes, int total) {
+  return std::to_string(successes) + "/" + std::to_string(total);
+}
+
+std::string fmt_si(double value, int decimals) {
+  if (value == 0.0) return fmt_fixed(0.0, decimals);
+  static constexpr const char* kPrefixes[] = {"f", "p", "n", "u", "m", "",
+                                              "k", "M", "G", "T"};
+  const double mag = std::fabs(value);
+  int idx = static_cast<int>(std::floor(std::log10(mag) / 3.0)) + 5;
+  idx = std::clamp(idx, 0, 9);
+  const double scaled = value / std::pow(10.0, 3.0 * (idx - 5));
+  return fmt_fixed(scaled, decimals) + kPrefixes[idx];
+}
+
+}  // namespace intooa::util

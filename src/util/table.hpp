@@ -1,0 +1,57 @@
+#pragma once
+// ASCII table and CSV emitters used by the benchmark harnesses to print
+// rows in the same layout as the paper's tables, and to dump Fig. 5-style
+// curve data for external plotting.
+
+#include <string>
+#include <vector>
+
+namespace intooa::util {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII
+/// table (for terminal output) or CSV (for plotting scripts).
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row is padded with empty cells or truncated to the
+  /// header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders an aligned, boxed ASCII table.
+  std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (paper tables use 2-5).
+std::string fmt(double value, int digits = 4);
+
+/// Formats a double in fixed notation with `decimals` digits after the
+/// point (e.g. success rates, phase margins).
+std::string fmt_fixed(double value, int decimals = 2);
+
+/// Formats a ratio as the paper prints speedups, e.g. "14.33x".
+std::string fmt_speedup(double ratio);
+
+/// Formats "k/n" success-rate cells.
+std::string fmt_rate(int successes, int total);
+
+/// Engineering-notation formatting with SI prefix (e.g. 4.7e-12 -> "4.70p"),
+/// used when printing netlists and sized component values.
+std::string fmt_si(double value, int decimals = 2);
+
+}  // namespace intooa::util

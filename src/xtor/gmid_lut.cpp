@@ -1,0 +1,61 @@
+#include "xtor/gmid_lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/grid.hpp"
+
+namespace intooa::xtor {
+
+GmIdLut::GmIdLut(const TechParams& tech, std::size_t points, double ic_min,
+                 double ic_max)
+    : tech_(tech) {
+  if (points < 2) throw std::invalid_argument("GmIdLut: need >= 2 points");
+  if (!(ic_min > 0.0) || !(ic_max > ic_min)) {
+    throw std::invalid_argument("GmIdLut: bad ic range");
+  }
+  ic_grid_ = la::logspace(ic_min, ic_max, points);
+  gmid_grid_.reserve(points);
+  for (double ic : ic_grid_) {
+    gmid_grid_.push_back(gm_over_id_of_ic(ic, tech_));
+  }
+}
+
+double GmIdLut::gm_over_id(double ic) const {
+  if (ic <= ic_grid_.front()) return gmid_grid_.front();
+  if (ic >= ic_grid_.back()) return gmid_grid_.back();
+  const auto it = std::upper_bound(ic_grid_.begin(), ic_grid_.end(), ic);
+  const std::size_t hi = static_cast<std::size_t>(it - ic_grid_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (std::log(ic) - std::log(ic_grid_[lo])) /
+                   (std::log(ic_grid_[hi]) - std::log(ic_grid_[lo]));
+  return gmid_grid_[lo] + t * (gmid_grid_[hi] - gmid_grid_[lo]);
+}
+
+double GmIdLut::ic(double gm_over_id) const {
+  // gmid_grid_ is strictly decreasing in IC.
+  if (gm_over_id > gmid_grid_.front() || gm_over_id < gmid_grid_.back()) {
+    throw std::invalid_argument("GmIdLut::ic: gm/Id outside tabulated range");
+  }
+  // Binary search on the descending table.
+  std::size_t lo = 0, hi = gmid_grid_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (gmid_grid_[mid] >= gm_over_id) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t =
+      (gmid_grid_[lo] - gm_over_id) / (gmid_grid_[lo] - gmid_grid_[hi]);
+  return std::exp(std::log(ic_grid_[lo]) +
+                  t * (std::log(ic_grid_[hi]) - std::log(ic_grid_[lo])));
+}
+
+double GmIdLut::current_density(double ic) const {
+  return tech_.specific_current() * ic;
+}
+
+}  // namespace intooa::xtor

@@ -1,0 +1,44 @@
+#pragma once
+// gm/Id lookup tables: the tabulated-characteristic interface through
+// which the mapping flow consumes the MOS model, mirroring how real gm/Id
+// design kits tabulate simulated device curves. The tables are generated
+// once from the analytic model of mos.hpp and queried by interpolation —
+// so swapping in measured foundry curves would only change the table
+// contents, not the flow.
+
+#include <vector>
+
+#include "xtor/mos.hpp"
+
+namespace intooa::xtor {
+
+/// Tabulated gm/Id characteristic over a log grid of inversion
+/// coefficients.
+class GmIdLut {
+ public:
+  /// Builds the table for `tech` with `points` samples of IC in
+  /// [ic_min, ic_max] (log-spaced).
+  explicit GmIdLut(const TechParams& tech, std::size_t points = 128,
+                   double ic_min = 1e-3, double ic_max = 1e2);
+
+  /// gm/Id at inversion coefficient `ic` (log-linear interpolation;
+  /// clamped at the table ends).
+  double gm_over_id(double ic) const;
+
+  /// Inversion coefficient achieving `gm_over_id` (inverse interpolation;
+  /// throws std::invalid_argument outside the tabulated range).
+  double ic(double gm_over_id) const;
+
+  /// Current density Id/(W/L) [A] at `ic`.
+  double current_density(double ic) const;
+
+  std::size_t size() const { return ic_grid_.size(); }
+  const TechParams& tech() const { return tech_; }
+
+ private:
+  TechParams tech_;
+  std::vector<double> ic_grid_;     // ascending
+  std::vector<double> gmid_grid_;   // descending (gm/Id falls with IC)
+};
+
+}  // namespace intooa::xtor

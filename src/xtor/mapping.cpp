@@ -1,0 +1,239 @@
+#include "xtor/mapping.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/circuit_graph.hpp"
+#include "la/lu.hpp"
+#include "sim/metrics.hpp"
+#include "util/table.hpp"
+
+namespace intooa::xtor {
+
+namespace {
+
+/// Stamps one mapped transconductor cell into the netlist:
+///   - differential input stage: diff pair + current-mirror load,
+///   - otherwise: common-source driver + current-source load.
+/// The small-signal elements stamped are the VCCS, the output resistance
+/// 1/(gds_driver + gds_load), the lumped output capacitance, the driver's
+/// input capacitance, and (for common-source cells) the real Cgd Miller
+/// coupling between control and output.
+MappedCell stamp_gm_cell(circuit::Netlist& net, const std::string& name,
+                         circuit::NetNode ctrl, circuit::NetNode out,
+                         double gm_signed, bool differential,
+                         const MappingConfig& mapping) {
+  const double gm = std::fabs(gm_signed);
+  const circuit::NetNode gnd = net.node("gnd");
+  MappedCell cell;
+  cell.name = name;
+  cell.differential = differential;
+
+  if (differential) {
+    const Device m_in =
+        size_device(name + ".M1/2", gm, mapping.gm_over_id,
+                    mapping.l_signal_um, mapping.tech);
+    const double load_gm = m_in.id * mapping.load_gm_over_id;
+    const Device m_load =
+        size_device(name + ".M3/4", load_gm, mapping.load_gm_over_id,
+                    mapping.l_load_um, mapping.tech);
+    cell.devices = {m_in, m_load};
+    cell.supply_current = 2.0 * m_in.id;  // tail current
+
+    net.add_vccs(name, out, gnd, ctrl, gnd, gm_signed, 0.0);
+    net.add_resistor(name + ".ro", out, gnd, 1.0 / (m_in.gds + m_load.gds));
+    // Output: drain junctions of one input device and one mirror device,
+    // plus half the mirror gate capacitance (mirror-pole approximation).
+    const double cout = m_in.cdb + m_in.cgd + m_load.cdb + m_load.cgd +
+                        0.5 * (2.0 * m_load.cgs) + mapping.wiring_cap;
+    net.add_capacitor(name + ".co", out, gnd, cout);
+    // Input loading of the pair.
+    net.add_capacitor(name + ".ci", ctrl, gnd, m_in.cgs + m_in.cgd);
+    return cell;
+  }
+
+  const Device m_drv = size_device(name + ".Mn", gm, mapping.gm_over_id,
+                                   mapping.l_signal_um, mapping.tech);
+  const double load_gm = m_drv.id * mapping.load_gm_over_id;
+  const Device m_load =
+      size_device(name + ".Mp", load_gm, mapping.load_gm_over_id,
+                  mapping.l_load_um, mapping.tech);
+  cell.devices = {m_drv, m_load};
+  cell.supply_current = m_drv.id;
+
+  net.add_vccs(name, out, gnd, ctrl, gnd, gm_signed, 0.0);
+  net.add_resistor(name + ".ro", out, gnd, 1.0 / (m_drv.gds + m_load.gds));
+  net.add_capacitor(name + ".co", out, gnd,
+                    m_drv.cdb + m_load.cdb + m_load.cgd + mapping.wiring_cap);
+  net.add_capacitor(name + ".ci", ctrl, gnd, m_drv.cgs);
+  // The driver's gate-drain overlap is a true feedback element.
+  net.add_capacitor(name + ".cgd", ctrl, out, m_drv.cgd);
+  return cell;
+}
+
+}  // namespace
+
+std::size_t TransistorDesign::device_count() const {
+  std::size_t count = 0;
+  for (const auto& cell : cells) {
+    // A differential cell's device list stores M1/M2 and M3/M4 pairs once.
+    count += cell.differential ? 2 * cell.devices.size() + 1  // + tail
+                               : cell.devices.size();
+  }
+  return count;
+}
+
+std::string TransistorDesign::to_string() const {
+  std::ostringstream out;
+  out << "transistor-level design: " << device_count() << " devices, "
+      << util::fmt_si(supply_current) << "A supply current\n";
+  for (const auto& cell : cells) {
+    out << "  [" << cell.name << (cell.differential ? " diff" : " cs")
+        << "] I=" << util::fmt_si(cell.supply_current) << "A\n";
+    for (const auto& d : cell.devices) out << "    " << d.to_string() << "\n";
+  }
+  return out.str();
+}
+
+TransistorDesign map_to_transistor(const circuit::Topology& topology,
+                                   std::span<const double> values,
+                                   const circuit::BehavioralConfig& cfg,
+                                   const MappingConfig& mapping) {
+  const circuit::ParamSchema schema = circuit::make_schema(topology, cfg);
+  if (values.size() != schema.size()) {
+    throw std::invalid_argument("map_to_transistor: values size mismatch");
+  }
+
+  TransistorDesign design;
+  circuit::Netlist& net = design.netlist;
+  const circuit::NetNode gnd = net.node("gnd");
+  const circuit::NetNode vin = net.node("vin");
+  const circuit::NetNode v1 = net.node("v1");
+  const circuit::NetNode v2 = net.node("v2");
+  const circuit::NetNode vout = net.node("vout");
+
+  net.add_vsource("in", vin, gnd, 1.0);
+
+  // Fixed stages: the vin stage maps to a differential pair, the others to
+  // common-source stages.
+  const circuit::NetNode stage_out[3] = {v1, v2, vout};
+  const circuit::NetNode stage_in[3] = {vin, v1, v2};
+  for (int i = 0; i < 3; ++i) {
+    const double gm = values[static_cast<std::size_t>(i)];
+    const double gm_signed =
+        (circuit::kStagePolarity[i] == circuit::Polarity::Pos) ? gm : -gm;
+    design.cells.push_back(stamp_gm_cell(net, "gm" + std::to_string(i + 1),
+                                         stage_in[i], stage_out[i], gm_signed,
+                                         /*differential=*/i == 0, mapping));
+  }
+
+  net.add_capacitor("CL", vout, gnd, cfg.load_cap);
+
+  // Variable subcircuits: passives copy over unchanged; transconductors
+  // map to common-source cells.
+  for (circuit::Slot slot : circuit::all_slots()) {
+    const circuit::SubcktType type = topology.type(slot);
+    if (type == circuit::SubcktType::None) continue;
+    const std::string base = circuit::slot_name(slot);
+    const auto [na, nb] = circuit::slot_nodes(slot);
+    const circuit::NetNode a = net.node(circuit::node_name(na));
+    const circuit::NetNode b = net.node(circuit::node_name(nb));
+    const std::string prefix = base + ".";
+
+    const double r_value = circuit::has_resistor(type)
+                               ? values[schema.index_of(prefix + "R")]
+                               : 0.0;
+    const double c_value = circuit::has_capacitor(type)
+                               ? values[schema.index_of(prefix + "C")]
+                               : 0.0;
+
+    switch (type) {
+      case circuit::SubcktType::R:
+        net.add_resistor(prefix + "R", a, b, r_value);
+        continue;
+      case circuit::SubcktType::C:
+        net.add_capacitor(prefix + "C", a, b, c_value);
+        continue;
+      case circuit::SubcktType::RCp:
+        net.add_resistor(prefix + "R", a, b, r_value);
+        net.add_capacitor(prefix + "C", a, b, c_value);
+        continue;
+      case circuit::SubcktType::RCs: {
+        const circuit::NetNode mid = net.node(prefix + "m");
+        net.add_resistor(prefix + "R", a, mid, r_value);
+        net.add_capacitor(prefix + "C", mid, b, c_value);
+        continue;
+      }
+      default:
+        break;
+    }
+
+    const circuit::SubcktStructure s = circuit::structure_of(type);
+    const circuit::NetNode ctrl = (s.direction == circuit::Direction::Fwd) ? a : b;
+    const circuit::NetNode out = (s.direction == circuit::Direction::Fwd) ? b : a;
+    const double gm_value = values[schema.index_of(prefix + "gm")];
+    const double gm_signed =
+        (s.polarity == circuit::Polarity::Pos) ? gm_value : -gm_value;
+
+    if (!s.has_passive) {
+      design.cells.push_back(
+          stamp_gm_cell(net, prefix + "gm", ctrl, out, gm_signed, false,
+                        mapping));
+      continue;
+    }
+    if (s.combine == circuit::Combine::Parallel) {
+      design.cells.push_back(
+          stamp_gm_cell(net, prefix + "gm", ctrl, out, gm_signed, false,
+                        mapping));
+      if (s.passive == circuit::PassiveKind::R) {
+        net.add_resistor(prefix + "R", a, b, r_value);
+      } else {
+        net.add_capacitor(prefix + "C", a, b, c_value);
+      }
+      continue;
+    }
+    const circuit::NetNode mid = net.node(prefix + "m");
+    design.cells.push_back(
+        stamp_gm_cell(net, prefix + "gm", ctrl, mid, gm_signed, false,
+                      mapping));
+    if (s.passive == circuit::PassiveKind::R) {
+      net.add_resistor(prefix + "Rs", mid, out, r_value);
+    } else {
+      net.add_capacitor(prefix + "Cs", mid, out, c_value);
+    }
+  }
+
+  // GMIN at every node for low-frequency robustness, as at the behavioral
+  // level.
+  for (circuit::NetNode n = 1; n < net.node_count(); ++n) {
+    net.add_resistor("gmin" + std::to_string(n), n, gnd, 1.0 / cfg.gmin);
+  }
+
+  double total = 0.0;
+  for (const auto& cell : design.cells) total += cell.supply_current;
+  design.supply_current = total * mapping.bias_overhead;
+  return design;
+}
+
+circuit::Performance evaluate_transistor(const circuit::Topology& topology,
+                                         std::span<const double> values,
+                                         const circuit::BehavioralConfig& cfg,
+                                         const MappingConfig& mapping) {
+  const TransistorDesign design =
+      map_to_transistor(topology, values, cfg, mapping);
+  try {
+    const sim::AcSweep sweep = sim::run_ac(design.netlist, "vout");
+    return sim::extract_performance(sweep,
+                                    cfg.vdd * design.supply_current);
+  } catch (const std::runtime_error& e) {
+    // Singular system, RHP-pole instability, or eigensolver failure: an
+    // invalid design, not a harness error.
+    circuit::Performance perf;
+    perf.power_w = cfg.vdd * design.supply_current;
+    perf.failure = e.what();
+    return perf;
+  }
+}
+
+}  // namespace intooa::xtor

@@ -1,0 +1,74 @@
+#pragma once
+// Behavioral-to-transistor mapping (Sec. II-C / IV-D, after [16]): the
+// amplifier stage at vin becomes a differential pair with current-mirror
+// load; every other transconductor becomes a common-source stage with a
+// current-source load. Device sizes come from the gm/Id lookup tables; the
+// transistor-level small-signal netlist (gm, gds, Cgs, Cgd, Cdb per
+// device) is then evaluated by the same MNA simulator. The added
+// parasitics and bias overheads produce the FoM drop relative to the
+// behavioral level that Table V reports.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/behavioral.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/spec.hpp"
+#include "circuit/topology.hpp"
+#include "xtor/gmid_lut.hpp"
+
+namespace intooa::xtor {
+
+/// Mapping options.
+struct MappingConfig {
+  TechParams tech;
+  double gm_over_id = 8.0;       ///< bias point for signal devices (matches the behavioral power model)
+  double load_gm_over_id = 10.0; ///< mirror/current-source loads run hotter
+  double l_signal_um = 0.5;
+  double l_load_um = 1.0;
+  /// Bias-distribution overhead: total supply current is scaled by this
+  /// factor (current mirrors, bias branches).
+  double bias_overhead = 1.15;
+  /// Wiring/routing capacitance at every cell output [F]. Layout
+  /// parasitics exist at both abstraction levels; without them the mapped
+  /// netlist would be *faster* than the behavioral model that already
+  /// budgeted for them, inverting the Table V degradation trend.
+  double wiring_cap = 150e-15;
+};
+
+/// One mapped transconductor cell and its devices.
+struct MappedCell {
+  std::string name;        ///< e.g. "gm1" or "v1-vout.gm"
+  bool differential = false;  ///< true for the input stage
+  std::vector<Device> devices;
+  double supply_current = 0.0;  ///< current drawn from Vdd by this cell
+};
+
+/// Complete transistor-level design.
+struct TransistorDesign {
+  circuit::Netlist netlist;
+  std::vector<MappedCell> cells;
+  double supply_current = 0.0;  ///< total, including bias overhead
+
+  /// Total transistor count.
+  std::size_t device_count() const;
+
+  /// Multi-line sizing report.
+  std::string to_string() const;
+};
+
+/// Maps a sized behavioral design to the transistor level. `values` is the
+/// behavioral parameter vector in make_schema(topology, cfg) order.
+TransistorDesign map_to_transistor(const circuit::Topology& topology,
+                                   std::span<const double> values,
+                                   const circuit::BehavioralConfig& cfg,
+                                   const MappingConfig& mapping = {});
+
+/// Maps and evaluates in one step: transistor-level AC analysis with the
+/// shared simulator; power is Vdd times the design's total supply current.
+circuit::Performance evaluate_transistor(
+    const circuit::Topology& topology, std::span<const double> values,
+    const circuit::BehavioralConfig& cfg, const MappingConfig& mapping = {});
+
+}  // namespace intooa::xtor

@@ -1,0 +1,68 @@
+#include "xtor/mos.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace intooa::xtor {
+
+double TechParams::specific_current() const {
+  return 2.0 * n * mu_cox * ut * ut;
+}
+
+double gm_over_id_of_ic(double ic, const TechParams& tech) {
+  if (ic < 0.0) throw std::invalid_argument("gm_over_id_of_ic: negative ic");
+  return 1.0 / (tech.n * tech.ut * (std::sqrt(ic + 0.25) + 0.5));
+}
+
+double ic_for_gm_over_id(double gm_over_id, const TechParams& tech) {
+  if (gm_over_id <= 0.0) {
+    throw std::invalid_argument("ic_for_gm_over_id: non-positive target");
+  }
+  const double weak_limit = 1.0 / (tech.n * tech.ut);
+  if (gm_over_id >= weak_limit) {
+    throw std::invalid_argument(
+        "ic_for_gm_over_id: target exceeds the weak-inversion limit " +
+        std::to_string(weak_limit));
+  }
+  const double kappa = 1.0 / (gm_over_id * tech.n * tech.ut);
+  // kappa = sqrt(ic + 0.25) + 0.5  =>  ic = (kappa - 0.5)^2 - 0.25.
+  return (kappa - 0.5) * (kappa - 0.5) - 0.25;
+}
+
+std::string Device::to_string() const {
+  std::ostringstream out;
+  out << name << " W=" << util::fmt_si(w_um * 1e-6) << " L="
+      << util::fmt_si(l_um * 1e-6) << " Id=" << util::fmt_si(id) << " gm="
+      << util::fmt_si(gm) << " gds=" << util::fmt_si(gds) << " cgs="
+      << util::fmt_si(cgs);
+  return out.str();
+}
+
+Device size_device(const std::string& name, double gm, double gm_over_id,
+                   double l_um, const TechParams& tech) {
+  if (gm <= 0.0) throw std::invalid_argument("size_device: gm must be > 0");
+  if (l_um <= 0.0) throw std::invalid_argument("size_device: L must be > 0");
+
+  Device d;
+  d.name = name;
+  d.l_um = l_um;
+  d.gm = gm;
+  d.id = gm / gm_over_id;
+
+  const double ic = ic_for_gm_over_id(gm_over_id, tech);
+  const double w_over_l = d.id / (tech.specific_current() * ic);
+  d.w_um = w_over_l * l_um;
+
+  const double lambda = tech.lambda0_um / l_um;
+  d.gds = lambda * d.id;
+  d.cgs = (2.0 / 3.0) * d.w_um * l_um * tech.cox_f_per_um2 +
+          tech.cov_f_per_um * d.w_um;
+  d.cgd = tech.cov_f_per_um * d.w_um;
+  d.cdb = tech.cj_f_per_um * d.w_um;
+  return d;
+}
+
+}  // namespace intooa::xtor

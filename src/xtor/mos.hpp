@@ -1,0 +1,67 @@
+#pragma once
+// All-region (EKV-style) MOS model used to generate synthetic gm/Id
+// characteristics and to size devices during behavioral-to-transistor
+// mapping (Sec. II-C / IV-D). Foundry models are proprietary, so the
+// repo derives the gm/Id lookup tables from this continuous analytic
+// model instead (see DESIGN.md substitution table); the mapping flow —
+// target gm/Id -> inversion coefficient -> W/L -> small-signal parasitics
+// — is the same one the paper's transistor mapping [16] uses.
+
+#include <string>
+
+namespace intooa::xtor {
+
+/// Synthetic 180nm-class technology constants.
+struct TechParams {
+  double n = 1.3;            ///< subthreshold slope factor
+  double ut = 0.0258;        ///< thermal voltage [V] at 300 K
+  double mu_cox = 200e-6;    ///< mobility * Cox [A/V^2] (NMOS-ish)
+  /// Channel-length modulation: lambda = lambda0/L[um]. 0.065 puts the
+  /// per-stage transistor gain just below the behavioral model's A0, so
+  /// mapped designs lose (a little) gain, as in the paper's Table V.
+  double lambda0_um = 0.065;
+  /// Capacitance densities. Deliberately on the heavy side of a 180nm
+  /// node so that mapped designs carry at least the parasitic burden the
+  /// behavioral Co model assumed — the transistor level should degrade
+  /// performance (Table V), not flatter it.
+  double cox_f_per_um2 = 12e-15;  ///< gate capacitance density [F/um^2]
+  double cov_f_per_um = 0.9e-15;  ///< overlap capacitance [F/um]
+  double cj_f_per_um = 2.4e-15;   ///< junction capacitance [F/um]
+
+  /// Specific current I_spec = 2 n mu_cox Ut^2 [A] (per unit W/L).
+  double specific_current() const;
+};
+
+/// gm/Id of the EKV model at inversion coefficient `ic`:
+///   gm/Id = 1 / (n Ut (sqrt(ic + 0.25) + 0.5)).
+/// Weak inversion (ic -> 0) approaches 1/(n Ut); strong inversion falls as
+/// 1/sqrt(ic).
+double gm_over_id_of_ic(double ic, const TechParams& tech);
+
+/// Inverse of gm_over_id_of_ic (closed form). Throws std::invalid_argument
+/// when the target exceeds the weak-inversion limit.
+double ic_for_gm_over_id(double gm_over_id, const TechParams& tech);
+
+/// A sized transistor's small-signal operating point.
+struct Device {
+  std::string name;
+  double w_um = 0.0;
+  double l_um = 0.0;
+  double id = 0.0;    ///< drain bias current [A]
+  double gm = 0.0;    ///< transconductance [S]
+  double gds = 0.0;   ///< output conductance [S]
+  double cgs = 0.0;   ///< [F]
+  double cgd = 0.0;   ///< [F]
+  double cdb = 0.0;   ///< [F]
+
+  /// One-line summary ("M1 W=12.3u L=0.5u Id=6.7u gm=100u ...").
+  std::string to_string() const;
+};
+
+/// Sizes a device to realize transconductance `gm` at bias efficiency
+/// `gm_over_id` with channel length `l_um`, and fills in the small-signal
+/// parasitics from the technology constants.
+Device size_device(const std::string& name, double gm, double gm_over_id,
+                   double l_um, const TechParams& tech);
+
+}  // namespace intooa::xtor

@@ -1,0 +1,463 @@
+// Unit tests for intooa::circuit — the 25 subcircuit types, the design-
+// space rules (7*7*25*5*5 = 30625), topologies, circuit graphs, the
+// behavioral netlist builder, specs and the topology library.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "circuit/behavioral.hpp"
+#include "circuit/circuit_graph.hpp"
+#include "circuit/library.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/rules.hpp"
+#include "circuit/spec.hpp"
+#include "circuit/subckt.hpp"
+#include "circuit/topology.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace intooa::circuit;
+
+TEST(Subckt, TwentyFiveDistinctTypes) {
+  const auto& all = all_subckt_types();
+  EXPECT_EQ(all.size(), 25u);
+  std::set<SubcktType> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 25u);
+}
+
+TEST(Subckt, NamesRoundTrip) {
+  std::set<std::string> names;
+  for (SubcktType t : all_subckt_types()) {
+    const std::string name = short_name(t);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const auto back = subckt_from_name(name);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(subckt_from_name("bogus").has_value());
+}
+
+TEST(Subckt, PaperNotationExamples) {
+  // The paper's Sec. IV-B names: "-gmRs" (series -gm and R) and "RCs".
+  EXPECT_EQ(short_name(SubcktType::GmNegFwdSerR), "-gmRs");
+  EXPECT_EQ(short_name(SubcktType::RCs), "RCs");
+  EXPECT_EQ(short_name(SubcktType::GmNegFwdParC), "-gmCp");
+  EXPECT_EQ(short_name(SubcktType::GmPosFwd), "+gm");
+  EXPECT_EQ(short_name(SubcktType::GmPosBwd), "+gm~");
+}
+
+TEST(Subckt, StructureDecomposition) {
+  const auto s = structure_of(SubcktType::GmNegBwdSerC);
+  EXPECT_TRUE(s.has_gm);
+  EXPECT_EQ(s.polarity, Polarity::Neg);
+  EXPECT_EQ(s.direction, Direction::Bwd);
+  EXPECT_TRUE(s.has_passive);
+  EXPECT_EQ(s.passive, PassiveKind::C);
+  EXPECT_EQ(s.combine, Combine::Series);
+  EXPECT_TRUE(structure_of(SubcktType::None).is_none);
+}
+
+TEST(Subckt, ComponentPredicates) {
+  EXPECT_TRUE(has_gm(SubcktType::GmPosFwdParR));
+  EXPECT_FALSE(has_gm(SubcktType::RCs));
+  EXPECT_TRUE(has_resistor(SubcktType::RCp));
+  EXPECT_TRUE(has_capacitor(SubcktType::RCs));
+  EXPECT_FALSE(has_capacitor(SubcktType::GmNegFwdSerR));
+  EXPECT_TRUE(has_capacitor(SubcktType::GmNegFwdSerC));
+  EXPECT_EQ(parameter_count(SubcktType::None), 0u);
+  EXPECT_EQ(parameter_count(SubcktType::R), 1u);
+  EXPECT_EQ(parameter_count(SubcktType::RCs), 2u);
+  EXPECT_EQ(parameter_count(SubcktType::GmPosFwd), 1u);
+  EXPECT_EQ(parameter_count(SubcktType::GmNegBwdParC), 2u);
+}
+
+TEST(Rules, PerSlotTypeCountsMatchPaper) {
+  EXPECT_EQ(allowed_types(Slot::VinV2).size(), 7u);
+  EXPECT_EQ(allowed_types(Slot::VinVout).size(), 7u);
+  EXPECT_EQ(allowed_types(Slot::V1Vout).size(), 25u);
+  EXPECT_EQ(allowed_types(Slot::V1Gnd).size(), 5u);
+  EXPECT_EQ(allowed_types(Slot::V2Gnd).size(), 5u);
+}
+
+TEST(Rules, DesignSpaceSizeMatchesPaper) {
+  EXPECT_EQ(design_space_size(), 30625u);
+}
+
+TEST(Rules, EverySlotAllowsNone) {
+  for (Slot slot : all_slots()) {
+    EXPECT_TRUE(is_allowed(slot, SubcktType::None));
+    EXPECT_EQ(allowed_index(slot, SubcktType::None), 0u);
+  }
+}
+
+TEST(Rules, ShuntSlotsArePassiveOnly) {
+  for (Slot slot : {Slot::V1Gnd, Slot::V2Gnd}) {
+    for (SubcktType t : allowed_types(slot)) EXPECT_FALSE(has_gm(t));
+  }
+}
+
+TEST(Rules, FeedforwardSlotsForwardOnly) {
+  for (Slot slot : {Slot::VinV2, Slot::VinVout}) {
+    for (SubcktType t : allowed_types(slot)) {
+      if (has_gm(t)) {
+        EXPECT_EQ(structure_of(t).direction, Direction::Fwd);
+      }
+    }
+  }
+}
+
+TEST(Rules, SlotNodePairs) {
+  EXPECT_EQ(slot_nodes(Slot::VinV2), std::make_pair(Node::Vin, Node::V2));
+  EXPECT_EQ(slot_nodes(Slot::V1Vout), std::make_pair(Node::V1, Node::Vout));
+  EXPECT_EQ(slot_name(Slot::V2Gnd), "v2-gnd");
+  EXPECT_EQ(node_name(Node::Vout), "vout");
+}
+
+TEST(Rules, AllowedIndexThrowsWhenForbidden) {
+  EXPECT_THROW(allowed_index(Slot::V1Gnd, SubcktType::GmPosFwd),
+               std::invalid_argument);
+}
+
+TEST(Topology, DefaultIsAllNone) {
+  const Topology t;
+  for (Slot slot : all_slots()) EXPECT_EQ(t.type(slot), SubcktType::None);
+  EXPECT_EQ(t.variable_parameter_count(), 0u);
+}
+
+TEST(Topology, ConstructorValidates) {
+  EXPECT_THROW(
+      Topology({SubcktType::R, SubcktType::None, SubcktType::None,
+                SubcktType::None, SubcktType::None}),
+      std::invalid_argument);  // R not allowed in vin-v2
+}
+
+TEST(Topology, WithReplacesSlot) {
+  const Topology t;
+  const Topology u = t.with(Slot::V1Vout, SubcktType::C);
+  EXPECT_EQ(u.type(Slot::V1Vout), SubcktType::C);
+  EXPECT_EQ(t.type(Slot::V1Vout), SubcktType::None);  // original unchanged
+  EXPECT_THROW(t.with(Slot::V2Gnd, SubcktType::GmPosFwd),
+               std::invalid_argument);
+}
+
+TEST(Topology, IndexBijectionSampled) {
+  intooa::util::Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const Topology t = Topology::random(rng);
+    EXPECT_EQ(Topology::from_index(t.index()), t);
+  }
+  EXPECT_THROW(Topology::from_index(design_space_size()), std::out_of_range);
+}
+
+TEST(Topology, IndexBijectionExhaustive) {
+  // Full-space property: every index decodes to a unique valid topology
+  // that encodes back to itself.
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t i = 0; i < design_space_size(); i += 7) {
+    const Topology t = Topology::from_index(i);
+    EXPECT_EQ(t.index(), i);
+    EXPECT_TRUE(seen.insert(i).second);
+  }
+}
+
+TEST(Topology, EnumerationCoversSpace) {
+  const auto all = enumerate_design_space();
+  EXPECT_EQ(all.size(), 30625u);
+  EXPECT_EQ(all.front().index(), 0u);
+  EXPECT_EQ(all.back().index(), 30624u);
+}
+
+TEST(Topology, RandomIsUniformish) {
+  intooa::util::Rng rng(22);
+  std::unordered_set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(Topology::random(rng).index());
+  // With 30625 cells and 2000 draws, collisions are rare: expect > 1850
+  // distinct.
+  EXPECT_GT(seen.size(), 1850u);
+}
+
+TEST(Topology, MutationAlwaysDiffersAndIsValid) {
+  intooa::util::Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    const Topology parent = Topology::random(rng);
+    const Topology child = parent.mutated(rng);
+    EXPECT_NE(parent, child);
+    EXPECT_GE(child.hamming_distance(parent), 1u);
+    for (Slot slot : all_slots()) {
+      EXPECT_TRUE(is_allowed(slot, child.type(slot)));
+    }
+  }
+}
+
+TEST(Topology, MutationExpectedCount) {
+  intooa::util::Rng rng(24);
+  const Topology parent = Topology::random(rng);
+  double total = 0.0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(parent.mutated(rng, 1.0).hamming_distance(parent));
+  }
+  // E[mutations] ~= 1 (slightly above because zero-mutation draws are
+  // re-rolled into exactly one mutation).
+  const double avg = total / trials;
+  EXPECT_GT(avg, 0.9);
+  EXPECT_LT(avg, 1.5);
+  EXPECT_THROW(parent.mutated(rng, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, HammingDistance) {
+  const Topology a;
+  const Topology b = a.with(Slot::V1Vout, SubcktType::C)
+                         .with(Slot::V2Gnd, SubcktType::R);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(Topology, ToStringMentionsSlotsAndTypes) {
+  const Topology t = Topology().with(Slot::V1Vout, SubcktType::RCs);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("v1-vout:RCs"), std::string::npos);
+  EXPECT_NE(s.find("vin-v2:none"), std::string::npos);
+}
+
+TEST(CircuitGraph, BareAmpStructure) {
+  const auto g = build_circuit_graph(Topology());
+  // 5 circuit nodes + 3 stages, no variable subcircuits.
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.label(0), "vin");
+  EXPECT_EQ(g.label(4), "gnd");
+  EXPECT_EQ(g.label(5), stage_label(0));
+}
+
+TEST(CircuitGraph, NodeEdgeBoundsMatchPaper) {
+  // Paper Sec. III-B: n <= 13, m <= 16 for these circuit graphs.
+  intooa::util::Rng rng(25);
+  for (int i = 0; i < 200; ++i) {
+    const auto g = build_circuit_graph(Topology::random(rng));
+    EXPECT_GE(g.node_count(), 8u);
+    EXPECT_LE(g.node_count(), 13u);
+    EXPECT_GE(g.edge_count(), 6u);
+    EXPECT_LE(g.edge_count(), 16u);
+  }
+}
+
+TEST(CircuitGraph, NoneSlotsElided) {
+  const Topology t = Topology().with(Slot::V1Vout, SubcktType::C);
+  const auto g = build_circuit_graph(t);
+  EXPECT_EQ(g.node_count(), 9u);
+  EXPECT_EQ(g.label(8), "C");
+  EXPECT_TRUE(g.has_edge(8, 1));  // v1
+  EXPECT_TRUE(g.has_edge(8, 3));  // vout
+}
+
+TEST(CircuitGraph, StagePolaritiesNmcLike) {
+  EXPECT_EQ(stage_label(0), "-gm");
+  EXPECT_EQ(stage_label(1), "+gm");
+  EXPECT_EQ(stage_label(2), "-gm");
+  EXPECT_THROW(stage_label(3), std::out_of_range);
+}
+
+TEST(CircuitGraph, SlotNodeIds) {
+  const Topology t = Topology()
+                         .with(Slot::VinVout, SubcktType::GmNegFwd)
+                         .with(Slot::V2Gnd, SubcktType::RCs);
+  const auto ids = slot_node_ids(t);
+  EXPECT_EQ(ids[0], kInvalidNode);  // vin-v2 empty
+  EXPECT_EQ(ids[1], 8u);            // vin-vout first occupied
+  EXPECT_EQ(ids[2], kInvalidNode);
+  EXPECT_EQ(ids[4], 9u);            // v2-gnd second occupied
+  const auto g = build_circuit_graph(t);
+  EXPECT_EQ(g.label(ids[1]), "-gm");
+  EXPECT_EQ(g.label(ids[4]), "RCs");
+}
+
+TEST(Netlist, NodeInterning) {
+  Netlist net;
+  EXPECT_EQ(net.node("gnd"), 0u);
+  EXPECT_EQ(net.node("0"), 0u);
+  const auto a = net.node("a");
+  EXPECT_EQ(net.node("a"), a);
+  EXPECT_EQ(net.node_label(a), "a");
+  EXPECT_FALSE(net.find_node("zzz").has_value());
+}
+
+TEST(Netlist, ElementValidation) {
+  Netlist net;
+  const auto a = net.node("a");
+  EXPECT_THROW(net.add_resistor("r", a, 0, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_capacitor("c", a, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_vccs("g", a, 0, a, 0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_vccs("g", a, 0, a, 0, 1e-3, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_resistor("r", 99, 0, 1.0), std::out_of_range);
+}
+
+TEST(Netlist, StaticPowerSumsBiasCurrents) {
+  Netlist net;
+  const auto a = net.node("a");
+  const auto b = net.node("b");
+  net.add_vccs("g1", a, 0, b, 0, 1e-3, 10e-6);
+  net.add_vccs("g2", b, 0, a, 0, -2e-3, 20e-6);
+  EXPECT_NEAR(net.static_power(1.8), 1.8 * 30e-6, 1e-15);
+}
+
+TEST(Netlist, SpiceDump) {
+  Netlist net;
+  const auto a = net.node("a");
+  net.add_resistor("load", a, 0, 1e3);
+  net.add_vsource("in", a, 0, 1.0);
+  const std::string spice = net.to_spice();
+  EXPECT_NE(spice.find("Rload a gnd 1.00k"), std::string::npos);
+  EXPECT_NE(spice.find("Vin a gnd AC"), std::string::npos);
+}
+
+TEST(Behavioral, SchemaOrderAndNames) {
+  const BehavioralConfig cfg;
+  const Topology t = Topology()
+                         .with(Slot::V1Vout, SubcktType::GmNegFwdSerR)
+                         .with(Slot::V2Gnd, SubcktType::C);
+  const ParamSchema schema = make_schema(t, cfg);
+  ASSERT_EQ(schema.size(), 3u + 2u + 1u);
+  EXPECT_EQ(schema.params[0].name, "gm1");
+  EXPECT_EQ(schema.params[3].name, "v1-vout.gm");
+  EXPECT_EQ(schema.params[4].name, "v1-vout.R");
+  EXPECT_EQ(schema.params[5].name, "v2-gnd.C");
+  EXPECT_TRUE(schema.contains("gm2"));
+  EXPECT_FALSE(schema.contains("v1-gnd.R"));
+  EXPECT_THROW(schema.index_of("nope"), std::invalid_argument);
+}
+
+TEST(Behavioral, UnitCubeRoundTrip) {
+  const BehavioralConfig cfg;
+  const ParamSchema schema = make_schema(Topology(), cfg);
+  const std::vector<double> u = {0.0, 0.5, 1.0};
+  const auto vals = schema.from_unit(u);
+  EXPECT_NEAR(vals[0], cfg.gm_lo, 1e-12);
+  EXPECT_NEAR(vals[2], cfg.gm_hi, 1e-9);
+  EXPECT_NEAR(vals[1], std::sqrt(cfg.gm_lo * cfg.gm_hi), 1e-9);
+  const auto back = schema.to_unit(vals);
+  for (std::size_t i = 0; i < u.size(); ++i) EXPECT_NEAR(back[i], u[i], 1e-9);
+}
+
+TEST(Behavioral, NetlistElementCounts) {
+  const BehavioralConfig cfg;
+  // Bare amp: 3 stages -> 3 VCCS, 3 Ro, 3 Co + CL + 4 gmin.
+  const auto net =
+      build_behavioral(Topology(), std::vector<double>{1e-4, 1e-4, 1e-3}, cfg);
+  EXPECT_EQ(net.vccs().size(), 3u);
+  EXPECT_EQ(net.capacitors().size(), 4u);   // Co1-3 + CL
+  EXPECT_EQ(net.resistors().size(), 3u + 4u);  // Ro1-3 + gmin x nodes
+  EXPECT_EQ(net.vsources().size(), 1u);
+}
+
+TEST(Behavioral, SeriesTypesCreateInternalNode) {
+  const BehavioralConfig cfg;
+  const Topology t = Topology().with(Slot::V1Vout, SubcktType::RCs);
+  const auto schema = make_schema(t, cfg);
+  std::vector<double> vals(schema.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = schema.params[i].lo;
+  const auto net = build_behavioral(t, vals, cfg);
+  EXPECT_TRUE(net.find_node("v1-vout.m").has_value());
+}
+
+TEST(Behavioral, StagePolaritySigns) {
+  const BehavioralConfig cfg;
+  const auto net =
+      build_behavioral(Topology(), std::vector<double>{1e-4, 2e-4, 3e-4}, cfg);
+  EXPECT_LT(net.vccs()[0].gm, 0.0);  // stage 1 inverting
+  EXPECT_GT(net.vccs()[1].gm, 0.0);  // stage 2 non-inverting
+  EXPECT_LT(net.vccs()[2].gm, 0.0);  // stage 3 inverting
+  EXPECT_NEAR(net.vccs()[1].gm, 2e-4, 1e-12);
+}
+
+TEST(Behavioral, RejectsBadParameters) {
+  const BehavioralConfig cfg;
+  EXPECT_THROW(build_behavioral(Topology(), std::vector<double>{1e-4, 1e-4},
+                                cfg),
+               std::invalid_argument);
+  EXPECT_THROW(
+      build_behavioral(Topology(), std::vector<double>{1e-4, -1e-4, 1e-4},
+                       cfg),
+      std::invalid_argument);
+}
+
+TEST(Spec, PaperTableOne) {
+  const auto& specs = paper_specs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "S-1");
+  EXPECT_DOUBLE_EQ(specs[1].gain_db_min, 110.0);
+  EXPECT_DOUBLE_EQ(specs[2].gbw_hz_min, 5e6);
+  EXPECT_DOUBLE_EQ(specs[3].power_w_max, 150e-6);
+  EXPECT_DOUBLE_EQ(specs[4].load_cap, 10e-9);
+  EXPECT_EQ(&spec_by_name("S-3"), &specs[2]);
+  EXPECT_THROW(spec_by_name("S-9"), std::invalid_argument);
+}
+
+TEST(Spec, MarginsAndSatisfaction) {
+  const Spec& s1 = spec_by_name("S-1");
+  Performance good;
+  good.valid = true;
+  good.gain_db = 90.0;
+  good.gbw_hz = 1e6;
+  good.pm_deg = 60.0;
+  good.power_w = 500e-6;
+  EXPECT_TRUE(s1.satisfied(good));
+  for (double m : s1.margins(good)) EXPECT_LE(m, 0.0);
+  EXPECT_DOUBLE_EQ(s1.violation(good), 0.0);
+
+  Performance bad = good;
+  bad.power_w = 800e-6;
+  EXPECT_FALSE(s1.satisfied(bad));
+  EXPECT_GT(s1.margins(bad)[3], 0.0);
+  EXPECT_GT(s1.violation(bad), 0.0);
+
+  Performance invalid;
+  EXPECT_FALSE(s1.satisfied(invalid));
+  for (double m : s1.margins(invalid)) EXPECT_DOUBLE_EQ(m, 10.0);
+}
+
+TEST(Spec, FomFormulaEq6) {
+  Performance p;
+  p.valid = true;
+  p.gbw_hz = 2e6;      // 2 MHz
+  p.power_w = 100e-6;  // 0.1 mW
+  // FoM = 2 * 10 / 0.1 = 200 for CL = 10 pF.
+  EXPECT_NEAR(intooa::circuit::fom(p, 10e-12), 200.0, 1e-9);
+  Performance invalid;
+  EXPECT_DOUBLE_EQ(intooa::circuit::fom(invalid, 10e-12), 0.0);
+}
+
+TEST(Library, AllNamedTopologiesValid) {
+  for (const auto& name : topology_library_names()) {
+    EXPECT_NO_THROW(named_topology(name)) << name;
+  }
+  EXPECT_THROW(named_topology("unknown"), std::invalid_argument);
+}
+
+TEST(Library, RefinementRelationsMatchFig7) {
+  const Topology c1 = named_topology("C1");
+  const Topology r1 = named_topology("R1");
+  EXPECT_EQ(c1.hamming_distance(r1), 1u);
+  EXPECT_EQ(c1.type(Slot::V1Vout), SubcktType::GmNegFwdParC);
+  EXPECT_EQ(r1.type(Slot::V1Vout), SubcktType::GmNegFwd);
+
+  const Topology c2 = named_topology("C2");
+  const Topology r2 = named_topology("R2");
+  EXPECT_EQ(c2.hamming_distance(r2), 1u);
+  EXPECT_EQ(c2.type(Slot::VinV2), SubcktType::GmNegFwd);
+  EXPECT_EQ(r2.type(Slot::VinV2), SubcktType::GmPosFwdSerC);
+}
+
+TEST(Library, NmcIsSingleMillerCap) {
+  const Topology nmc = named_topology("NMC");
+  EXPECT_EQ(nmc.type(Slot::V1Vout), SubcktType::C);
+  EXPECT_EQ(nmc.variable_parameter_count(), 1u);
+}
+
+}  // namespace

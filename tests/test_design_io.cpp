@@ -1,0 +1,106 @@
+// Unit tests for design persistence (circuit/design_io): JSON round trips,
+// malformed-input rejection, and file I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "circuit/design_io.hpp"
+#include "circuit/library.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace intooa;
+using circuit::SavedDesign;
+
+SavedDesign sample_design() {
+  SavedDesign design;
+  design.name = "best S-3 \"winner\"";  // embedded quotes exercise escaping
+  design.spec_name = "S-3";
+  design.topology = circuit::named_topology("C1");
+  design.values = {1e-4, 2.5e-4, 1.7e-3, 3.3e-12, 4.4e-12};
+  design.performance.valid = true;
+  design.performance.gain_db = 91.25;
+  design.performance.gbw_hz = 7.5e6;
+  design.performance.pm_deg = 61.5;
+  design.performance.power_w = 123e-6;
+  design.fom = 609.76;
+  return design;
+}
+
+TEST(DesignIo, JsonRoundTripPreservesEverything) {
+  const SavedDesign original = sample_design();
+  const SavedDesign parsed = circuit::design_from_json(to_json(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.spec_name, original.spec_name);
+  EXPECT_EQ(parsed.topology, original.topology);
+  ASSERT_EQ(parsed.values.size(), original.values.size());
+  for (std::size_t i = 0; i < parsed.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.values[i], original.values[i]);
+  }
+  EXPECT_EQ(parsed.performance.valid, original.performance.valid);
+  EXPECT_DOUBLE_EQ(parsed.performance.gain_db, original.performance.gain_db);
+  EXPECT_DOUBLE_EQ(parsed.performance.gbw_hz, original.performance.gbw_hz);
+  EXPECT_DOUBLE_EQ(parsed.fom, original.fom);
+}
+
+TEST(DesignIo, RoundTripsRandomTopologies) {
+  util::Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    SavedDesign design;
+    design.name = "fuzz";
+    design.topology = circuit::Topology::random(rng);
+    design.values = {rng.log_uniform(1e-6, 1e-3)};
+    const SavedDesign parsed = circuit::design_from_json(to_json(design));
+    EXPECT_EQ(parsed.topology, design.topology);
+  }
+}
+
+TEST(DesignIo, JsonIsHumanReadable) {
+  const std::string json = to_json(sample_design());
+  EXPECT_NE(json.find("\"slots\""), std::string::npos);
+  EXPECT_NE(json.find("-gmCp"), std::string::npos);  // C1's v1-vout branch
+  EXPECT_NE(json.find("\"gain_db\": 91.25"), std::string::npos);
+}
+
+TEST(DesignIo, RejectsMalformedDocuments) {
+  EXPECT_THROW(circuit::design_from_json("{}"), std::invalid_argument);
+  EXPECT_THROW(circuit::design_from_json("not json at all"),
+               std::invalid_argument);
+
+  // Unknown subcircuit name.
+  std::string bad = to_json(sample_design());
+  bad.replace(bad.find("-gmCp"), 5, "bogus");
+  EXPECT_THROW(circuit::design_from_json(bad), std::invalid_argument);
+
+  // Wrong slot count.
+  std::string few = to_json(sample_design());
+  const auto pos = few.find("\"slots\": [");
+  few.replace(pos, few.find(']', pos) - pos + 1,
+              "\"slots\": [\"none\", \"none\"]");
+  EXPECT_THROW(circuit::design_from_json(few), std::invalid_argument);
+
+  // A type that exists but is illegal in its slot (R in vin-v2).
+  std::string illegal = to_json(sample_design());
+  const auto spos = illegal.find("[\"none\"");
+  ASSERT_NE(spos, std::string::npos);
+  illegal.replace(spos + 2, 4, "R\", \"");  // corrupts first slot name
+  EXPECT_THROW(circuit::design_from_json(illegal), std::invalid_argument);
+}
+
+TEST(DesignIo, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "intooa_design_io_test.json";
+  const SavedDesign original = sample_design();
+  circuit::save_design(original, path.string());
+  const SavedDesign loaded = circuit::load_design(path.string());
+  EXPECT_EQ(loaded, original);
+  std::filesystem::remove(path);
+  EXPECT_THROW(circuit::load_design(path.string()), std::runtime_error);
+  EXPECT_THROW(circuit::save_design(original, "/nonexistent-dir/x.json"),
+               std::runtime_error);
+}
+
+}  // namespace

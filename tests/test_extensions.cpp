@@ -1,0 +1,124 @@
+// Unit tests for the extension modules: process-corner analysis
+// (sizing/corners) and the markdown design-report generator (core/report).
+
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "core/report.hpp"
+#include "sizing/corners.hpp"
+
+namespace {
+
+using namespace intooa;
+
+TEST(Corners, ApplyScalesConfig) {
+  circuit::BehavioralConfig typ;
+  sizing::Corner corner{"x", 1.2, 0.8, 1.1, 1.5};
+  const auto scaled = corner.apply(typ);
+  EXPECT_DOUBLE_EQ(scaled.stage_intrinsic_gain, typ.stage_intrinsic_gain * 1.2);
+  EXPECT_DOUBLE_EQ(scaled.stage_ft_hz, typ.stage_ft_hz * 0.8);
+  EXPECT_DOUBLE_EQ(scaled.gm_over_id, typ.gm_over_id * 1.1);
+  EXPECT_DOUBLE_EQ(scaled.stage_c0, typ.stage_c0 * 1.5);
+}
+
+TEST(Corners, StandardSetLeadsWithTypical) {
+  const auto& corners = sizing::standard_corners();
+  ASSERT_EQ(corners.size(), 5u);
+  EXPECT_EQ(corners[0].name, "typ");
+  EXPECT_DOUBLE_EQ(corners[0].intrinsic_gain_scale, 1.0);
+}
+
+TEST(Corners, SweepEvaluatesEveryCorner) {
+  const sizing::EvalContext ctx(circuit::spec_by_name("S-1"));
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> values = {10e-6, 100e-6, 2e-3, 2e-12};
+  const auto sweep = sizing::evaluate_corners(topo, values, ctx);
+  ASSERT_EQ(sweep.results.size(), 5u);
+  for (const auto& r : sweep.results) {
+    EXPECT_GE(r.point.perf.power_w, 0.0);
+  }
+  // Typical corner must equal a direct typical evaluation.
+  const auto direct = sizing::evaluate_sized(topo, values, ctx);
+  EXPECT_DOUBLE_EQ(sweep.results[0].point.fom, direct.fom);
+}
+
+TEST(Corners, GainCornerShiftsGain) {
+  const sizing::EvalContext ctx(circuit::spec_by_name("S-1"));
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> values = {10e-6, 100e-6, 2e-3, 2e-12};
+  const auto sweep = sizing::evaluate_corners(topo, values, ctx);
+  // "lowgain" (index 3) scales A0 by 0.8: three stages lose
+  // 60*log10(1/0.8) ~= 5.8 dB.
+  const double typ_gain = sweep.results[0].point.perf.gain_db;
+  const double low_gain = sweep.results[3].point.perf.gain_db;
+  EXPECT_NEAR(typ_gain - low_gain, 5.8, 0.5);
+}
+
+TEST(Corners, GmOverIdCornerShiftsPower) {
+  const sizing::EvalContext ctx(circuit::spec_by_name("S-1"));
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> values = {10e-6, 100e-6, 2e-3, 2e-12};
+  const auto sweep = sizing::evaluate_corners(topo, values, ctx);
+  // "fast" (index 1) improves gm/Id by 1.1: power drops by ~1/1.1.
+  const double typ_power = sweep.results[0].point.perf.power_w;
+  const double fast_power = sweep.results[1].point.perf.power_w;
+  EXPECT_NEAR(fast_power * 1.1, typ_power, typ_power * 1e-9);
+}
+
+TEST(Corners, WorstIndexTracksLargestViolation) {
+  const sizing::EvalContext ctx(circuit::spec_by_name("S-2"));  // 110 dB gain
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> values = {10e-6, 100e-6, 2e-3, 2e-12};
+  const auto sweep = sizing::evaluate_corners(topo, values, ctx);
+  double max_violation = 0.0;
+  for (const auto& r : sweep.results) {
+    max_violation = std::max(max_violation, r.point.violation());
+  }
+  EXPECT_DOUBLE_EQ(
+      sweep.results[sweep.worst_index].point.violation(), max_violation);
+  EXPECT_EQ(sweep.all_feasible, max_violation == 0.0);
+}
+
+TEST(Report, ExplainsDesignInMarkdown) {
+  sizing::EvalContext ctx(circuit::spec_by_name("S-1"));
+  sizing::SizingConfig sizing_config;
+  sizing_config.init_points = 4;
+  sizing_config.iterations = 4;
+  core::TopologyEvaluator evaluator(ctx, sizing_config);
+  core::OptimizerConfig config;
+  config.init_topologies = 5;
+  config.iterations = 6;
+  config.candidates.pool_size = 40;
+  core::IntoOaOptimizer optimizer(config);
+  util::Rng rng(123);
+  const auto outcome = optimizer.run(evaluator, rng);
+  ASSERT_TRUE(outcome.best_index.has_value());
+
+  const circuit::Topology topo = circuit::named_topology("C1");
+  const auto schema = circuit::make_schema(topo, ctx.behavioral);
+  std::vector<double> unit(schema.size(), 0.5);
+  const auto point = sizing::evaluate_sized(topo, schema.from_unit(unit), ctx);
+
+  const std::string report =
+      core::explain_design(optimizer, topo, point, ctx.spec);
+  EXPECT_NE(report.find("# Design report:"), std::string::npos);
+  EXPECT_NE(report.find("| Gain |"), std::string::npos);
+  EXPECT_NE(report.find("## Subcircuit attributions"), std::string::npos);
+  for (const auto& name : circuit::Spec::constraint_names()) {
+    EXPECT_NE(report.find("### " + name), std::string::npos);
+  }
+  EXPECT_NE(report.find("Strongest structures"), std::string::npos);
+  // C1's occupied slots appear in context form.
+  EXPECT_NE(report.find("-gmCp{"), std::string::npos);
+}
+
+TEST(Report, UntrainedOptimizerThrows) {
+  core::IntoOaOptimizer optimizer;
+  const circuit::Topology topo = circuit::named_topology("C1");
+  sizing::EvalPoint point;
+  EXPECT_THROW(core::explain_design(optimizer, topo, point,
+                                    circuit::spec_by_name("S-1")),
+               std::logic_error);
+}
+
+}  // namespace

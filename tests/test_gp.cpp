@@ -1,0 +1,345 @@
+// Unit tests for intooa::gp — kernels, the continuous GP regressor, the
+// shared-kernel JointGp, the WL-GP over graphs (including the analytic
+// feature gradient of Eq. 5) and the wEI acquisition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gp/acquisition.hpp"
+#include "gp/gp.hpp"
+#include "gp/joint_gp.hpp"
+#include "gp/kernel.hpp"
+#include "gp/wlgp.hpp"
+#include "graph/wl.hpp"
+#include "la/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace intooa;
+using namespace intooa::gp;
+
+TEST(Kernel, RbfValues) {
+  const RbfKernel k(1.0, 2.0);
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> y = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(k(x, x), 2.0);
+  EXPECT_NEAR(k(x, y), 2.0 * std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(k(x, y), k(y, x));
+  EXPECT_THROW(k(x, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(RbfKernel(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RbfKernel(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Kernel, Matern52Values) {
+  const Matern52Kernel k(0.5, 1.0);
+  const std::vector<double> x = {0.0};
+  EXPECT_DOUBLE_EQ(k(x, x), 1.0);
+  const std::vector<double> y = {0.5};
+  EXPECT_GT(k(x, y), 0.0);
+  EXPECT_LT(k(x, y), 1.0);
+  EXPECT_EQ(k.name(), "matern52");
+}
+
+TEST(Kernel, GramMatrixIsPsd) {
+  util::Rng rng(31);
+  const RbfKernel k(0.5, 1.0);
+  const std::size_t n = 12;
+  std::vector<std::vector<double>> xs(n, std::vector<double>(3));
+  for (auto& x : xs) {
+    for (auto& v : x) v = rng.uniform();
+  }
+  la::MatrixD gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) gram(i, j) = k(xs[i], xs[j]);
+  }
+  // PSD check: Cholesky with tiny jitter succeeds.
+  EXPECT_NO_THROW(la::Cholesky{gram});
+}
+
+TEST(GpRegressor, InterpolatesTrainingData) {
+  util::Rng rng(32);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 15; ++i) {
+    const double x = rng.uniform();
+    xs.push_back({x});
+    ys.push_back(std::sin(6.0 * x));
+  }
+  GpRegressor gp;
+  gp.fit(xs, ys);
+  EXPECT_TRUE(gp.trained());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Prediction p = gp.predict(xs[i]);
+    EXPECT_NEAR(p.mean, ys[i], 0.05);
+    EXPECT_LT(p.variance, 0.05);
+  }
+}
+
+TEST(GpRegressor, VarianceGrowsAwayFromData) {
+  GpRegressor gp;
+  gp.fit({{0.1}, {0.2}, {0.3}}, std::vector<double>{1.0, 2.0, 3.0});
+  const double var_near = gp.predict(std::vector<double>{0.2}).variance;
+  const double var_far = gp.predict(std::vector<double>{0.9}).variance;
+  EXPECT_GT(var_far, var_near);
+}
+
+TEST(GpRegressor, ConstantTargetsHandled) {
+  GpRegressor gp;
+  gp.fit({{0.1}, {0.5}, {0.9}}, std::vector<double>{2.0, 2.0, 2.0});
+  const Prediction p = gp.predict(std::vector<double>{0.3});
+  EXPECT_NEAR(p.mean, 2.0, 1e-6);
+}
+
+TEST(GpRegressor, InputValidation) {
+  GpRegressor gp;
+  EXPECT_THROW(gp.fit({{0.1}}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(gp.fit({{0.1}, {0.2, 0.3}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(gp.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+TEST(JointGp, MatchesSingleOutputBehaviour) {
+  util::Rng rng(33);
+  std::vector<std::vector<double>> xs;
+  std::vector<std::vector<double>> ys;
+  std::vector<double> y_flat;
+  for (int i = 0; i < 12; ++i) {
+    const double x = rng.uniform();
+    xs.push_back({x});
+    const double y = std::cos(4.0 * x);
+    ys.push_back({y});
+    y_flat.push_back(y);
+  }
+  JointGp joint;
+  joint.fit(xs, ys, true);
+  GpRegressor single;
+  single.fit(xs, y_flat);
+  for (double q : {0.05, 0.35, 0.75}) {
+    const auto jp = joint.predict(std::vector<double>{q});
+    const auto sp = single.predict(std::vector<double>{q});
+    EXPECT_NEAR(jp.mean[0], sp.mean, 0.15);
+  }
+}
+
+TEST(JointGp, SharedVarianceScaledPerOutput) {
+  // Two outputs with different scales: identical standardized variance,
+  // different raw variance.
+  std::vector<std::vector<double>> xs = {{0.1}, {0.4}, {0.7}};
+  std::vector<std::vector<double>> ys = {{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  JointGp joint;
+  joint.fit(xs, ys, true);
+  const auto p = joint.predict(std::vector<double>{0.95});
+  EXPECT_GT(p.variance[1], p.variance[0]);
+  EXPECT_NEAR(p.variance[1] / p.variance[0], 100.0, 1.0);
+}
+
+TEST(JointGp, HyperReuseWithoutRefit) {
+  std::vector<std::vector<double>> xs = {{0.1}, {0.4}, {0.7}};
+  std::vector<std::vector<double>> ys = {{1.0}, {2.0}, {3.0}};
+  JointGp joint;
+  joint.fit(xs, ys, true);
+  const auto hyper = joint.hyper();
+  xs.push_back({0.9});
+  ys.push_back({4.0});
+  joint.fit(xs, ys, false);  // reuse hypers
+  EXPECT_EQ(joint.hyper().lengthscale, hyper.lengthscale);
+  EXPECT_EQ(joint.size(), 4u);
+}
+
+TEST(JointGp, Validation) {
+  JointGp joint;
+  EXPECT_THROW(joint.fit({{0.1}}, {{1.0}}, true), std::invalid_argument);
+  EXPECT_THROW(joint.fit({{0.1}, {0.2}}, {{1.0}, {1.0, 2.0}}, true),
+               std::invalid_argument);
+}
+
+graph::Graph make_chain(const std::vector<std::string>& labels) {
+  graph::Graph g;
+  for (const auto& l : labels) g.add_node(l);
+  for (std::size_t i = 0; i + 1 < labels.size(); ++i) {
+    g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+TEST(WlGp, FitsAndInterpolatesGraphTargets) {
+  auto feat = std::make_shared<graph::WlFeaturizer>(3);
+  WlGpConfig config;
+  config.max_h = 3;
+  WlGp gp(feat, config);
+
+  // Target = number of "B" nodes (a depth-0-expressible function).
+  std::vector<graph::Graph> graphs;
+  std::vector<double> targets;
+  const std::vector<std::vector<std::string>> specs = {
+      {"A", "B"},      {"A", "B", "B"},   {"A", "A"},
+      {"B", "B", "B"}, {"A", "B", "A"},   {"B"},
+      {"A", "A", "B"}, {"B", "B", "A", "A"},
+  };
+  for (const auto& s : specs) {
+    graphs.push_back(make_chain(s));
+    targets.push_back(static_cast<double>(
+        std::count(s.begin(), s.end(), std::string("B"))));
+  }
+  gp.fit(graphs, targets);
+  EXPECT_TRUE(gp.trained());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_NEAR(gp.predict(graphs[i]).mean, targets[i], 0.35);
+  }
+}
+
+TEST(WlGp, GradientMatchesLinearityOfKernel) {
+  // With the dot-product WL kernel the posterior mean is linear in the
+  // feature vector, so mu(phi + e_j) - mu(phi) must equal the analytic
+  // gradient of Eq. 5 exactly. Adding one disconnected node labeled "B"
+  // increments exactly one depth-0 feature (plus new deeper features with
+  // zero gradient).
+  auto feat = std::make_shared<graph::WlFeaturizer>(1);
+  WlGpConfig config;
+  config.max_h = 1;
+  config.fit_h = false;
+  config.fixed_h = 0;  // depth-0 only: adding a node changes one feature
+  WlGp gp(feat, config);
+
+  std::vector<graph::Graph> graphs;
+  std::vector<double> targets;
+  const std::vector<std::vector<std::string>> specs = {
+      {"A", "B"}, {"A", "B", "B"}, {"A", "A"}, {"B", "B", "B"}, {"A"},
+  };
+  for (const auto& s : specs) {
+    graphs.push_back(make_chain(s));
+    targets.push_back(static_cast<double>(
+        std::count(s.begin(), s.end(), std::string("B"))));
+  }
+  gp.fit(graphs, targets);
+
+  graph::Graph base = make_chain({"A", "B"});
+  const double mu0 = gp.predict(base).mean;
+  graph::Graph plus_b = base;
+  plus_b.add_node("B");
+  const double mu1 = gp.predict(plus_b).mean;
+
+  // Feature id of label "B" at depth 0.
+  const auto labels = feat->node_labels(base, 0);
+  const std::size_t b_id = labels[0][1];
+  EXPECT_EQ(feat->provenance(b_id), "B");
+  EXPECT_NEAR(mu1 - mu0, gp.mean_gradient(b_id), 1e-9);
+
+  // Dense gradient agrees with the scalar accessor.
+  const auto grad = gp.mean_gradient();
+  EXPECT_NEAR(grad[b_id], gp.mean_gradient(b_id), 1e-12);
+}
+
+TEST(WlGp, MleSelectsExpressiveDepth) {
+  // Target depends on depth-1 structure (neighbor identity), so MLE should
+  // not pick a degenerate model; chosen h must be within range.
+  auto feat = std::make_shared<graph::WlFeaturizer>(3);
+  WlGp gp(feat, WlGpConfig{.max_h = 3});
+  util::Rng rng(35);
+  std::vector<graph::Graph> graphs;
+  std::vector<double> targets;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<std::string> labels;
+    const int n = 3 + static_cast<int>(rng.index(3));
+    int ab_edges = 0;
+    for (int j = 0; j < n; ++j) {
+      labels.push_back(rng.chance(0.5) ? "A" : "B");
+    }
+    for (int j = 0; j + 1 < n; ++j) {
+      if (labels[j] != labels[j + 1]) ++ab_edges;
+    }
+    graphs.push_back(make_chain(labels));
+    targets.push_back(static_cast<double>(ab_edges));
+  }
+  gp.fit(graphs, targets);
+  EXPECT_GE(gp.chosen_h(), 0);
+  EXPECT_LE(gp.chosen_h(), 3);
+  EXPECT_GT(gp.signal_variance(), 0.0);
+  EXPECT_GT(gp.noise_variance(), 0.0);
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+}
+
+TEST(WlGp, FixedDepthRespected) {
+  auto feat = std::make_shared<graph::WlFeaturizer>(4);
+  WlGpConfig config;
+  config.max_h = 4;
+  config.fit_h = false;
+  config.fixed_h = 2;
+  WlGp gp(feat, config);
+  gp.fit({make_chain({"A", "B"}), make_chain({"B", "B"})},
+         std::vector<double>{0.0, 1.0});
+  EXPECT_EQ(gp.chosen_h(), 2);
+}
+
+TEST(WlGp, Validation) {
+  auto feat = std::make_shared<graph::WlFeaturizer>(2);
+  EXPECT_THROW(WlGp(nullptr, WlGpConfig{}), std::invalid_argument);
+  WlGpConfig too_deep;
+  too_deep.max_h = 5;
+  EXPECT_THROW(WlGp(feat, too_deep), std::invalid_argument);
+  WlGp gp(feat, WlGpConfig{.max_h = 2});
+  EXPECT_THROW(gp.fit({make_chain({"A"})}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(gp.predict(make_chain({"A"})), std::logic_error);
+}
+
+TEST(Acquisition, ExpectedImprovementKnownValues) {
+  // With mean = best and unit variance: EI = pdf(0) ~= 0.3989.
+  EXPECT_NEAR(expected_improvement(0.0, 1.0, 0.0), 0.3989422804, 1e-6);
+  // Deterministic improvement.
+  EXPECT_DOUBLE_EQ(expected_improvement(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(0.5, 0.0, 1.0), 0.0);
+  // EI increases with variance.
+  EXPECT_GT(expected_improvement(0.0, 4.0, 1.0),
+            expected_improvement(0.0, 1.0, 1.0));
+  EXPECT_THROW(expected_improvement(0.0, -1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Acquisition, ProbabilityFeasible) {
+  EXPECT_NEAR(probability_feasible(0.0, 1.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(probability_feasible(-1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(probability_feasible(1.0, 0.0), 0.0);
+  EXPECT_GT(probability_feasible(-1.0, 1.0), 0.8);
+  EXPECT_LT(probability_feasible(1.0, 1.0), 0.2);
+}
+
+TEST(Acquisition, WeightedEiComposition) {
+  const std::vector<double> cm = {-2.0, -2.0};
+  const std::vector<double> cv = {0.01, 0.01};
+  WeiInputs in;
+  in.objective_mean = 1.0;
+  in.objective_variance = 0.5;
+  in.best_feasible = 0.5;
+  in.have_feasible = true;
+  in.constraint_means = cm;
+  in.constraint_variances = cv;
+  const double with_feasible_constraints = weighted_ei(in);
+  EXPECT_GT(with_feasible_constraints, 0.0);
+
+  // An almost-surely-violated constraint crushes the score.
+  const std::vector<double> bad_cm = {3.0, -2.0};
+  in.constraint_means = bad_cm;
+  EXPECT_LT(weighted_ei(in), 1e-3 * with_feasible_constraints);
+
+  // Without a feasible incumbent, wEI reduces to the PF product.
+  in.constraint_means = cm;
+  in.have_feasible = false;
+  const double pf_only = weighted_ei(in);
+  EXPECT_LE(pf_only, 1.0);
+  EXPECT_GT(pf_only, 0.9);  // both constraints comfortably satisfied
+}
+
+TEST(Acquisition, WeightedEiValidatesSpans) {
+  const std::vector<double> cm = {0.0};
+  const std::vector<double> cv = {0.0, 0.0};
+  WeiInputs in;
+  in.constraint_means = cm;
+  in.constraint_variances = cv;
+  EXPECT_THROW(weighted_ei(in), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Unit tests for the multi-objective Pareto extraction (core/pareto).
+
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "core/pareto.hpp"
+
+namespace {
+
+using namespace intooa;
+using core::TradeoffPoint;
+
+// Builds a synthetic history record with chosen feasibility/metrics.
+core::EvalRecord make_record(bool feasible, double gbw_hz, double power_w) {
+  core::EvalRecord record;
+  record.topology = circuit::named_topology("NMC");
+  auto& point = record.sized.best;
+  point.feasible = feasible;
+  point.perf.valid = true;
+  point.perf.gbw_hz = gbw_hz;
+  point.perf.power_w = power_w;
+  point.perf.gain_db = 90.0;
+  point.perf.pm_deg = 60.0;
+  point.fom = circuit::fom(point.perf, 10e-12);
+  return record;
+}
+
+TEST(Pareto, ExtractsNonDominatedFeasibleSet) {
+  const circuit::Spec& spec = circuit::spec_by_name("S-1");
+  std::vector<core::EvalRecord> history;
+  history.push_back(make_record(true, 1e6, 100e-6));   // A
+  history.push_back(make_record(true, 2e6, 100e-6));   // B dominates A
+  history.push_back(make_record(true, 0.8e6, 20e-6));  // C cheaper, on front
+  history.push_back(make_record(true, 1.5e6, 300e-6)); // D dominated by B
+  history.push_back(make_record(false, 9e6, 1e-6));    // infeasible: excluded
+
+  const auto front =
+      core::pareto_front(history, spec, core::TradeoffPlane::GbwVsPower);
+  ASSERT_EQ(front.size(), 2u);
+  // Cost-ascending order: C then B.
+  EXPECT_EQ(front[0].history_index, 2u);
+  EXPECT_EQ(front[1].history_index, 1u);
+  EXPECT_LT(front[0].cost_axis, front[1].cost_axis);
+  EXPECT_LT(front[0].gain_axis, front[1].gain_axis);
+}
+
+TEST(Pareto, FomPlaneUsesEqSixFom) {
+  const circuit::Spec& spec = circuit::spec_by_name("S-1");
+  std::vector<core::EvalRecord> history;
+  history.push_back(make_record(true, 1e6, 100e-6));
+  const auto front = core::pareto_front(history, spec);
+  ASSERT_EQ(front.size(), 1u);
+  // FoM = 1 MHz * 10 pF / 0.1 mW = 100.
+  EXPECT_NEAR(front[0].gain_axis, 100.0, 1e-9);
+}
+
+TEST(Pareto, EmptyAndAllInfeasible) {
+  const circuit::Spec& spec = circuit::spec_by_name("S-1");
+  EXPECT_TRUE(core::pareto_front({}, spec).empty());
+  std::vector<core::EvalRecord> history;
+  history.push_back(make_record(false, 1e6, 1e-6));
+  EXPECT_TRUE(core::pareto_front(history, spec).empty());
+}
+
+TEST(Pareto, TiedCostKeepsBestGainOnly) {
+  const circuit::Spec& spec = circuit::spec_by_name("S-1");
+  std::vector<core::EvalRecord> history;
+  history.push_back(make_record(true, 1e6, 50e-6));
+  history.push_back(make_record(true, 3e6, 50e-6));
+  const auto front =
+      core::pareto_front(history, spec, core::TradeoffPlane::GbwVsPower);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].gain_axis, 3e6);
+}
+
+TEST(Pareto, HypervolumeRectangles) {
+  // Two points: (cost 1, gain 2) and (cost 2, gain 3); ref (4, 0).
+  std::vector<TradeoffPoint> front(2);
+  front[0].cost_axis = 1.0;
+  front[0].gain_axis = 2.0;
+  front[1].cost_axis = 2.0;
+  front[1].gain_axis = 3.0;
+  // Area = (4-1)*(2-0) + (4-2)*(3-2) = 6 + 2 = 8.
+  EXPECT_DOUBLE_EQ(core::hypervolume(front, 4.0, 0.0), 8.0);
+  // Points outside the reference box contribute nothing.
+  EXPECT_DOUBLE_EQ(core::hypervolume(front, 0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(core::hypervolume({}, 4.0, 0.0), 0.0);
+}
+
+TEST(Pareto, FrontDominatesEveryHistoryPoint) {
+  // Property: no feasible history point may dominate any front point.
+  const circuit::Spec& spec = circuit::spec_by_name("S-1");
+  util::Rng rng(5);
+  std::vector<core::EvalRecord> history;
+  for (int i = 0; i < 60; ++i) {
+    history.push_back(make_record(true, rng.log_uniform(1e5, 1e8),
+                                  rng.log_uniform(1e-6, 1e-3)));
+  }
+  const auto front =
+      core::pareto_front(history, spec, core::TradeoffPlane::GbwVsPower);
+  ASSERT_FALSE(front.empty());
+  for (const auto& record : history) {
+    for (const auto& fp : front) {
+      const bool dominates =
+          record.sized.best.perf.power_w < fp.cost_axis &&
+          record.sized.best.perf.gbw_hz > fp.gain_axis;
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+}  // namespace

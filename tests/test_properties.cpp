@@ -1,0 +1,326 @@
+// Parameterized property suites (TEST_P) sweeping the discrete axes of the
+// system: all 25 subcircuit types, all 5 slots, all 5 specs, all library
+// topologies, and all WL depths. Each suite checks invariants that must
+// hold for EVERY value of the axis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/fega.hpp"
+#include "baselines/vae.hpp"
+#include "circuit/behavioral.hpp"
+#include "circuit/circuit_graph.hpp"
+#include "circuit/library.hpp"
+#include "graph/wl.hpp"
+#include "sim/metrics.hpp"
+#include "sizing/evaluate.hpp"
+#include "util/rng.hpp"
+#include "xtor/mapping.hpp"
+
+namespace {
+
+using namespace intooa;
+
+// ---------------------------------------------------------------------------
+// Every subcircuit type, placed in the universal v1-vout slot.
+// ---------------------------------------------------------------------------
+
+class SubcktTypeProperty
+    : public ::testing::TestWithParam<circuit::SubcktType> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, SubcktTypeProperty,
+    ::testing::ValuesIn(circuit::all_subckt_types()),
+    [](const ::testing::TestParamInfo<circuit::SubcktType>& info) {
+      std::string name = circuit::short_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+TEST_P(SubcktTypeProperty, SchemaMatchesParameterCount) {
+  const circuit::Topology topo =
+      circuit::Topology().with(circuit::Slot::V1Vout, GetParam());
+  const circuit::BehavioralConfig cfg;
+  const auto schema = circuit::make_schema(topo, cfg);
+  EXPECT_EQ(schema.size(), 3u + circuit::parameter_count(GetParam()));
+}
+
+TEST_P(SubcktTypeProperty, BehavioralNetlistBuildsAndSimulates) {
+  const circuit::Topology topo =
+      circuit::Topology().with(circuit::Slot::V1Vout, GetParam());
+  const circuit::BehavioralConfig cfg;
+  const auto schema = circuit::make_schema(topo, cfg);
+  std::vector<double> unit(schema.size(), 0.5);
+  const auto net = circuit::build_behavioral(topo, schema.from_unit(unit), cfg);
+  // The netlist must always be solvable (evaluate returns, possibly as an
+  // infeasible-but-valid result object).
+  const auto perf = sim::evaluate_opamp(net, cfg.vdd);
+  EXPECT_GE(perf.power_w, 0.0);
+}
+
+TEST_P(SubcktTypeProperty, CircuitGraphShapeIsConsistent) {
+  const circuit::Topology topo =
+      circuit::Topology().with(circuit::Slot::V1Vout, GetParam());
+  const auto g = circuit::build_circuit_graph(topo);
+  const bool occupied = GetParam() != circuit::SubcktType::None;
+  EXPECT_EQ(g.node_count(), 8u + (occupied ? 1u : 0u));
+  EXPECT_EQ(g.edge_count(), 6u + (occupied ? 2u : 0u));
+  if (occupied) {
+    EXPECT_EQ(g.label(8), circuit::graph_label(GetParam()));
+  }
+}
+
+TEST_P(SubcktTypeProperty, TransistorMappingBuilds) {
+  const circuit::Topology topo =
+      circuit::Topology().with(circuit::Slot::V1Vout, GetParam());
+  const circuit::BehavioralConfig cfg;
+  const auto schema = circuit::make_schema(topo, cfg);
+  std::vector<double> unit(schema.size(), 0.5);
+  const auto design =
+      xtor::map_to_transistor(topo, schema.from_unit(unit), cfg);
+  const bool has_gm = circuit::has_gm(GetParam());
+  EXPECT_EQ(design.cells.size(), 3u + (has_gm ? 1u : 0u));
+  EXPECT_GT(design.supply_current, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Every slot.
+// ---------------------------------------------------------------------------
+
+class SlotProperty : public ::testing::TestWithParam<circuit::Slot> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSlots, SlotProperty, ::testing::ValuesIn(circuit::all_slots()),
+    [](const ::testing::TestParamInfo<circuit::Slot>& info) {
+      std::string name = circuit::slot_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(SlotProperty, AllowedTypesAreValidAndDeduplicated) {
+  const auto types = circuit::allowed_types(GetParam());
+  ASSERT_FALSE(types.empty());
+  EXPECT_EQ(types.front(), circuit::SubcktType::None);
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    EXPECT_EQ(circuit::allowed_index(GetParam(), types[i]), i);
+    for (std::size_t j = i + 1; j < types.size(); ++j) {
+      EXPECT_NE(types[i], types[j]);
+    }
+  }
+}
+
+TEST_P(SlotProperty, EveryAllowedTypeBuildsANetlist) {
+  const circuit::BehavioralConfig cfg;
+  for (circuit::SubcktType type : circuit::allowed_types(GetParam())) {
+    const circuit::Topology topo = circuit::Topology().with(GetParam(), type);
+    const auto schema = circuit::make_schema(topo, cfg);
+    std::vector<double> unit(schema.size(), 0.3);
+    EXPECT_NO_THROW(
+        circuit::build_behavioral(topo, schema.from_unit(unit), cfg))
+        << circuit::short_name(type) << " in " << circuit::slot_name(GetParam());
+  }
+}
+
+TEST_P(SlotProperty, MutationStaysWithinRules) {
+  util::Rng rng(17 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    const auto parent = circuit::Topology::random(rng);
+    const auto child = parent.mutated(rng);
+    EXPECT_TRUE(circuit::is_allowed(GetParam(), child.type(GetParam())));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every specification set.
+// ---------------------------------------------------------------------------
+
+class SpecProperty : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecProperty,
+                         ::testing::Values("S-1", "S-2", "S-3", "S-4", "S-5"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           n[1] = '_';
+                           return n;
+                         });
+
+TEST_P(SpecProperty, MarginsAreZeroExactlyAtTheSpecPoint) {
+  const circuit::Spec& spec = circuit::spec_by_name(GetParam());
+  circuit::Performance at_spec;
+  at_spec.valid = true;
+  at_spec.gain_db = spec.gain_db_min;
+  at_spec.gbw_hz = spec.gbw_hz_min;
+  at_spec.pm_deg = spec.pm_deg_min;
+  at_spec.power_w = spec.power_w_max;
+  for (double m : spec.margins(at_spec)) EXPECT_NEAR(m, 0.0, 1e-9);
+  EXPECT_TRUE(spec.satisfied(at_spec));
+}
+
+TEST_P(SpecProperty, MarginsAreMonotoneInEachMetric) {
+  const circuit::Spec& spec = circuit::spec_by_name(GetParam());
+  circuit::Performance base;
+  base.valid = true;
+  base.gain_db = spec.gain_db_min + 5.0;
+  base.gbw_hz = spec.gbw_hz_min * 2.0;
+  base.pm_deg = spec.pm_deg_min + 5.0;
+  base.power_w = spec.power_w_max * 0.5;
+  const auto m0 = spec.margins(base);
+
+  auto better = base;
+  better.gain_db += 10.0;
+  EXPECT_LT(spec.margins(better)[0], m0[0]);
+  better = base;
+  better.gbw_hz *= 3.0;
+  EXPECT_LT(spec.margins(better)[1], m0[1]);
+  better = base;
+  better.pm_deg += 10.0;
+  EXPECT_LT(spec.margins(better)[2], m0[2]);
+  better = base;
+  better.power_w *= 0.5;
+  EXPECT_LT(spec.margins(better)[3], m0[3]);
+}
+
+TEST_P(SpecProperty, EvalContextBindsLoadCap) {
+  const sizing::EvalContext ctx(circuit::spec_by_name(GetParam()));
+  EXPECT_DOUBLE_EQ(ctx.behavioral.load_cap, ctx.spec.load_cap);
+}
+
+TEST_P(SpecProperty, FomScalesInverselyWithPower) {
+  const circuit::Spec& spec = circuit::spec_by_name(GetParam());
+  circuit::Performance p;
+  p.valid = true;
+  p.gbw_hz = 1e6;
+  p.power_w = 100e-6;
+  const double f1 = circuit::fom(p, spec.load_cap);
+  p.power_w = 200e-6;
+  EXPECT_NEAR(circuit::fom(p, spec.load_cap) * 2.0, f1, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Every library topology.
+// ---------------------------------------------------------------------------
+
+class LibraryProperty : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllNamed, LibraryProperty,
+                         ::testing::Values("bare", "NMC", "C1", "C2", "R1",
+                                           "R2"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(LibraryProperty, RoundTripsThroughIndexAndGenes) {
+  const auto topo = circuit::named_topology(GetParam());
+  EXPECT_EQ(circuit::Topology::from_index(topo.index()), topo);
+  EXPECT_EQ(baselines::decode_genes(baselines::embed(topo)), topo);
+  EXPECT_EQ(baselines::decode_topology(baselines::topology_onehot(topo)),
+            topo);
+}
+
+TEST_P(LibraryProperty, BehavioralAndTransistorBuildsSimulate) {
+  const auto topo = circuit::named_topology(GetParam());
+  const circuit::BehavioralConfig cfg;
+  const auto schema = circuit::make_schema(topo, cfg);
+  std::vector<double> unit(schema.size(), 0.5);
+  const auto values = schema.from_unit(unit);
+  const auto perf =
+      sim::evaluate_opamp(circuit::build_behavioral(topo, values, cfg), cfg.vdd);
+  EXPECT_GE(perf.power_w, 0.0);
+  const auto xperf = xtor::evaluate_transistor(topo, values, cfg);
+  EXPECT_GE(xperf.power_w, perf.power_w);  // mapping adds bias overhead
+}
+
+TEST_P(LibraryProperty, GraphIsDeterministic) {
+  const auto topo = circuit::named_topology(GetParam());
+  EXPECT_EQ(circuit::build_circuit_graph(topo),
+            circuit::build_circuit_graph(topo));
+}
+
+// ---------------------------------------------------------------------------
+// Every WL depth.
+// ---------------------------------------------------------------------------
+
+class WlDepthProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Depths, WlDepthProperty, ::testing::Range(0, 7));
+
+TEST_P(WlDepthProperty, FeatureVectorsNestAcrossDepths) {
+  // phi_h is a sub-multiset of phi_{h+1}: deeper featurization only adds
+  // counts for new (deeper) labels.
+  const int h = GetParam();
+  util::Rng rng(23);
+  graph::WlFeaturizer feat(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g =
+        circuit::build_circuit_graph(circuit::Topology::random(rng));
+    const auto phi_h = feat.features(g, h);
+    const auto phi_h1 = feat.features(g, h + 1 <= 7 ? h + 1 : h);
+    for (const auto& [id, count] : phi_h.entries()) {
+      EXPECT_GE(phi_h1.get(id), count);
+    }
+    EXPECT_GE(phi_h1.sum(), phi_h.sum());
+  }
+}
+
+TEST_P(WlDepthProperty, KernelIsSymmetricAndCauchySchwarz) {
+  const int h = GetParam();
+  util::Rng rng(29 + static_cast<std::uint64_t>(h));
+  graph::WlFeaturizer feat(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = circuit::build_circuit_graph(circuit::Topology::random(rng));
+    const auto b = circuit::build_circuit_graph(circuit::Topology::random(rng));
+    const double kab = graph::wl_kernel(feat, a, b, h);
+    const double kba = graph::wl_kernel(feat, b, a, h);
+    const double kaa = graph::wl_kernel(feat, a, a, h);
+    const double kbb = graph::wl_kernel(feat, b, b, h);
+    EXPECT_DOUBLE_EQ(kab, kba);
+    EXPECT_LE(kab * kab, kaa * kbb * (1.0 + 1e-12));
+    EXPECT_GE(kaa, 0.0);
+  }
+}
+
+TEST_P(WlDepthProperty, IdenticalTopologiesHaveMaximalSimilarity) {
+  const int h = GetParam();
+  util::Rng rng(31);
+  graph::WlFeaturizer feat(7);
+  const auto topo = circuit::Topology::random(rng);
+  const auto g1 = circuit::build_circuit_graph(topo);
+  const auto g2 = circuit::build_circuit_graph(topo);
+  EXPECT_DOUBLE_EQ(graph::wl_kernel_normalized(feat, g1, g2, h), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Random-topology fuzz: the evaluation pipeline never throws.
+// ---------------------------------------------------------------------------
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(PipelineFuzz, RandomSizedDesignsEvaluateWithoutThrowing) {
+  util::Rng rng(GetParam());
+  const sizing::EvalContext ctx(circuit::spec_by_name("S-1"));
+  for (int i = 0; i < 20; ++i) {
+    const auto topo = circuit::Topology::random(rng);
+    const auto schema = circuit::make_schema(topo, ctx.behavioral);
+    std::vector<double> unit(schema.size());
+    for (auto& u : unit) u = rng.uniform();
+    const auto point =
+        sizing::evaluate_sized(topo, schema.from_unit(unit), ctx);
+    // Invariants of every evaluation, valid or not:
+    EXPECT_EQ(point.feasible, ctx.spec.satisfied(point.perf));
+    if (!point.perf.valid) {
+      EXPECT_EQ(point.fom, 0.0);
+      EXPECT_FALSE(point.feasible);
+    } else {
+      EXPECT_GE(point.perf.gbw_hz, 0.0);
+      EXPECT_GT(point.perf.power_w, 0.0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Unit tests for the extended simulator analyses: VCVS stamps and
+// closed-loop configurations, transient (.TRAN) step responses with
+// settling/overshoot metrics, and noise (.NOISE) analysis, each validated
+// against closed-form circuit theory.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/behavioral.hpp"
+#include "circuit/library.hpp"
+#include "sim/metrics.hpp"
+#include "sim/mna.hpp"
+#include "sim/noise.hpp"
+#include "sim/transient.hpp"
+
+namespace {
+
+using namespace intooa;
+using namespace intooa::sim;
+
+constexpr double kBoltzmann = 1.380649e-23;
+
+TEST(Vcvs, IdealGainStamp) {
+  circuit::Netlist net;
+  const auto in = net.node("in");
+  const auto out = net.node("out");
+  net.add_vsource("src", in, 0, 1.0);
+  net.add_vcvs("e", out, 0, in, 0, 3.0);
+  net.add_resistor("load", out, 0, 1e3);
+  const auto v = AcSolver(net).solve(0.0);
+  EXPECT_NEAR(v[out].real(), 3.0, 1e-12);
+}
+
+TEST(Vcvs, DifferentialControl) {
+  // V(out) = 2 * (V(a) - V(b)).
+  circuit::Netlist net;
+  const auto a = net.node("a");
+  const auto b = net.node("b");
+  const auto out = net.node("out");
+  net.add_vsource("sa", a, 0, 5.0);
+  net.add_vsource("sb", b, 0, 2.0);
+  net.add_vcvs("e", out, 0, a, b, 2.0);
+  net.add_resistor("load", out, 0, 1e3);
+  const auto v = AcSolver(net).solve(0.0);
+  EXPECT_NEAR(v[out].real(), 6.0, 1e-12);
+}
+
+TEST(Vcvs, ValidationAndSpiceDump) {
+  circuit::Netlist net;
+  const auto a = net.node("a");
+  EXPECT_THROW(net.add_vcvs("e", a, 0, a, 0, std::nan("")),
+               std::invalid_argument);
+  net.add_vcvs("fb", a, 0, a, 0, 1.0);
+  EXPECT_NE(net.to_spice().find("Efb a gnd a gnd 1.00"), std::string::npos);
+}
+
+TEST(Vcvs, UnityFollowerClosesLoop) {
+  // The behavioral amp in unity feedback: DC output ~= input (gain error
+  // ~ 1/A0^3).
+  circuit::BehavioralConfig cfg;
+  const auto net = circuit::build_behavioral(
+      circuit::named_topology("NMC"),
+      std::vector<double>{10e-6, 100e-6, 2e-3, 2e-12}, cfg,
+      circuit::InputDrive::UnityFollower);
+  const auto v = AcSolver(net).solve(0.01);
+  const auto vout = net.find_node("vout");
+  ASSERT_TRUE(vout.has_value());
+  EXPECT_NEAR(std::abs(v[*vout]), 1.0, 1e-3);
+}
+
+TEST(Transient, RcStepResponseMatchesTheory) {
+  // v(t) = 1 - exp(-t/RC), RC = 1 us.
+  circuit::Netlist net;
+  const auto in = net.node("in");
+  const auto out = net.node("out");
+  net.add_vsource("src", in, 0, 1.0);
+  net.add_resistor("r", in, out, 1e3);
+  net.add_capacitor("c", out, 0, 1e-9);
+  TransientOptions options;
+  options.t_stop = 10e-6;
+  options.dt = 5e-9;
+  const Waveform wave = run_transient(net, "out", options);
+  ASSERT_GT(wave.value.size(), 100u);
+  EXPECT_NEAR(wave.final_value(), 1.0, 1e-3);
+  // Sample at t = RC.
+  const auto idx = static_cast<std::size_t>(1e-6 / options.dt);
+  EXPECT_NEAR(wave.value[idx], 1.0 - std::exp(-1.0), 0.01);
+  const StepMetrics metrics = step_metrics(wave, 0.01);
+  EXPECT_TRUE(metrics.settled);
+  // 1% settling of a single pole: t = ln(100) * RC ~= 4.6 us.
+  EXPECT_NEAR(metrics.settling_time_s, 4.6e-6, 0.4e-6);
+  EXPECT_NEAR(metrics.overshoot, 0.0, 1e-6);
+}
+
+TEST(Transient, ValidatesArguments) {
+  circuit::Netlist net;
+  const auto in = net.node("in");
+  net.add_vsource("src", in, 0, 1.0);
+  net.add_resistor("r", in, 0, 1e3);
+  EXPECT_THROW(run_transient(net, "missing", {}), std::invalid_argument);
+  TransientOptions bad;
+  bad.dt = 0.0;
+  EXPECT_THROW(run_transient(net, "in", bad), std::invalid_argument);
+}
+
+TEST(Transient, FollowerSettlesAndTracksPhaseMargin) {
+  // Unity follower of the NMC amp: a well-compensated design settles with
+  // little ringing; shrinking the Miller cap (lower PM) increases the
+  // overshoot.
+  circuit::BehavioralConfig cfg;
+  auto follower_metrics = [&](double cm) {
+    const auto net = circuit::build_behavioral(
+        circuit::named_topology("NMC"),
+        std::vector<double>{10e-6, 100e-6, 2e-3, cm}, cfg,
+        circuit::InputDrive::UnityFollower);
+    TransientOptions options;
+    options.t_stop = 20e-6;
+    options.dt = 1e-9;
+    return step_metrics(run_transient(net, "vout", options), 0.01);
+  };
+  const StepMetrics strong = follower_metrics(2e-12);  // PM ~ 90: settles
+  // Much smaller Miller cap: the resonant pair re-crosses unity (negative
+  // margin) and the follower rings up or diverges.
+  const StepMetrics weak = follower_metrics(0.3e-12);
+  EXPECT_TRUE(strong.settled);
+  EXPECT_LT(strong.overshoot, 0.05);
+  EXPECT_GT(weak.overshoot, strong.overshoot);
+}
+
+TEST(Transient, StepMetricsOnSyntheticWaveform) {
+  Waveform wave;
+  for (int i = 0; i <= 100; ++i) {
+    wave.time.push_back(i * 1e-6);
+    // Decaying-ringing step: final value 1; the envelope peaks near
+    // t = 0.8 at 1 + 0.3*exp(0.2)*sin(0.4*pi) ~= 1.35.
+    const double t = i / 10.0;
+    wave.value.push_back(1.0 + 0.3 * std::exp(1.0 - t) * std::sin(t * 1.5708));
+  }
+  const StepMetrics metrics = step_metrics(wave, 0.02);
+  EXPECT_NEAR(metrics.overshoot, 0.35, 0.05);
+  EXPECT_TRUE(metrics.settled);
+  EXPECT_GT(metrics.settling_time_s, 1e-6);
+}
+
+TEST(Noise, ResistorDividerSpotNoise) {
+  // Two 1k resistors: S_out = 4kT * (R1 || R2) with the source shorted.
+  circuit::Netlist net;
+  const auto in = net.node("in");
+  const auto out = net.node("out");
+  net.add_vsource("src", in, 0, 1.0);
+  net.add_resistor("r1", in, out, 1e3);
+  net.add_resistor("r2", out, 0, 1e3);
+  const double psd = output_noise_psd(net, "out", 1e3);
+  EXPECT_NEAR(psd, 4.0 * kBoltzmann * 300.0 * 500.0, 1e-21);
+}
+
+TEST(Noise, IntegratedRcNoiseIsKtOverC) {
+  // The classic result: total output noise of an RC lowpass = kT/C,
+  // independent of R.
+  for (double r : {1e3, 100e3}) {
+    circuit::Netlist net;
+    const auto out = net.node("out");
+    net.add_resistor("r", out, 0, r);
+    net.add_capacitor("c", out, 0, 1e-9);
+    NoiseOptions options;
+    options.f_lo_hz = 1.0;
+    options.f_hi_hz = 1e9;
+    options.points_per_decade = 24;
+    const NoiseResult result = run_noise(net, "out", options);
+    const double kt_over_c = kBoltzmann * 300.0 / 1e-9;
+    EXPECT_NEAR(result.integrated_output_v2 / kt_over_c, 1.0, 0.1)
+        << "R = " << r;
+  }
+}
+
+TEST(Noise, TransconductorChannelNoise) {
+  // gm stage with resistive load: S_out = 4kT*gamma*gm*R^2 + 4kT*R.
+  circuit::Netlist net;
+  const auto in = net.node("in");
+  const auto out = net.node("out");
+  net.add_vsource("src", in, 0, 1.0);
+  net.add_vccs("g", out, 0, in, 0, -1e-3, 0.0);
+  net.add_resistor("rl", out, 0, 10e3);
+  NoiseOptions options;
+  const double psd = output_noise_psd(net, "out", 1e3, options);
+  const double expected = 4.0 * kBoltzmann * 300.0 *
+                          (options.gm_noise_gamma * 1e-3 * 1e8 + 1e4);
+  EXPECT_NEAR(psd / expected, 1.0, 1e-9);
+}
+
+TEST(Noise, InputReferredDividesByGain) {
+  // For the gm stage above, input-referred noise ~= 4kT*gamma/gm plus the
+  // load contribution divided by gain^2.
+  circuit::Netlist net;
+  const auto in = net.node("in");
+  const auto out = net.node("out");
+  net.add_vsource("src", in, 0, 1.0);
+  net.add_vccs("g", out, 0, in, 0, -1e-3, 0.0);
+  net.add_resistor("rl", out, 0, 10e3);
+  NoiseOptions options;
+  options.f_lo_hz = 10.0;
+  options.f_hi_hz = 1e3;
+  options.points_per_decade = 4;
+  const NoiseResult result = run_noise(net, "out", options);
+  const double gain2 = 100.0;  // (gm R)^2
+  const double expected =
+      4.0 * kBoltzmann * 300.0 *
+      (options.gm_noise_gamma / 1e-3 + 1e4 / gain2);
+  for (double s : result.input_psd) {
+    EXPECT_NEAR(s / expected, 1.0, 1e-6);
+  }
+}
+
+TEST(Noise, GminLeakageNegligible) {
+  // The behavioral builder's GMIN resistors are 1 T-ohm: their noise
+  // contribution to a realistic amp output must be negligible relative to
+  // the signal-path elements.
+  circuit::BehavioralConfig cfg;
+  const auto net = circuit::build_behavioral(
+      circuit::named_topology("NMC"),
+      std::vector<double>{1e-4, 1e-4, 1e-3, 2e-12}, cfg);
+  const double psd = output_noise_psd(net, "vout", 1e3);
+  EXPECT_GT(psd, 0.0);
+  // Dominant source: Ro1 (25 M-ohm at gm=1e-4, A0=80) shaped by the
+  // second+third stage gain; GMIN would contribute ~1e6x less.
+  EXPECT_LT(psd, 1.0);   // sanity upper bound
+  EXPECT_GT(psd, 1e-18);  // far above a gmin-only floor
+}
+
+TEST(Noise, Validation) {
+  circuit::Netlist net;
+  net.node("a");
+  EXPECT_THROW(run_noise(net, "zzz", {}), std::invalid_argument);
+  NoiseOptions bad;
+  bad.f_lo_hz = -1.0;
+  net.add_resistor("r", net.node("a"), 0, 1e3);
+  EXPECT_THROW(run_noise(net, "a", bad), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,282 @@
+// Unit tests for intooa::util — RNG determinism and distribution sanity,
+// statistics helpers, table/CSV rendering, formatting, CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intooa::util;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedReplaysSequence) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u64());
+  a.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(6);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.uniform();
+  EXPECT_NEAR(mean(xs), 0.5, 0.01);
+  EXPECT_NEAR(variance(xs), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformSpansDecades) {
+  Rng rng(8);
+  int low_decade = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.log_uniform(1e-6, 1e-2);
+    EXPECT_GE(v, 1e-6);
+    EXPECT_LE(v, 1e-2);
+    if (v < 1e-5) ++low_decade;
+  }
+  // A log-uniform sample puts ~1/4 of the mass in the first decade.
+  EXPECT_NEAR(low_decade / 5000.0, 0.25, 0.05);
+  EXPECT_THROW(rng.log_uniform(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  std::vector<double> xs(30000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(10);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean(xs), 5.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, IndexCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 14000; ++i) ++counts[rng.index(7)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 250);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, IntegerInclusiveBounds) {
+  Rng rng(12);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.integer(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(14);
+  const auto idx = rng.sample_indices(50, 20);
+  EXPECT_EQ(idx.size(), 20u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t i : idx) EXPECT_LT(i, 50u);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child stream should differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ChoiceThrowsOnEmpty) {
+  Rng rng(16);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.choice(empty), std::invalid_argument);
+  std::vector<int> one = {9};
+  EXPECT_EQ(rng.choice(one), 9);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, MedianAndQuantile) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, ArgminArgmax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_EQ(argmax(xs), 2u);
+  EXPECT_EQ(argmin(xs), 1u);
+  EXPECT_THROW(argmax(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, RunningMaxMonotone) {
+  const std::vector<double> xs = {1.0, 3.0, 2.0, 5.0, 4.0};
+  const auto rm = running_max(xs);
+  const std::vector<double> expected = {1.0, 3.0, 3.0, 5.0, 5.0};
+  EXPECT_EQ(rm, expected);
+}
+
+TEST(Stats, NormalPdfCdf) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  // CDF derivative matches PDF (finite difference).
+  const double h = 1e-6;
+  EXPECT_NEAR((normal_cdf(0.7 + h) - normal_cdf(0.7 - h)) / (2 * h),
+              normal_pdf(0.7), 1e-6);
+}
+
+TEST(Stats, Pearson) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+  const std::vector<double> flat = {1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, Summarize) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+TEST(Table, AsciiRendering) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(ascii.find("| 333 |    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x", "y"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, SignificantDigits) {
+  EXPECT_EQ(fmt(1234.5678, 4), "1235");
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_speedup(14.333), "14.33x");
+  EXPECT_EQ(fmt_rate(7, 10), "7/10");
+}
+
+TEST(Format, SiPrefixes) {
+  EXPECT_EQ(fmt_si(4.7e-12), "4.70p");
+  EXPECT_EQ(fmt_si(1e6, 1), "1.0M");
+  EXPECT_EQ(fmt_si(2.2e3), "2.20k");
+  EXPECT_EQ(fmt_si(0.0), "0.00");
+  EXPECT_EQ(fmt_si(-3.3e-6), "-3.30u");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--runs", "5", "pos1", "--seed=42",
+                        "pos2", "--quick"};
+  Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("runs", 0), 5);
+  EXPECT_TRUE(cli.has("quick"));
+  EXPECT_EQ(cli.get_int("seed", 0), 42);
+  EXPECT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_double("runs", 0.0), 5.0);
+}
+
+TEST(Cli, BadNumberThrows) {
+  const char* argv[] = {"prog", "--runs", "abc"};
+  Cli cli(3, argv);
+  EXPECT_THROW(cli.get_int("runs", 0), std::invalid_argument);
+}
+
+TEST(Log, LevelFiltering) {
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  log_info("should be filtered");  // must not crash
+  set_log_level(LogLevel::Warn);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Unit tests for intooa::xtor — the EKV-style MOS model, gm/Id lookup
+// tables, device sizing, and behavioral-to-transistor mapping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/library.hpp"
+#include "sim/metrics.hpp"
+#include "xtor/gmid_lut.hpp"
+#include "xtor/mapping.hpp"
+#include "xtor/mos.hpp"
+
+namespace {
+
+using namespace intooa;
+using namespace intooa::xtor;
+
+TEST(Mos, GmOverIdMonotoneDecreasingInIc) {
+  const TechParams tech;
+  double prev = gm_over_id_of_ic(1e-3, tech);
+  for (double ic : {1e-2, 1e-1, 1.0, 10.0, 100.0}) {
+    const double cur = gm_over_id_of_ic(ic, tech);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Mos, WeakInversionLimit) {
+  const TechParams tech;
+  const double weak = 1.0 / (tech.n * tech.ut);
+  EXPECT_NEAR(gm_over_id_of_ic(1e-6, tech), weak, weak * 0.01);
+  EXPECT_THROW(ic_for_gm_over_id(weak * 1.01, tech), std::invalid_argument);
+  EXPECT_THROW(ic_for_gm_over_id(0.0, tech), std::invalid_argument);
+}
+
+TEST(Mos, IcInversionRoundTrip) {
+  const TechParams tech;
+  for (double ic : {0.01, 0.1, 1.0, 5.0, 50.0}) {
+    const double gmid = gm_over_id_of_ic(ic, tech);
+    EXPECT_NEAR(ic_for_gm_over_id(gmid, tech), ic, ic * 1e-9);
+  }
+}
+
+TEST(Mos, SizeDeviceBasicRelations) {
+  const TechParams tech;
+  const Device d = size_device("M1", 1e-3, 15.0, 0.5, tech);
+  EXPECT_NEAR(d.id, 1e-3 / 15.0, 1e-12);
+  EXPECT_GT(d.w_um, 0.0);
+  EXPECT_GT(d.gds, 0.0);
+  EXPECT_GT(d.cgs, 0.0);
+  // Intrinsic gain gm/gds = (gm/Id)/lambda, lambda = lambda0/L.
+  EXPECT_NEAR(d.gm / d.gds, 15.0 / (tech.lambda0_um / 0.5), 1e-6);
+  // Width scales linearly with gm at fixed gm/Id and L.
+  const Device d2 = size_device("M2", 2e-3, 15.0, 0.5, tech);
+  EXPECT_NEAR(d2.w_um / d.w_um, 2.0, 1e-9);
+  EXPECT_THROW(size_device("bad", -1.0, 15.0, 0.5, tech),
+               std::invalid_argument);
+}
+
+TEST(Mos, LongerChannelMoreGain) {
+  const TechParams tech;
+  const Device short_l = size_device("a", 1e-4, 15.0, 0.2, tech);
+  const Device long_l = size_device("b", 1e-4, 15.0, 1.0, tech);
+  EXPECT_GT(short_l.gds, long_l.gds);
+}
+
+TEST(GmIdLutTest, MatchesClosedFormModel) {
+  const TechParams tech;
+  const GmIdLut lut(tech);
+  for (double ic : {0.005, 0.07, 0.9, 12.0, 80.0}) {
+    EXPECT_NEAR(lut.gm_over_id(ic), gm_over_id_of_ic(ic, tech),
+                gm_over_id_of_ic(ic, tech) * 0.01);
+  }
+}
+
+TEST(GmIdLutTest, InverseLookupRoundTrip) {
+  const TechParams tech;
+  const GmIdLut lut(tech);
+  for (double gmid : {5.0, 10.0, 15.0, 20.0, 25.0}) {
+    const double ic = lut.ic(gmid);
+    EXPECT_NEAR(lut.gm_over_id(ic), gmid, gmid * 0.01);
+  }
+  EXPECT_THROW(lut.ic(1000.0), std::invalid_argument);
+}
+
+TEST(GmIdLutTest, ClampsAtTableEnds) {
+  const TechParams tech;
+  const GmIdLut lut(tech, 64, 1e-2, 1e1);
+  EXPECT_DOUBLE_EQ(lut.gm_over_id(1e-6), lut.gm_over_id(1e-2));
+  EXPECT_DOUBLE_EQ(lut.gm_over_id(1e3), lut.gm_over_id(1e1));
+  EXPECT_THROW(GmIdLut(tech, 1), std::invalid_argument);
+}
+
+TEST(GmIdLutTest, CurrentDensityScalesWithIc) {
+  const TechParams tech;
+  const GmIdLut lut(tech);
+  EXPECT_NEAR(lut.current_density(2.0) / lut.current_density(1.0), 2.0,
+              1e-12);
+}
+
+circuit::BehavioralConfig s1_cfg() {
+  circuit::BehavioralConfig cfg;
+  cfg.load_cap = 10e-12;
+  return cfg;
+}
+
+TEST(Mapping, NmcDesignStructure) {
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> vals = {100e-6, 100e-6, 1e-3, 2e-12};
+  const auto design = map_to_transistor(topo, vals, s1_cfg());
+  // 3 stages: one differential (5 devices incl. tail) + two CS (2 each).
+  ASSERT_EQ(design.cells.size(), 3u);
+  EXPECT_TRUE(design.cells[0].differential);
+  EXPECT_FALSE(design.cells[1].differential);
+  EXPECT_EQ(design.device_count(), 5u + 2u + 2u);
+  EXPECT_GT(design.supply_current, 0.0);
+  // The report mentions every cell.
+  const std::string report = design.to_string();
+  EXPECT_NE(report.find("gm1"), std::string::npos);
+  EXPECT_NE(report.find("gm3"), std::string::npos);
+}
+
+TEST(Mapping, PowerExceedsBehavioral) {
+  // Mirror loads, tail current and bias overhead make the transistor-level
+  // power strictly larger than the behavioral estimate.
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> vals = {100e-6, 100e-6, 1e-3, 2e-12};
+  const auto cfg = s1_cfg();
+  const auto behavioral_net = circuit::build_behavioral(topo, vals, cfg);
+  const auto design = map_to_transistor(topo, vals, cfg);
+  EXPECT_GT(cfg.vdd * design.supply_current,
+            behavioral_net.static_power(cfg.vdd));
+}
+
+TEST(Mapping, TransistorLevelNmcStillAmplifies) {
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> vals = {100e-6, 100e-6, 1e-3, 4e-12};
+  const auto perf = evaluate_transistor(topo, vals, s1_cfg());
+  ASSERT_TRUE(perf.valid) << perf.failure;
+  EXPECT_GT(perf.gain_db, 60.0);
+  EXPECT_GT(perf.gbw_hz, 1e5);
+}
+
+TEST(Mapping, GainBelowBehavioralLevel) {
+  // Finite transistor output resistance caps the per-stage gain below the
+  // behavioral A0, so transistor-level DC gain must be lower.
+  const auto topo = circuit::named_topology("NMC");
+  const std::vector<double> vals = {100e-6, 100e-6, 1e-3, 4e-12};
+  const auto cfg = s1_cfg();
+  const auto behavioral = sim::evaluate_opamp(
+      circuit::build_behavioral(topo, vals, cfg), cfg.vdd);
+  const auto transistor = evaluate_transistor(topo, vals, cfg);
+  ASSERT_TRUE(behavioral.valid);
+  ASSERT_TRUE(transistor.valid);
+  EXPECT_LT(transistor.gain_db, behavioral.gain_db);
+}
+
+TEST(Mapping, VariableGmCellsAreMapped) {
+  const auto topo = circuit::named_topology("C1");  // two gm subcircuits
+  const auto cfg = s1_cfg();
+  const auto schema = circuit::make_schema(topo, cfg);
+  std::vector<double> unit(schema.size(), 0.5);
+  const auto vals = schema.from_unit(unit);
+  const auto design = map_to_transistor(topo, vals, cfg);
+  EXPECT_EQ(design.cells.size(), 5u);  // 3 stages + 2 variable gms
+  // Series-C compound cells create their internal node.
+  const auto topo2 =
+      circuit::Topology().with(circuit::Slot::V1Vout,
+                               circuit::SubcktType::GmNegFwdSerC);
+  const auto schema2 = circuit::make_schema(topo2, cfg);
+  std::vector<double> unit2(schema2.size(), 0.5);
+  const auto design2 =
+      map_to_transistor(topo2, schema2.from_unit(unit2), cfg);
+  EXPECT_TRUE(design2.netlist.find_node("v1-vout.m").has_value());
+}
+
+TEST(Mapping, ValueSizeMismatchThrows) {
+  EXPECT_THROW(map_to_transistor(circuit::named_topology("NMC"),
+                                 std::vector<double>{1e-4}, s1_cfg()),
+               std::invalid_argument);
+}
+
+}  // namespace
