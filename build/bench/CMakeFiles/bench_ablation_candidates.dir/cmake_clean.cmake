@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_candidates.dir/bench_ablation_candidates.cpp.o"
+  "CMakeFiles/bench_ablation_candidates.dir/bench_ablation_candidates.cpp.o.d"
+  "bench_ablation_candidates"
+  "bench_ablation_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secIVB_gradients.dir/bench_secIVB_gradients.cpp.o"
+  "CMakeFiles/bench_secIVB_gradients.dir/bench_secIVB_gradients.cpp.o.d"
+  "bench_secIVB_gradients"
+  "bench_secIVB_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVB_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_optimization.dir/bench_table2_optimization.cpp.o"
+  "CMakeFiles/bench_table2_optimization.dir/bench_table2_optimization.cpp.o.d"
+  "bench_table2_optimization"
+  "bench_table2_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

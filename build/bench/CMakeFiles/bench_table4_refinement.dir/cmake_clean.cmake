@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_refinement.dir/bench_table4_refinement.cpp.o"
+  "CMakeFiles/bench_table4_refinement.dir/bench_table4_refinement.cpp.o.d"
+  "bench_table4_refinement"
+  "bench_table4_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_transistor.dir/bench_table5_transistor.cpp.o"
+  "CMakeFiles/bench_table5_transistor.dir/bench_table5_transistor.cpp.o.d"
+  "bench_table5_transistor"
+  "bench_table5_transistor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_transistor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

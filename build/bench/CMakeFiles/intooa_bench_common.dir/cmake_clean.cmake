@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_bench_common.dir/common/campaign.cpp.o"
+  "CMakeFiles/intooa_bench_common.dir/common/campaign.cpp.o.d"
+  "CMakeFiles/intooa_bench_common.dir/common/refine_flow.cpp.o"
+  "CMakeFiles/intooa_bench_common.dir/common/refine_flow.cpp.o.d"
+  "libintooa_bench_common.a"
+  "libintooa_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

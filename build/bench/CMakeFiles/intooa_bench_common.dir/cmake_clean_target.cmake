@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libintooa_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_topology.dir/explain_topology.cpp.o"
+  "CMakeFiles/explain_topology.dir/explain_topology.cpp.o.d"
+  "explain_topology"
+  "explain_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refine_design.dir/refine_design.cpp.o"
+  "CMakeFiles/refine_design.dir/refine_design.cpp.o.d"
+  "refine_design"
+  "refine_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refine_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

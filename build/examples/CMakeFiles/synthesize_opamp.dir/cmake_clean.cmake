@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_opamp.dir/synthesize_opamp.cpp.o"
+  "CMakeFiles/synthesize_opamp.dir/synthesize_opamp.cpp.o.d"
+  "synthesize_opamp"
+  "synthesize_opamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_opamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

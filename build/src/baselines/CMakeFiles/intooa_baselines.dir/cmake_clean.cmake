@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_baselines.dir/fega.cpp.o"
+  "CMakeFiles/intooa_baselines.dir/fega.cpp.o.d"
+  "CMakeFiles/intooa_baselines.dir/nn.cpp.o"
+  "CMakeFiles/intooa_baselines.dir/nn.cpp.o.d"
+  "CMakeFiles/intooa_baselines.dir/vae.cpp.o"
+  "CMakeFiles/intooa_baselines.dir/vae.cpp.o.d"
+  "CMakeFiles/intooa_baselines.dir/vgae_bo.cpp.o"
+  "CMakeFiles/intooa_baselines.dir/vgae_bo.cpp.o.d"
+  "libintooa_baselines.a"
+  "libintooa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/behavioral.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/behavioral.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/behavioral.cpp.o.d"
+  "/root/repo/src/circuit/circuit_graph.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/circuit_graph.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/circuit_graph.cpp.o.d"
+  "/root/repo/src/circuit/design_io.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/design_io.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/design_io.cpp.o.d"
+  "/root/repo/src/circuit/library.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/library.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/library.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/rules.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/rules.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/rules.cpp.o.d"
+  "/root/repo/src/circuit/spec.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/spec.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/spec.cpp.o.d"
+  "/root/repo/src/circuit/subckt.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/subckt.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/subckt.cpp.o.d"
+  "/root/repo/src/circuit/topology.cpp" "src/circuit/CMakeFiles/intooa_circuit.dir/topology.cpp.o" "gcc" "src/circuit/CMakeFiles/intooa_circuit.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/intooa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/intooa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_circuit.dir/behavioral.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/behavioral.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/circuit_graph.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/circuit_graph.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/design_io.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/design_io.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/library.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/library.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/rules.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/rules.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/spec.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/spec.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/subckt.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/subckt.cpp.o.d"
+  "CMakeFiles/intooa_circuit.dir/topology.cpp.o"
+  "CMakeFiles/intooa_circuit.dir/topology.cpp.o.d"
+  "libintooa_circuit.a"
+  "libintooa_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cpp" "src/core/CMakeFiles/intooa_core.dir/candidates.cpp.o" "gcc" "src/core/CMakeFiles/intooa_core.dir/candidates.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/intooa_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/intooa_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/interpret.cpp" "src/core/CMakeFiles/intooa_core.dir/interpret.cpp.o" "gcc" "src/core/CMakeFiles/intooa_core.dir/interpret.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/intooa_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/intooa_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/intooa_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/intooa_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/core/CMakeFiles/intooa_core.dir/refine.cpp.o" "gcc" "src/core/CMakeFiles/intooa_core.dir/refine.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/intooa_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/intooa_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sizing/CMakeFiles/intooa_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/intooa_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/intooa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/intooa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intooa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/intooa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/intooa_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_core.dir/candidates.cpp.o"
+  "CMakeFiles/intooa_core.dir/candidates.cpp.o.d"
+  "CMakeFiles/intooa_core.dir/evaluator.cpp.o"
+  "CMakeFiles/intooa_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/intooa_core.dir/interpret.cpp.o"
+  "CMakeFiles/intooa_core.dir/interpret.cpp.o.d"
+  "CMakeFiles/intooa_core.dir/optimizer.cpp.o"
+  "CMakeFiles/intooa_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/intooa_core.dir/pareto.cpp.o"
+  "CMakeFiles/intooa_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/intooa_core.dir/refine.cpp.o"
+  "CMakeFiles/intooa_core.dir/refine.cpp.o.d"
+  "CMakeFiles/intooa_core.dir/report.cpp.o"
+  "CMakeFiles/intooa_core.dir/report.cpp.o.d"
+  "libintooa_core.a"
+  "libintooa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libintooa_core.a"
+)

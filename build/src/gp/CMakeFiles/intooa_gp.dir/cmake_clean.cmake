@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_gp.dir/acquisition.cpp.o"
+  "CMakeFiles/intooa_gp.dir/acquisition.cpp.o.d"
+  "CMakeFiles/intooa_gp.dir/gp.cpp.o"
+  "CMakeFiles/intooa_gp.dir/gp.cpp.o.d"
+  "CMakeFiles/intooa_gp.dir/joint_gp.cpp.o"
+  "CMakeFiles/intooa_gp.dir/joint_gp.cpp.o.d"
+  "CMakeFiles/intooa_gp.dir/kernel.cpp.o"
+  "CMakeFiles/intooa_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/intooa_gp.dir/wlgp.cpp.o"
+  "CMakeFiles/intooa_gp.dir/wlgp.cpp.o.d"
+  "libintooa_gp.a"
+  "libintooa_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_graph.dir/graph.cpp.o"
+  "CMakeFiles/intooa_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/intooa_graph.dir/sparse.cpp.o"
+  "CMakeFiles/intooa_graph.dir/sparse.cpp.o.d"
+  "CMakeFiles/intooa_graph.dir/wl.cpp.o"
+  "CMakeFiles/intooa_graph.dir/wl.cpp.o.d"
+  "libintooa_graph.a"
+  "libintooa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/cholesky.cpp" "src/la/CMakeFiles/intooa_la.dir/cholesky.cpp.o" "gcc" "src/la/CMakeFiles/intooa_la.dir/cholesky.cpp.o.d"
+  "/root/repo/src/la/eigen.cpp" "src/la/CMakeFiles/intooa_la.dir/eigen.cpp.o" "gcc" "src/la/CMakeFiles/intooa_la.dir/eigen.cpp.o.d"
+  "/root/repo/src/la/grid.cpp" "src/la/CMakeFiles/intooa_la.dir/grid.cpp.o" "gcc" "src/la/CMakeFiles/intooa_la.dir/grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/intooa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

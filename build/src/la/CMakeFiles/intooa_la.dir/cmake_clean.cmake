@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_la.dir/cholesky.cpp.o"
+  "CMakeFiles/intooa_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/intooa_la.dir/eigen.cpp.o"
+  "CMakeFiles/intooa_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/intooa_la.dir/grid.cpp.o"
+  "CMakeFiles/intooa_la.dir/grid.cpp.o.d"
+  "libintooa_la.a"
+  "libintooa_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

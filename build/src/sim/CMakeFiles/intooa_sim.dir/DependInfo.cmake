@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/intooa_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/intooa_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/mna.cpp" "src/sim/CMakeFiles/intooa_sim.dir/mna.cpp.o" "gcc" "src/sim/CMakeFiles/intooa_sim.dir/mna.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/intooa_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/intooa_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/intooa_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/intooa_sim.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/intooa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/intooa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/intooa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/intooa_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

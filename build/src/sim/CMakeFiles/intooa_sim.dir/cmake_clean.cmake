@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_sim.dir/metrics.cpp.o"
+  "CMakeFiles/intooa_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/intooa_sim.dir/mna.cpp.o"
+  "CMakeFiles/intooa_sim.dir/mna.cpp.o.d"
+  "CMakeFiles/intooa_sim.dir/noise.cpp.o"
+  "CMakeFiles/intooa_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/intooa_sim.dir/transient.cpp.o"
+  "CMakeFiles/intooa_sim.dir/transient.cpp.o.d"
+  "libintooa_sim.a"
+  "libintooa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

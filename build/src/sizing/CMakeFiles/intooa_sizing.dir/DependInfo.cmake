@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sizing/corners.cpp" "src/sizing/CMakeFiles/intooa_sizing.dir/corners.cpp.o" "gcc" "src/sizing/CMakeFiles/intooa_sizing.dir/corners.cpp.o.d"
+  "/root/repo/src/sizing/evaluate.cpp" "src/sizing/CMakeFiles/intooa_sizing.dir/evaluate.cpp.o" "gcc" "src/sizing/CMakeFiles/intooa_sizing.dir/evaluate.cpp.o.d"
+  "/root/repo/src/sizing/sizer.cpp" "src/sizing/CMakeFiles/intooa_sizing.dir/sizer.cpp.o" "gcc" "src/sizing/CMakeFiles/intooa_sizing.dir/sizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/intooa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/intooa_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/intooa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/intooa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/intooa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/intooa_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

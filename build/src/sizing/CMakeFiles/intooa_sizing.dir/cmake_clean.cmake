@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_sizing.dir/corners.cpp.o"
+  "CMakeFiles/intooa_sizing.dir/corners.cpp.o.d"
+  "CMakeFiles/intooa_sizing.dir/evaluate.cpp.o"
+  "CMakeFiles/intooa_sizing.dir/evaluate.cpp.o.d"
+  "CMakeFiles/intooa_sizing.dir/sizer.cpp.o"
+  "CMakeFiles/intooa_sizing.dir/sizer.cpp.o.d"
+  "libintooa_sizing.a"
+  "libintooa_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

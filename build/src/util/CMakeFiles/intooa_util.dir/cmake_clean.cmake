@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_util.dir/cli.cpp.o"
+  "CMakeFiles/intooa_util.dir/cli.cpp.o.d"
+  "CMakeFiles/intooa_util.dir/log.cpp.o"
+  "CMakeFiles/intooa_util.dir/log.cpp.o.d"
+  "CMakeFiles/intooa_util.dir/rng.cpp.o"
+  "CMakeFiles/intooa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/intooa_util.dir/stats.cpp.o"
+  "CMakeFiles/intooa_util.dir/stats.cpp.o.d"
+  "CMakeFiles/intooa_util.dir/table.cpp.o"
+  "CMakeFiles/intooa_util.dir/table.cpp.o.d"
+  "libintooa_util.a"
+  "libintooa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

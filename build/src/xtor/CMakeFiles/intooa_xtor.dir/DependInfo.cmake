@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtor/gmid_lut.cpp" "src/xtor/CMakeFiles/intooa_xtor.dir/gmid_lut.cpp.o" "gcc" "src/xtor/CMakeFiles/intooa_xtor.dir/gmid_lut.cpp.o.d"
+  "/root/repo/src/xtor/mapping.cpp" "src/xtor/CMakeFiles/intooa_xtor.dir/mapping.cpp.o" "gcc" "src/xtor/CMakeFiles/intooa_xtor.dir/mapping.cpp.o.d"
+  "/root/repo/src/xtor/mos.cpp" "src/xtor/CMakeFiles/intooa_xtor.dir/mos.cpp.o" "gcc" "src/xtor/CMakeFiles/intooa_xtor.dir/mos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/intooa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/intooa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/intooa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/intooa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/intooa_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intooa_xtor.dir/gmid_lut.cpp.o"
+  "CMakeFiles/intooa_xtor.dir/gmid_lut.cpp.o.d"
+  "CMakeFiles/intooa_xtor.dir/mapping.cpp.o"
+  "CMakeFiles/intooa_xtor.dir/mapping.cpp.o.d"
+  "CMakeFiles/intooa_xtor.dir/mos.cpp.o"
+  "CMakeFiles/intooa_xtor.dir/mos.cpp.o.d"
+  "libintooa_xtor.a"
+  "libintooa_xtor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intooa_xtor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gp.cpp" "tests/CMakeFiles/test_gp.dir/test_gp.cpp.o" "gcc" "tests/CMakeFiles/test_gp.dir/test_gp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/intooa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/intooa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtor/CMakeFiles/intooa_xtor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/intooa_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intooa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/intooa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/intooa_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/intooa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/intooa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/intooa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

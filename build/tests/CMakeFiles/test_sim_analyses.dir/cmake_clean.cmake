@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_analyses.dir/test_sim_analyses.cpp.o"
+  "CMakeFiles/test_sim_analyses.dir/test_sim_analyses.cpp.o.d"
+  "test_sim_analyses"
+  "test_sim_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

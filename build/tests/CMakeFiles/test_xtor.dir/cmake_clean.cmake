@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xtor.dir/test_xtor.cpp.o"
+  "CMakeFiles/test_xtor.dir/test_xtor.cpp.o.d"
+  "test_xtor"
+  "test_xtor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xtor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
