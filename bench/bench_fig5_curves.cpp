@@ -6,6 +6,8 @@
 //
 // Options: --quick | --runs N --iters N --init N --pool N --seed S
 //          --cache-dir DIR | --no-cache   --spec S-3 (restrict to one spec)
+//          --threads N (default: hardware concurrency; results are
+//          byte-identical for any value, 1 = fully serial)
 
 #include <cstdio>
 

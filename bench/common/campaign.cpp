@@ -3,11 +3,15 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "baselines/fega.hpp"
 #include "baselines/vgae_bo.hpp"
 #include "core/optimizer.hpp"
+#include "runtime/campaign_runner.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/executor.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -184,9 +188,12 @@ std::optional<CampaignSet> load_cache(const std::string& path,
 
 /// One trained VAE per process, shared by every VGAE-BO campaign (the
 /// autoencoder is trained offline on unlabeled topologies, independent of
-/// spec and run).
+/// spec and run). The first caller trains under the mutex; parallel
+/// campaign runs then copy the trained instance (see execute_run).
 baselines::Vae& shared_vae(const baselines::VaeConfig& config) {
+  static std::mutex vae_mutex;
   static std::unique_ptr<baselines::Vae> vae;
+  std::lock_guard<std::mutex> lock(vae_mutex);
   if (!vae) {
     util::log_info("training shared VGAE autoencoder (once per process)...");
     util::Rng rng(0xAEDC0DEULL);
@@ -198,16 +205,49 @@ baselines::Vae& shared_vae(const baselines::VaeConfig& config) {
   return *vae;
 }
 
+/// Identity stamp of one run: a checkpoint is only reusable for the exact
+/// (spec, method, protocol, run, seed) it was written under.
+std::string run_token(const std::string& spec, Method method,
+                      const CampaignParams& params, std::size_t run_index,
+                      std::uint64_t seed) {
+  std::ostringstream out;
+  out << spec << "|" << method_name(method) << "|" << params.cache_token()
+      << "|run" << run_index << "|seed" << seed;
+  return out.str();
+}
+
+std::string run_checkpoint_path(const std::string& cache_dir,
+                                const std::string& spec, Method method,
+                                const CampaignParams& params,
+                                std::size_t run_index) {
+  return cache_dir + "/checkpoints/campaign_" + spec + "_" +
+         method_name(method) + "_" + params.cache_token() + "_run" +
+         std::to_string(run_index) + ".ckpt";
+}
+
+/// Executes one campaign run, checkpointing the evaluator afterwards (or
+/// restoring it up front when a matching checkpoint exists, skipping all
+/// simulation work).
 RunResult execute_run(const std::string& spec_name, Method method,
-                      const CampaignParams& params, std::uint64_t seed) {
+                      const CampaignParams& params, std::uint64_t seed,
+                      const std::string& checkpoint_path,
+                      const std::string& checkpoint_token) {
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
   sizing::SizingConfig sizing_config;
   sizing_config.init_points = params.sizing_init;
   sizing_config.iterations = params.sizing_iterations;
   core::TopologyEvaluator evaluator(sizing::EvalContext(spec), sizing_config);
-  util::Rng rng(seed);
 
-  core::OptimizationOutcome outcome;
+  if (!checkpoint_path.empty() &&
+      runtime::load_evaluator_checkpoint(checkpoint_path, checkpoint_token,
+                                         evaluator)) {
+    util::log_info("resumed " + checkpoint_token + " from checkpoint (" +
+                   std::to_string(evaluator.total_simulations()) +
+                   " simulations saved)");
+    return run_result_from_evaluator(evaluator, params);
+  }
+
+  util::Rng rng(seed);
   switch (method) {
     case Method::IntoOa:
     case Method::IntoOaR:
@@ -221,14 +261,14 @@ RunResult execute_run(const std::string& spec_name, Method method,
           : method == Method::IntoOaM ? 1.0
                                       : 0.0;
       core::IntoOaOptimizer optimizer(config);
-      outcome = optimizer.run(evaluator, rng);
+      optimizer.run(evaluator, rng);
       break;
     }
     case Method::FeGa: {
       baselines::FeGaConfig config;
       config.population = params.init_topologies;
       config.max_evaluations = params.init_topologies + params.iterations;
-      outcome = baselines::FeGa(config).run(evaluator, rng);
+      baselines::FeGa(config).run(evaluator, rng);
       break;
     }
     case Method::VgaeBo: {
@@ -236,30 +276,48 @@ RunResult execute_run(const std::string& spec_name, Method method,
       config.init_topologies = params.init_topologies;
       config.iterations = params.iterations;
       config.candidates = params.pool;
-      outcome =
-          baselines::VgaeBo(config).run(evaluator, rng, shared_vae(config.vae));
+      // Copy the shared trained VAE: its forward passes cache per-layer
+      // activations, so concurrent runs must not share one instance.
+      baselines::Vae vae = shared_vae(config.vae);
+      baselines::VgaeBo(config).run(evaluator, rng, vae);
       break;
     }
   }
 
-  RunResult run;
-  run.success = outcome.success;
-  run.curve = evaluator.fom_curve();
-  run.curve.resize(params.budget(), run.curve.empty() ? 0.0 : run.curve.back());
-  if (outcome.best_index && outcome.success) {
-    run.final_fom = outcome.best_point.fom;
-    run.best_topology_index = outcome.best_topology.index();
-    run.best_topology = outcome.best_topology.to_string();
-    run.gain_db = outcome.best_point.perf.gain_db;
-    run.gbw_hz = outcome.best_point.perf.gbw_hz;
-    run.pm_deg = outcome.best_point.perf.pm_deg;
-    run.power_w = outcome.best_point.perf.power_w;
-    run.best_values = outcome.best_values;
+  if (!checkpoint_path.empty()) {
+    runtime::save_evaluator_checkpoint(checkpoint_path, checkpoint_token,
+                                       evaluator);
   }
-  return run;
+  return run_result_from_evaluator(evaluator, params);
 }
 
 }  // namespace
+
+RunResult run_result_from_evaluator(const core::TopologyEvaluator& evaluator,
+                                    const CampaignParams& params) {
+  // Mirrors how every method builds its OptimizationOutcome: feasible-first
+  // best selection straight from the evaluator history.
+  const auto best_feasible = evaluator.best_feasible();
+  const auto best_any =
+      best_feasible ? best_feasible : evaluator.best_overall();
+
+  RunResult run;
+  run.success = best_feasible.has_value();
+  run.curve = evaluator.fom_curve();
+  run.curve.resize(params.budget(), run.curve.empty() ? 0.0 : run.curve.back());
+  if (best_any && run.success) {
+    const auto& record = evaluator.history()[*best_any];
+    run.final_fom = record.sized.best.fom;
+    run.best_topology_index = record.topology.index();
+    run.best_topology = record.topology.to_string();
+    run.gain_db = record.sized.best.perf.gain_db;
+    run.gbw_hz = record.sized.best.perf.gbw_hz;
+    run.pm_deg = record.sized.best.perf.pm_deg;
+    run.power_w = record.sized.best.perf.power_w;
+    run.best_values = record.sized.best_values;
+  }
+  return run;
+}
 
 CampaignSet run_or_load(const std::string& spec_name, Method method,
                         const CampaignParams& params,
@@ -278,15 +336,29 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
   set.spec = spec_name;
   set.method = method;
   set.params = params;
+
+  // Independent (seed x method) runs fan across the global pool; each job
+  // depends only on its own derived seed, so the result vector is identical
+  // for any thread count (and for a checkpoint-interrupt-resume sequence).
+  std::vector<runtime::CampaignJob> jobs(params.runs);
   for (std::size_t r = 0; r < params.runs; ++r) {
-    const std::uint64_t seed =
-        params.seed * 1000003ULL +
-        static_cast<std::uint64_t>(method) * 7919ULL +
-        std::hash<std::string>{}(spec_name) % 104729ULL + r * 31ULL;
-    util::log_info(method_name(method) + " on " + spec_name + ": run " +
-                   std::to_string(r + 1) + "/" + std::to_string(params.runs));
-    set.runs.push_back(execute_run(spec_name, method, params, seed));
+    jobs[r].name = method_name(method) + " on " + spec_name + ": run " +
+                   std::to_string(r + 1) + "/" + std::to_string(params.runs);
+    jobs[r].seed = params.seed * 1000003ULL +
+                   static_cast<std::uint64_t>(method) * 7919ULL +
+                   std::hash<std::string>{}(spec_name) % 104729ULL + r * 31ULL;
+    jobs[r].index = r;
   }
+  const runtime::CampaignRunner runner(runtime::global_pool());
+  set.runs = runner.run<RunResult>(jobs, [&](const runtime::CampaignJob& job) {
+    const std::string ckpt_path =
+        cache_dir.empty() ? ""
+                          : run_checkpoint_path(cache_dir, spec_name, method,
+                                                params, job.index);
+    return execute_run(spec_name, method, params, job.seed, ckpt_path,
+                       run_token(spec_name, method, params, job.index,
+                                 job.seed));
+  });
   if (!path.empty()) save_cache(path, set);
   return set;
 }
@@ -312,6 +384,9 @@ BenchOptions BenchOptions::from_cli(const util::Cli& cli) {
       cli.get_int("seed", static_cast<long>(options.params.seed)));
   options.cache_dir = cli.get("cache-dir", options.cache_dir);
   if (cli.has("no-cache")) options.cache_dir.clear();
+  options.threads = cli.get_size("threads", 0);  // 0 = hardware concurrency
+  runtime::set_thread_count(options.threads);
+  options.threads = runtime::thread_count();
   return options;
 }
 

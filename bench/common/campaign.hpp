@@ -6,12 +6,14 @@
 // runs) are cached on disk so Fig. 5, Table II, Table III and Table V can
 // share a single expensive computation.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "circuit/spec.hpp"
+#include "core/evaluator.hpp"
 #include "util/cli.hpp"
 
 namespace intooa::bench {
@@ -76,18 +78,38 @@ struct CampaignSet {
   std::optional<std::size_t> best_run() const;
 };
 
+/// Derives the RunResult of a finished run from its evaluator state. Both
+/// the live path and the checkpoint-resume path go through this one
+/// function, so a restored run is identical to the original by
+/// construction (every method selects its best design from the evaluator
+/// with the same feasible-first ranking).
+RunResult run_result_from_evaluator(const core::TopologyEvaluator& evaluator,
+                                    const CampaignParams& params);
+
 /// Runs (or loads from `cache_dir` if present) the campaign set. Pass an
 /// empty cache_dir to disable caching. Progress is logged at Info level.
+///
+/// The runs are independent (each derives its own seed from params.seed,
+/// the method and the run index) and are fanned across the global runtime
+/// thread pool by runtime::CampaignRunner; results are byte-identical for
+/// any thread count. With a non-empty cache_dir every finished run is
+/// additionally checkpointed to `<cache_dir>/checkpoints/` (the full
+/// evaluator history), so an interrupted campaign resumes from the
+/// completed runs without re-simulating them.
 CampaignSet run_or_load(const std::string& spec_name, Method method,
                         const CampaignParams& params,
                         const std::string& cache_dir);
 
 /// Shared CLI handling for the campaign benches: reads --runs, --iters,
 /// --init, --pool, --seed, --quick (3 runs, 20 iterations, pool 100,
-/// sizing 5+15), --cache-dir (default "bench-cache"), --no-cache.
+/// sizing 5+15), --cache-dir (default "bench-cache"), --no-cache, and
+/// --threads N (worker threads for campaign runs and candidate scoring;
+/// default = hardware concurrency, 1 = fully serial). from_cli applies
+/// the thread count to the global runtime executor.
 struct BenchOptions {
   CampaignParams params;
   std::string cache_dir = "bench-cache";
+  std::size_t threads = 0;  ///< resolved count (>= 1) after from_cli
 
   static BenchOptions from_cli(const util::Cli& cli);
 };

@@ -22,6 +22,18 @@ const sizing::SizedResult& TopologyEvaluator::evaluate(
   return history_.back().sized;
 }
 
+void TopologyEvaluator::restore(EvalRecord record) {
+  const std::size_t key = record.topology.index();
+  if (cache_.count(key) > 0) {
+    throw std::invalid_argument(
+        "TopologyEvaluator::restore: topology already evaluated");
+  }
+  record.sims_before = total_simulations_;
+  total_simulations_ += record.sized.simulations;
+  history_.push_back(std::move(record));
+  cache_[key] = history_.size() - 1;
+}
+
 bool TopologyEvaluator::visited(const circuit::Topology& topology) const {
   return cache_.count(topology.index()) > 0;
 }

@@ -40,6 +40,14 @@ class TopologyEvaluator {
   /// True when the topology has been evaluated already.
   bool visited(const circuit::Topology& topology) const;
 
+  /// Appends a completed evaluation (from a checkpoint) without running the
+  /// sizer: the record joins the history and cache and its simulation cost
+  /// is added to the counter, exactly as if evaluate() had produced it.
+  /// Records must be restored in their original order into an evaluator
+  /// with no conflicting entries; throws std::invalid_argument when the
+  /// topology is already present.
+  void restore(EvalRecord record);
+
   /// Total simulator calls consumed so far.
   std::size_t total_simulations() const { return total_simulations_; }
 

@@ -1,0 +1,31 @@
+#include "runtime/campaign_runner.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace intooa::runtime {
+
+void CampaignRunner::log_job_start(const CampaignJob& job, std::size_t total) {
+  std::ostringstream out;
+  out << job.name << " [" << (job.index + 1) << "/" << total << "] started";
+  util::log_info(out.str());
+}
+
+void CampaignRunner::log_job_done(const CampaignJob& job, std::size_t total,
+                                  double elapsed_seconds) {
+  std::ostringstream out;
+  out.precision(1);
+  out << std::fixed << job.name << " [" << (job.index + 1) << "/" << total
+      << "] done in " << elapsed_seconds << "s";
+  util::log_info(out.str());
+}
+
+double CampaignRunner::monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace intooa::runtime

@@ -1,0 +1,61 @@
+#pragma once
+// Campaign fan-out: runs a set of independent, individually-seeded jobs
+// (one per (seed, method) optimization run) across the thread pool and
+// returns the results in job order.
+//
+// Determinism contract: a job's body may depend only on the job itself
+// (name, seed, index) — never on shared mutable state or on which other
+// jobs have finished. Under that contract the result vector is identical
+// for any thread count, which is what lets the bench driver aggregate
+// FoM curves from parallel runs byte-for-byte equal to the serial path.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace intooa::runtime {
+
+/// One independent unit of campaign work.
+struct CampaignJob {
+  std::string name;        ///< progress-log label ("INTO-OA on S-1: run 3/10")
+  std::uint64_t seed = 0;  ///< the job's private top-level rng seed
+  std::size_t index = 0;   ///< position in the campaign (checkpoint naming)
+};
+
+/// Fans campaign jobs across a pool with per-job progress/wall-time logging.
+class CampaignRunner {
+ public:
+  /// `pool` may be nullptr for serial execution (the --threads 1 path).
+  explicit CampaignRunner(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs every job and returns the results in job order. Exceptions follow
+  /// parallel_for semantics: all jobs run, the lowest failing index's
+  /// exception is rethrown.
+  template <typename Result>
+  std::vector<Result> run(
+      const std::vector<CampaignJob>& jobs,
+      const std::function<Result(const CampaignJob&)>& body) const {
+    return parallel_map(pool_, jobs.size(), [&](std::size_t i) {
+      log_job_start(jobs[i], jobs.size());
+      const double start = monotonic_seconds();
+      Result result = body(jobs[i]);
+      log_job_done(jobs[i], jobs.size(), monotonic_seconds() - start);
+      return result;
+    });
+  }
+
+ private:
+  static void log_job_start(const CampaignJob& job, std::size_t total);
+  static void log_job_done(const CampaignJob& job, std::size_t total,
+                           double elapsed_seconds);
+  static double monotonic_seconds();
+
+  ThreadPool* pool_;
+};
+
+}  // namespace intooa::runtime

@@ -1,0 +1,212 @@
+#include "runtime/checkpoint.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace intooa::runtime {
+
+namespace {
+
+constexpr const char* kMagic = "intooa-evaluator-checkpoint v1";
+
+/// Shortest decimal representation that parses back to exactly `v`.
+std::string exact(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) throw std::runtime_error("checkpoint: to_chars");
+  return std::string(buf, ptr);
+}
+
+bool parse_double(std::istream& in, double& v) {
+  std::string token;
+  if (!(in >> token)) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool parse_size(std::istream& in, std::size_t& v) {
+  std::string token;
+  if (!(in >> token)) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool parse_bool(std::istream& in, bool& v) {
+  std::string token;
+  if (!(in >> token)) return false;
+  if (token != "0" && token != "1") return false;
+  v = token == "1";
+  return true;
+}
+
+void write_point(std::ostream& out, const sizing::EvalPoint& point) {
+  out << (point.perf.valid ? 1 : 0) << ' ' << exact(point.perf.gain_db) << ' '
+      << exact(point.perf.gbw_hz) << ' ' << exact(point.perf.pm_deg) << ' '
+      << exact(point.perf.power_w) << ' ' << exact(point.fom);
+  for (double m : point.margins) out << ' ' << exact(m);
+  out << ' ' << (point.feasible ? 1 : 0) << ' ' << point.perf.failure << '\n';
+}
+
+bool read_point(std::istream& in, sizing::EvalPoint& point) {
+  if (!parse_bool(in, point.perf.valid)) return false;
+  if (!parse_double(in, point.perf.gain_db)) return false;
+  if (!parse_double(in, point.perf.gbw_hz)) return false;
+  if (!parse_double(in, point.perf.pm_deg)) return false;
+  if (!parse_double(in, point.perf.power_w)) return false;
+  if (!parse_double(in, point.fom)) return false;
+  for (double& m : point.margins) {
+    if (!parse_double(in, m)) return false;
+  }
+  if (!parse_bool(in, point.feasible)) return false;
+  // The failure reason is free text: the rest of the line (possibly empty).
+  std::getline(in, point.perf.failure);
+  if (!point.perf.failure.empty() && point.perf.failure.front() == ' ') {
+    point.perf.failure.erase(0, 1);
+  }
+  return true;
+}
+
+bool expect_keyword(std::istream& in, const char* keyword) {
+  std::string token;
+  return (in >> token) && token == keyword;
+}
+
+/// Parses the whole stream into records; returns false on any defect so
+/// the caller can reject the file without having touched the evaluator.
+bool parse_checkpoint(std::istream& in, const std::string& token,
+                      std::vector<core::EvalRecord>& records,
+                      std::size_t& total_simulations) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return false;
+  if (!std::getline(in, line) || line != "token " + token) return false;
+
+  std::size_t record_count = 0;
+  if (!expect_keyword(in, "records") || !parse_size(in, record_count)) {
+    return false;
+  }
+  if (!expect_keyword(in, "sims") || !parse_size(in, total_simulations)) {
+    return false;
+  }
+
+  records.clear();
+  records.reserve(record_count);
+  for (std::size_t r = 0; r < record_count; ++r) {
+    core::EvalRecord record;
+    std::size_t topo_index = 0;
+    if (!expect_keyword(in, "record") || !parse_size(in, topo_index)) {
+      return false;
+    }
+    try {
+      record.topology = circuit::Topology::from_index(topo_index);
+    } catch (const std::exception&) {
+      return false;
+    }
+    record.sized.topology = record.topology;
+    if (!parse_size(in, record.sims_before)) return false;
+    if (!parse_size(in, record.sized.simulations)) return false;
+
+    std::size_t value_count = 0;
+    if (!expect_keyword(in, "values") || !parse_size(in, value_count)) {
+      return false;
+    }
+    record.sized.best_values.resize(value_count);
+    for (double& v : record.sized.best_values) {
+      if (!parse_double(in, v)) return false;
+    }
+
+    if (!expect_keyword(in, "best") || !read_point(in, record.sized.best)) {
+      return false;
+    }
+
+    std::size_t hist_count = 0;
+    if (!expect_keyword(in, "hist") || !parse_size(in, hist_count)) {
+      return false;
+    }
+    record.sized.history.resize(hist_count);
+    for (auto& point : record.sized.history) {
+      if (!expect_keyword(in, "p") || !read_point(in, point)) return false;
+    }
+    records.push_back(std::move(record));
+  }
+  if (!expect_keyword(in, "end")) return false;
+
+  // Consistency: the stored counter must equal the sum of per-record costs.
+  std::size_t sum = 0;
+  for (const auto& record : records) sum += record.sized.simulations;
+  return sum == total_simulations;
+}
+
+}  // namespace
+
+void save_evaluator_checkpoint(const std::string& path,
+                               const std::string& token,
+                               const core::TopologyEvaluator& evaluator) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot write " + tmp.string());
+    }
+    out << kMagic << '\n';
+    out << "token " << token << '\n';
+    out << "records " << evaluator.history().size() << '\n';
+    out << "sims " << evaluator.total_simulations() << '\n';
+    for (const auto& record : evaluator.history()) {
+      out << "record " << record.topology.index() << ' ' << record.sims_before
+          << ' ' << record.sized.simulations << '\n';
+      out << "values " << record.sized.best_values.size();
+      for (double v : record.sized.best_values) out << ' ' << exact(v);
+      out << '\n';
+      out << "best ";
+      write_point(out, record.sized.best);
+      out << "hist " << record.sized.history.size() << '\n';
+      for (const auto& point : record.sized.history) {
+        out << "p ";
+        write_point(out, point);
+      }
+    }
+    out << "end\n";
+    if (!out) {
+      throw std::runtime_error("checkpoint: write failed for " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    throw std::runtime_error("checkpoint: cannot rename " + tmp.string() +
+                             " -> " + path + ": " + ec.message());
+  }
+}
+
+bool load_evaluator_checkpoint(const std::string& path,
+                               const std::string& token,
+                               core::TopologyEvaluator& evaluator) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::vector<core::EvalRecord> records;
+  std::size_t total_simulations = 0;
+  if (!parse_checkpoint(in, token, records, total_simulations)) {
+    util::log_warn("ignoring unusable checkpoint " + path);
+    return false;
+  }
+  for (auto& record : records) evaluator.restore(std::move(record));
+  return true;
+}
+
+}  // namespace intooa::runtime

@@ -1,0 +1,39 @@
+#pragma once
+// Checkpoint/resume for optimization campaigns: serializes the complete
+// TopologyEvaluator state — every evaluated topology, its sized result
+// (best values, best point, per-simulation history) and the simulation
+// counters — so an interrupted campaign can restore a finished run from
+// disk instead of re-simulating it.
+//
+// Doubles are written with std::to_chars (shortest decimal that
+// round-trips exactly), so a restored evaluator reproduces FoM curves,
+// best-design selection and every downstream aggregate byte-for-byte.
+// Files are written atomically (tmp file + rename): a crash mid-write
+// leaves either the previous checkpoint or none, never a torn one.
+// The format is documented in docs/ALGORITHMS.md.
+
+#include <string>
+
+#include "core/evaluator.hpp"
+
+namespace intooa::runtime {
+
+/// Writes `evaluator`'s full history plus the caller's `token` (an
+/// identity stamp: spec, method, protocol params, seed) to `path`.
+/// Parent directories are created. Throws std::runtime_error on I/O
+/// failure.
+void save_evaluator_checkpoint(const std::string& path,
+                               const std::string& token,
+                               const core::TopologyEvaluator& evaluator);
+
+/// Restores a checkpoint written by save_evaluator_checkpoint into
+/// `evaluator`, which must be freshly constructed for the same spec and
+/// sizing config. Returns false — leaving `evaluator` untouched — when the
+/// file is missing, malformed/truncated, or stamped with a different
+/// `token` (a stale checkpoint from other protocol parameters is never
+/// silently reused).
+bool load_evaluator_checkpoint(const std::string& path,
+                               const std::string& token,
+                               core::TopologyEvaluator& evaluator);
+
+}  // namespace intooa::runtime

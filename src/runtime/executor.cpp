@@ -1,0 +1,40 @@
+#include "runtime/executor.hpp"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace intooa::runtime {
+
+namespace {
+std::mutex g_mutex;
+std::size_t g_threads = 1;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void set_thread_count(std::size_t threads) {
+  const std::size_t resolved = threads == 0 ? hardware_threads() : threads;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (resolved == g_threads) return;
+  g_pool.reset();  // joins the old workers before resizing
+  g_threads = resolved;
+}
+
+std::size_t thread_count() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_threads;
+}
+
+ThreadPool* global_pool() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_threads <= 1) return nullptr;
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_threads);
+  return g_pool.get();
+}
+
+}  // namespace intooa::runtime

@@ -1,0 +1,33 @@
+#pragma once
+// Process-wide execution configuration: one shared ThreadPool whose size is
+// chosen once (normally from the --threads CLI option) and consumed by every
+// parallel hot path — per-iteration candidate scoring in the optimizer and
+// (seed x method) campaign fan-out in the bench driver.
+//
+// The default is 1 thread (fully serial), so library users and tests get
+// today's single-threaded behavior unless they opt in. The bench binaries
+// default to hardware_concurrency via BenchOptions::from_cli.
+
+#include <cstddef>
+
+#include "runtime/thread_pool.hpp"
+
+namespace intooa::runtime {
+
+/// std::thread::hardware_concurrency() clamped to at least 1.
+std::size_t hardware_threads();
+
+/// Sets the global thread count. 0 means hardware_threads(); 1 means fully
+/// serial (global_pool() returns nullptr). Must not be called while parallel
+/// work is in flight: the previous pool is destroyed (joining its workers)
+/// before the new size takes effect.
+void set_thread_count(std::size_t threads);
+
+/// The configured thread count (>= 1).
+std::size_t thread_count();
+
+/// The shared pool, or nullptr when thread_count() == 1. The pool is created
+/// lazily on first use so serial processes never spawn threads.
+ThreadPool* global_pool();
+
+}  // namespace intooa::runtime

@@ -1,0 +1,94 @@
+#pragma once
+// Deterministic data-parallel primitives over a ThreadPool.
+//
+// Every primitive here is a *pure fan-out*: task i reads only its own inputs
+// (its index, its pre-assigned rng stream) and writes only its own output
+// slot, so the combined result is a function of the inputs alone — identical
+// for any thread count and any scheduling. Passing a null pool (or count
+// <= 1) runs the loop inline on the calling thread, which is the
+// `--threads 1` reproducibility path: it executes the exact same per-task
+// computations in index order.
+//
+// deterministic_parallel_map is the rng-aware variant: it forks one child
+// stream per task via util::Rng::split() IN SUBMISSION (INDEX) ORDER before
+// any task is dispatched. The parent rng therefore advances by exactly
+// `count` draws regardless of parallelism, and task i always sees the same
+// child stream — the property the campaign- and pool-level parallelism of
+// this codebase is built on (see docs/ALGORITHMS.md, "Parallelism &
+// reproducibility").
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace intooa::runtime {
+
+/// Calls fn(i) for i in [0, count). Blocks until every task finished. When
+/// one or more tasks throw, all tasks still run to completion and the
+/// exception of the *lowest* failing index is rethrown, so failure behavior
+/// does not depend on scheduling either.
+///
+/// Nested parallel regions run inline: when the calling thread is itself a
+/// pool worker (a campaign run calling the optimizer's candidate scoring),
+/// fanning out to the same pool and blocking on the futures would deadlock
+/// once every worker is occupied by an outer task. Inline execution is the
+/// same deterministic code path as the null-pool case, so results are
+/// unchanged.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t count, Fn&& fn) {
+  if (pool == nullptr || pool->size() <= 1 || count <= 1 ||
+      ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool->submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+/// Maps fn over [0, count) and returns the results in index order. The
+/// result type must be default-constructible (output slots are pre-sized).
+template <typename Fn, typename R = std::invoke_result_t<Fn&, std::size_t>>
+std::vector<R> parallel_map(ThreadPool* pool, std::size_t count, Fn&& fn) {
+  std::vector<R> results(count);
+  parallel_for(pool, count,
+               [&results, &fn](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+/// Maps fn(i, rng_i) over [0, count) where rng_i is the i-th child stream
+/// split from `rng` in submission order. Results are byte-identical for a
+/// given incoming rng state regardless of pool size; the parent stream is
+/// advanced by exactly `count` splits.
+template <typename Fn,
+          typename R = std::invoke_result_t<Fn&, std::size_t, util::Rng&>>
+std::vector<R> deterministic_parallel_map(ThreadPool* pool, std::size_t count,
+                                          util::Rng& rng, Fn&& fn) {
+  std::vector<util::Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(rng.split());
+  std::vector<R> results(count);
+  parallel_for(pool, count, [&results, &streams, &fn](std::size_t i) {
+    results[i] = fn(i, streams[i]);
+  });
+  return results;
+}
+
+}  // namespace intooa::runtime

@@ -1,0 +1,67 @@
+#pragma once
+// Fixed-size worker thread pool with task futures — the execution engine of
+// the intooa::runtime subsystem. Tasks are arbitrary callables; submit()
+// returns a std::future through which the task's result (or any exception it
+// threw) is delivered to the caller. The pool itself imposes no ordering on
+// task completion; deterministic results are the job of the primitives built
+// on top (runtime/parallel.hpp), which assign all order-sensitive state (rng
+// streams, output slots) in submission order before any task runs.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace intooa::runtime {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1). The pool never grows or shrinks.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding tasks, then joins all workers. Tasks already queued
+  /// still run to completion; their futures stay valid.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. The
+  /// parallel primitives use this to run nested parallel regions inline:
+  /// a worker that blocked on futures for sub-tasks queued behind the
+  /// task it is running would deadlock the pool.
+  static bool on_worker_thread();
+
+  /// Enqueues `fn` and returns a future for its result. An exception thrown
+  /// by `fn` is captured and rethrown from future::get() in the caller.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> submit(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace intooa::runtime

@@ -44,6 +44,18 @@ long Cli::get_int(const std::string& key, long fallback) const {
   }
 }
 
+std::size_t Cli::get_size(const std::string& key, std::size_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  const long value = get_int(key, 0);
+  if (value < 0) {
+    throw std::invalid_argument("Cli: flag --" + key +
+                                " expects a non-negative integer, got '" +
+                                it->second + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;

@@ -3,6 +3,7 @@
 // Supports "--key value", "--key=value" and boolean "--flag" forms; anything
 // else is collected as a positional argument.
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
@@ -27,6 +28,11 @@ class Cli {
 
   /// Integer value of the flag, or `fallback` when absent.
   long get_int(const std::string& key, long fallback) const;
+
+  /// Non-negative integer value of the flag, or `fallback` when absent.
+  /// Throws std::invalid_argument on a negative or non-numeric value; used
+  /// for count-like options (--threads, --runs) where -1 is never valid.
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
 
   /// Double value of the flag, or `fallback` when absent.
   double get_double(const std::string& key, double fallback) const;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace intooa::util {
 
@@ -25,6 +26,10 @@ LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // stderr is unbuffered; without the lock, lines from parallel campaign
+  // runs can interleave mid-message.
+  static std::mutex emit_mutex;
+  std::lock_guard<std::mutex> lock(emit_mutex);
   std::fprintf(stderr, "[%s] %s\n", tag(level), message.c_str());
 }
 

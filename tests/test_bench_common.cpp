@@ -1,12 +1,15 @@
 // Tests for the experiment harness (bench/common): campaign aggregation
 // math (success rates, mean curves, simulations-to-reference), the
-// reference-FoM rule, CLI plumbing, and the disk cache round trip.
+// reference-FoM rule, CLI plumbing, the disk cache round trip, and the
+// parallel/checkpoint-resume guarantees (byte-identical results for any
+// thread count and across an interrupt).
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
 #include "common/campaign.hpp"
+#include "runtime/executor.hpp"
 
 namespace {
 
@@ -93,9 +96,13 @@ TEST(Campaign, BenchOptionsFromCli) {
   EXPECT_EQ(options.params.seed, 9u);
   EXPECT_EQ(options.cache_dir, "bench-cache");
 
-  const char* argv2[] = {"bench", "--no-cache"};
-  const util::Cli cli2(2, argv2);
-  EXPECT_TRUE(BenchOptions::from_cli(cli2).cache_dir.empty());
+  const char* argv2[] = {"bench", "--no-cache", "--threads", "2"};
+  const util::Cli cli2(4, argv2);
+  const BenchOptions options2 = BenchOptions::from_cli(cli2);
+  EXPECT_TRUE(options2.cache_dir.empty());
+  EXPECT_EQ(options2.threads, 2u);
+  EXPECT_EQ(runtime::thread_count(), 2u);  // from_cli configures the executor
+  runtime::set_thread_count(1);
 }
 
 TEST(Campaign, RunAndCacheRoundTrip) {
@@ -126,6 +133,53 @@ TEST(Campaign, RunAndCacheRoundTrip) {
       EXPECT_NEAR(cached.runs[r].curve[i], fresh.runs[r].curve[i], 1e-9);
     }
   }
+  std::filesystem::remove_all(cache_dir);
+}
+
+void expect_sets_identical(const CampaignSet& a, const CampaignSet& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t r = 0; r < a.runs.size(); ++r) {
+    EXPECT_EQ(a.runs[r].success, b.runs[r].success);
+    EXPECT_EQ(a.runs[r].final_fom, b.runs[r].final_fom);  // exact
+    EXPECT_EQ(a.runs[r].best_topology_index, b.runs[r].best_topology_index);
+    EXPECT_EQ(a.runs[r].best_topology, b.runs[r].best_topology);
+    EXPECT_EQ(a.runs[r].best_values, b.runs[r].best_values);
+    EXPECT_EQ(a.runs[r].curve, b.runs[r].curve);  // exact, element-wise
+  }
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeResults) {
+  const CampaignParams params = tiny_params();
+  runtime::set_thread_count(1);
+  const CampaignSet serial = run_or_load("S-2", Method::IntoOa, params, "");
+  runtime::set_thread_count(4);
+  const CampaignSet parallel = run_or_load("S-2", Method::IntoOa, params, "");
+  runtime::set_thread_count(1);
+  expect_sets_identical(serial, parallel);
+}
+
+TEST(Campaign, CheckpointInterruptResumeIsExact) {
+  const auto cache_dir = std::filesystem::temp_directory_path() /
+                         "intooa_campaign_resume_test";
+  std::filesystem::remove_all(cache_dir);
+  const CampaignParams params = tiny_params();
+
+  const CampaignSet fresh =
+      run_or_load("S-1", Method::IntoOaR, params, cache_dir.string());
+
+  // Simulate an interrupt after run 0: the aggregate CSV was never written
+  // and run 1's checkpoint is lost, so the resumed campaign must restore
+  // run 0 from its checkpoint and re-simulate only run 1.
+  for (const auto& entry : std::filesystem::directory_iterator(cache_dir)) {
+    if (entry.is_regular_file()) std::filesystem::remove(entry.path());
+  }
+  std::filesystem::remove(cache_dir / "checkpoints" /
+                          ("campaign_S-1_INTO-OA-r_" + params.cache_token() +
+                           "_run1.ckpt"));
+
+  const CampaignSet resumed =
+      run_or_load("S-1", Method::IntoOaR, params, cache_dir.string());
+  expect_sets_identical(fresh, resumed);
   std::filesystem::remove_all(cache_dir);
 }
 

@@ -51,6 +51,47 @@ TEST(Evaluator, CountsAndCaches) {
   EXPECT_EQ(evaluator.history()[1].sims_before, 8u);
 }
 
+TEST(Evaluator, CacheHitLeavesAccountingUntouched) {
+  // Re-evaluating a visited topology must be free: no history growth, no
+  // simulation charge, no extension of the Fig. 5 curve — the invariant the
+  // checkpoint-resume layer and the paper's cost accounting both rely on.
+  TopologyEvaluator evaluator(s1_context(), fast_sizing());
+  util::Rng rng(60);
+  const auto nmc = circuit::named_topology("NMC");
+  const auto c1 = circuit::named_topology("C1");
+  evaluator.evaluate(nmc, rng);
+  evaluator.evaluate(c1, rng);
+
+  const auto history_size = evaluator.history().size();
+  const auto sims = evaluator.total_simulations();
+  const auto curve = evaluator.fom_curve();
+
+  const auto& hit1 = evaluator.evaluate(nmc, rng);
+  const auto& hit2 = evaluator.evaluate(c1, rng);
+  EXPECT_EQ(hit1.topology, nmc);
+  EXPECT_EQ(hit2.topology, c1);
+  EXPECT_EQ(evaluator.history().size(), history_size);
+  EXPECT_EQ(evaluator.total_simulations(), sims);
+  EXPECT_EQ(evaluator.fom_curve(), curve);  // same length AND same tail
+}
+
+TEST(Evaluator, RestoreReplaysAccounting) {
+  TopologyEvaluator original(s1_context(), fast_sizing());
+  util::Rng rng(61);
+  original.evaluate(circuit::named_topology("NMC"), rng);
+  original.evaluate(circuit::named_topology("C1"), rng);
+
+  TopologyEvaluator restored(s1_context(), fast_sizing());
+  for (const auto& record : original.history()) restored.restore(record);
+  EXPECT_EQ(restored.total_simulations(), original.total_simulations());
+  EXPECT_EQ(restored.history().size(), original.history().size());
+  EXPECT_EQ(restored.fom_curve(), original.fom_curve());
+  EXPECT_TRUE(restored.visited(circuit::named_topology("NMC")));
+  // Restored entries behave like evaluated ones: cache hits stay free.
+  restored.evaluate(circuit::named_topology("C1"), rng);
+  EXPECT_EQ(restored.total_simulations(), original.total_simulations());
+}
+
 TEST(Evaluator, FomCurveMonotoneAndSized) {
   TopologyEvaluator evaluator(s1_context(), fast_sizing());
   util::Rng rng(52);

@@ -151,6 +151,49 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, SplitIsDeterministic) {
+  // Equal parent states fork equal children — the property the runtime's
+  // deterministic_parallel_map builds on.
+  Rng a(314), b(314);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+  // ... and the parents stay in lockstep after splitting.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitChildUnaffectedByLaterParentDraws) {
+  // A child forked at a given parent state replays the same stream no
+  // matter what the parent does afterwards: tasks can run in any order.
+  Rng parent1(2718);
+  Rng child1 = parent1.split();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(child1.next_u64());
+
+  Rng parent2(2718);
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 1000; ++i) parent2.next_u64();  // parent races ahead
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child2.next_u64(), expected[i]);
+}
+
+TEST(Rng, ConsecutiveSplitsAreDistinct) {
+  Rng parent(161803);
+  std::set<std::uint64_t> firsts;
+  constexpr int kSplits = 64;
+  for (int i = 0; i < kSplits; ++i) firsts.insert(parent.split().next_u64());
+  EXPECT_EQ(firsts.size(), static_cast<std::size_t>(kSplits));
+}
+
+TEST(Cli, GetSizeParsesNonNegative) {
+  const char* argv[] = {"prog", "--threads", "4", "--bad", "-2"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_size("threads", 1), 4u);
+  EXPECT_EQ(cli.get_size("absent", 7), 7u);
+  EXPECT_THROW(cli.get_size("bad", 0), std::invalid_argument);
+}
+
 TEST(Rng, ChoiceThrowsOnEmpty) {
   Rng rng(16);
   std::vector<int> empty;
