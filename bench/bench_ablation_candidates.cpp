@@ -10,6 +10,7 @@
 
 #include "common/campaign.hpp"
 #include "core/optimizer.hpp"
+#include "obs/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -19,7 +20,8 @@ int main(int argc, char** argv) {
   using namespace intooa::bench;
 
   const util::Cli cli(argc, argv);
-  util::set_log_level(util::LogLevel::Info);
+  obs::BenchTelemetry telemetry(
+      obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const std::string spec_name = cli.get("spec", "S-1");
   const auto runs = static_cast<std::size_t>(cli.get_int("runs", 3));
   const auto iters = static_cast<std::size_t>(cli.get_int("iters", 30));

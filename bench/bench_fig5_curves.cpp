@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/campaign.hpp"
+#include "obs/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -20,7 +21,8 @@ int main(int argc, char** argv) {
   using namespace intooa::bench;
 
   const util::Cli cli(argc, argv);
-  util::set_log_level(util::LogLevel::Info);
+  obs::BenchTelemetry telemetry(
+      obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const BenchOptions options = BenchOptions::from_cli(cli);
   const std::string only_spec = cli.get("spec", "");
 

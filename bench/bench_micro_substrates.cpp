@@ -12,9 +12,11 @@
 #include "circuit/circuit_graph.hpp"
 #include "circuit/library.hpp"
 #include "gp/wlgp.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/mna.hpp"
 #include "sizing/evaluate.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -129,4 +131,16 @@ BENCHMARK(BM_TopologyIndexRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared telemetry flags (--trace,
+// --metrics, --log-level) work here too. util::Cli ignores google-benchmark's
+// --benchmark_* flags and benchmark::Initialize leaves ours in place, so the
+// two parsers coexist (unrecognized-argument reporting is skipped).
+int main(int argc, char** argv) {
+  const intooa::util::Cli cli(argc, argv);
+  intooa::obs::BenchTelemetry telemetry(intooa::obs::TelemetryOptions::from_cli(
+      cli, intooa::util::LogLevel::Warn));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "common/campaign.hpp"
 #include "core/interpret.hpp"
 #include "core/optimizer.hpp"
+#include "obs/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
   using namespace intooa::bench;
 
   const util::Cli cli(argc, argv);
-  util::set_log_level(util::LogLevel::Info);
+  obs::BenchTelemetry telemetry(
+      obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const BenchOptions options = BenchOptions::from_cli(cli);
   const std::string spec_name = cli.get("spec", "S-4");
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);

@@ -6,10 +6,16 @@
 
 #include "circuit/rules.hpp"
 #include "circuit/spec.hpp"
+#include "obs/telemetry.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace intooa;
+
+  const util::Cli cli(argc, argv);
+  obs::BenchTelemetry telemetry(
+      obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
 
   std::printf("TABLE I: The Design Specification Sets\n");
   util::Table table(

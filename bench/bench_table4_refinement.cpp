@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/refine_flow.hpp"
+#include "obs/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -46,7 +47,8 @@ int main(int argc, char** argv) {
   using namespace intooa::bench;
 
   const util::Cli cli(argc, argv);
-  util::set_log_level(util::LogLevel::Info);
+  obs::BenchTelemetry telemetry(
+      obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const BenchOptions options = BenchOptions::from_cli(cli);
 
   const RefinementFlow flow = run_refinement_flow(options.params);

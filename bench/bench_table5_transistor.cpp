@@ -11,6 +11,7 @@
 #include "common/campaign.hpp"
 #include "common/refine_flow.hpp"
 #include "sizing/evaluate.hpp"
+#include "obs/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 #include "xtor/mapping.hpp"
@@ -20,7 +21,8 @@ int main(int argc, char** argv) {
   using namespace intooa::bench;
 
   const util::Cli cli(argc, argv);
-  util::set_log_level(util::LogLevel::Info);
+  obs::BenchTelemetry telemetry(
+      obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const BenchOptions options = BenchOptions::from_cli(cli);
   const std::string only_spec = cli.get("spec", "");
 

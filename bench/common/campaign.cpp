@@ -9,6 +9,8 @@
 #include "baselines/fega.hpp"
 #include "baselines/vgae_bo.hpp"
 #include "core/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/campaign_runner.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/executor.hpp"
@@ -232,6 +234,7 @@ RunResult execute_run(const std::string& spec_name, Method method,
                       const CampaignParams& params, std::uint64_t seed,
                       const std::string& checkpoint_path,
                       const std::string& checkpoint_token) {
+  INTOOA_SPAN("campaign.run");
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
   sizing::SizingConfig sizing_config;
   sizing_config.init_points = params.sizing_init;
@@ -349,6 +352,13 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
                    std::hash<std::string>{}(spec_name) % 104729ULL + r * 31ULL;
     jobs[r].index = r;
   }
+  // Campaign-level cache accounting: the sets of one bench run sequentially,
+  // so the counter deltas across this campaign are exactly its own lookups.
+  obs::Counter& hit_counter = obs::registry().counter("evaluator.cache_hit");
+  obs::Counter& miss_counter = obs::registry().counter("evaluator.cache_miss");
+  const std::uint64_t hits_before = hit_counter.value();
+  const std::uint64_t misses_before = miss_counter.value();
+
   const runtime::CampaignRunner runner(runtime::global_pool());
   set.runs = runner.run<RunResult>(jobs, [&](const runtime::CampaignJob& job) {
     const std::string ckpt_path =
@@ -360,6 +370,13 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
                                  job.seed));
   });
   if (!path.empty()) save_cache(path, set);
+
+  util::log_info(
+      "campaign " + method_name(method) + " on " + spec_name + " done",
+      {{"runs", set.runs.size()},
+       {"successes", set.successes()},
+       {"cache_hits", hit_counter.value() - hits_before},
+       {"cache_misses", miss_counter.value() - misses_before}});
   return set;
 }
 

@@ -1,5 +1,7 @@
 #include "core/evaluator.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace intooa::core {
 
 TopologyEvaluator::TopologyEvaluator(sizing::EvalContext context,
@@ -8,15 +10,30 @@ TopologyEvaluator::TopologyEvaluator(sizing::EvalContext context,
 
 const sizing::SizedResult& TopologyEvaluator::evaluate(
     const circuit::Topology& topology, util::Rng& rng) {
+  // Static refs: one registry lookup per process, wait-free updates after.
+  static obs::Counter& hit_counter =
+      obs::registry().counter("evaluator.cache_hit");
+  static obs::Counter& miss_counter =
+      obs::registry().counter("evaluator.cache_miss");
+  static obs::Counter& sim_counter =
+      obs::registry().counter("evaluator.simulations");
+
   const std::size_t key = topology.index();
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return history_[it->second].sized;
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    hit_counter.add();
+    return history_[it->second].sized;
+  }
+  ++cache_misses_;
+  miss_counter.add();
 
   EvalRecord record;
   record.topology = topology;
   record.sims_before = total_simulations_;
   record.sized = sizer_.size(topology, rng);
   total_simulations_ += record.sized.simulations;
+  sim_counter.add(record.sized.simulations);
   history_.push_back(std::move(record));
   cache_[key] = history_.size() - 1;
   return history_.back().sized;

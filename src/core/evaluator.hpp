@@ -51,6 +51,13 @@ class TopologyEvaluator {
   /// Total simulator calls consumed so far.
   std::size_t total_simulations() const { return total_simulations_; }
 
+  /// Cache accounting: lookups that returned a previously sized topology
+  /// vs. lookups that ran the sizer. Mirrored into the obs metrics registry
+  /// ("evaluator.cache_hit" / "evaluator.cache_miss") for the campaign
+  /// telemetry report. restore() counts as neither.
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return cache_misses_; }
+
   /// All fresh evaluations in order.
   const std::vector<EvalRecord>& history() const { return history_; }
 
@@ -74,6 +81,8 @@ class TopologyEvaluator {
   std::unordered_map<std::size_t, std::size_t> cache_;  // topo index -> record
   std::vector<EvalRecord> history_;
   std::size_t total_simulations_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
 };
 
 }  // namespace intooa::core

@@ -8,6 +8,8 @@
 
 #include "circuit/circuit_graph.hpp"
 #include "gp/acquisition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/parallel.hpp"
 #include "util/log.hpp"
@@ -66,6 +68,7 @@ IntoOaOptimizer::IntoOaOptimizer(OptimizerConfig config)
 }
 
 void IntoOaOptimizer::fit_models(const TopologyEvaluator& evaluator) {
+  INTOOA_SPAN("optimizer.fit_models");
   const auto& history = evaluator.history();
   std::vector<graph::Graph> graphs;
   graphs.reserve(history.size());
@@ -140,30 +143,36 @@ OptimizationOutcome IntoOaOptimizer::run(TopologyEvaluator& evaluator,
     // run; the per-candidate GP posteriors and acquisition are then scored
     // in parallel (read-only on the trained models and the dictionary), so
     // the scores — and the argmax — are identical for any thread count.
-    std::vector<graph::SparseVec> pool_features(pool.size());
-    for (std::size_t c = 0; c < pool.size(); ++c) {
-      const graph::Graph g = circuit::build_circuit_graph(pool[c]);
-      pool_features[c] = featurizer_->features(g, config_.wlgp.max_h);
-    }
-    const std::vector<double> scores = runtime::parallel_map(
-        runtime::global_pool(), pool.size(), [&](std::size_t c) {
-          const graph::SparseVec& full = pool_features[c];
-          const gp::Prediction obj = models_[0].predict_from_features(full);
-          gp::WeiInputs in;
-          in.objective_mean = obj.mean;
-          in.objective_variance = obj.variance;
-          in.best_feasible = best_objective;
-          in.have_feasible = have_feasible;
-          std::array<double, circuit::Spec::kConstraintCount> cm{}, cv{};
-          for (std::size_t k = 0; k < cm.size(); ++k) {
-            const gp::Prediction p = models_[k + 1].predict_from_features(full);
-            cm[k] = p.mean;
-            cv[k] = p.variance;
-          }
-          in.constraint_means = cm;
-          in.constraint_variances = cv;
-          return gp::weighted_ei(in);
-        });
+    obs::registry().counter("optimizer.iterations").add();
+    obs::registry().counter("optimizer.candidates_scored").add(pool.size());
+    const std::vector<double> scores = [&] {
+      INTOOA_SPAN("optimizer.score_pool");
+      std::vector<graph::SparseVec> pool_features(pool.size());
+      for (std::size_t c = 0; c < pool.size(); ++c) {
+        const graph::Graph g = circuit::build_circuit_graph(pool[c]);
+        pool_features[c] = featurizer_->features(g, config_.wlgp.max_h);
+      }
+      return runtime::parallel_map(
+          runtime::global_pool(), pool.size(), [&](std::size_t c) {
+            const graph::SparseVec& full = pool_features[c];
+            const gp::Prediction obj = models_[0].predict_from_features(full);
+            gp::WeiInputs in;
+            in.objective_mean = obj.mean;
+            in.objective_variance = obj.variance;
+            in.best_feasible = best_objective;
+            in.have_feasible = have_feasible;
+            std::array<double, circuit::Spec::kConstraintCount> cm{}, cv{};
+            for (std::size_t k = 0; k < cm.size(); ++k) {
+              const gp::Prediction p =
+                  models_[k + 1].predict_from_features(full);
+              cm[k] = p.mean;
+              cv[k] = p.variance;
+            }
+            in.constraint_means = cm;
+            in.constraint_variances = cv;
+            return gp::weighted_ei(in);
+          });
+    }();
     double best_score = -1.0;
     std::size_t best_candidate = 0;
     for (std::size_t c = 0; c < scores.size(); ++c) {

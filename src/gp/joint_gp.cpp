@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/stats.hpp"
 
 namespace intooa::gp {
@@ -55,6 +57,10 @@ void JointGp::factorize(double lengthscale, double noise) {
 void JointGp::fit(const std::vector<std::vector<double>>& inputs,
                   const std::vector<std::vector<double>>& targets,
                   bool refit_hyper) {
+  INTOOA_SPAN("gp.joint_fit");
+  obs::registry()
+      .histogram("gp.cholesky_dim")
+      .record(static_cast<std::uint64_t>(inputs.size()));
   if (inputs.size() != targets.size()) {
     throw std::invalid_argument("JointGp::fit: size mismatch");
   }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/stats.hpp"
 
 namespace intooa::gp {
@@ -48,6 +50,10 @@ graph::SparseVec WlGp::filtered(const graph::SparseVec& full, int h) const {
 
 void WlGp::fit(const std::vector<graph::Graph>& graphs,
                std::span<const double> targets) {
+  INTOOA_SPAN("gp.fit");
+  obs::registry()
+      .histogram("gp.cholesky_dim")
+      .record(static_cast<std::uint64_t>(graphs.size()));
   if (graphs.size() != targets.size()) {
     throw std::invalid_argument("WlGp::fit: size mismatch");
   }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace intooa::graph {
 
 WlFeaturizer::WlFeaturizer(int max_h) : max_h_(max_h) {
@@ -70,10 +73,13 @@ std::vector<std::vector<std::size_t>> WlFeaturizer::node_labels(const Graph& g,
 }
 
 SparseVec WlFeaturizer::features(const Graph& g, int h) {
+  INTOOA_SPAN("wl.featurize");
   SparseVec phi;
   for (const auto& level : node_labels(g, h)) {
     for (std::size_t id : level) phi.add(id, 1.0);
   }
+  static obs::Gauge& label_gauge = obs::registry().gauge("wl.label_count");
+  label_gauge.set_max(static_cast<double>(label_count()));
   return phi;
 }
 

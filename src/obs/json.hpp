@@ -1,0 +1,90 @@
+#pragma once
+// Minimal JSON value model used by the observability subsystem: the metrics
+// report round-trips through it and the tests parse emitted Chrome trace
+// files back for validation. Deliberately tiny — objects, arrays, strings,
+// doubles, bools, null; no external dependencies.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intooa::obs {
+
+/// A parsed/buildable JSON value. Numbers are stored as double (all metric
+/// values fit: counters stay below 2^53 in any realistic campaign).
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double v) : type_(Type::Number), number_(v) {}
+  Json(int v) : type_(Type::Number), number_(v) {}
+  Json(long v) : type_(Type::Number), number_(static_cast<double>(v)) {}
+  Json(unsigned long v) : type_(Type::Number), number_(static_cast<double>(v)) {}
+  Json(unsigned long long v)
+      : type_(Type::Number), number_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_bool() const { return type_ == Type::Bool; }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;
+  const std::map<std::string, Json>& members() const;
+
+  /// Array append (value must be an array).
+  void push_back(Json value);
+
+  /// Object member access; creates the member on a mutable object. The
+  /// const overload throws std::out_of_range for a missing key.
+  Json& operator[](const std::string& key);
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  std::size_t size() const;
+
+  /// Serializes. `indent` < 0 means compact single-line output; >= 0 adds
+  /// newlines with `indent` spaces per depth level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses `text`; throws std::runtime_error (with offset) on malformed
+  /// input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace intooa::obs

@@ -1,0 +1,236 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace intooa::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{true};
+
+std::size_t shard_index() {
+  return static_cast<std::size_t>(util::thread_ordinal()) % kShardCount;
+}
+
+std::uint64_t monotonic_ns() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin)
+          .count());
+}
+
+}  // namespace detail
+
+bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::set_max(double v) {
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (v > current &&
+         !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bucket_of(std::uint64_t v) {
+  const int width = std::bit_width(v);  // 0 for v == 0
+  return width < static_cast<int>(kBuckets) ? width
+                                            : static_cast<int>(kBuckets) - 1;
+}
+
+void Histogram::record_always(std::uint64_t v) {
+  Shard& shard = shards_[detail::shard_index()];
+  shard.counts[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !shard.min.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !shard.max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.unit = unit_ == Unit::Nanoseconds ? "ns" : "";
+  std::array<std::uint64_t, kBuckets> totals{};
+  std::uint64_t min = ~0ULL;
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      totals[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    const std::uint64_t shard_min = shard.min.load(std::memory_order_relaxed);
+    if (shard_min < min) min = shard_min;
+    const std::uint64_t shard_max = shard.max.load(std::memory_order_relaxed);
+    if (shard_max > out.max) out.max = shard_max;
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (totals[b] == 0) continue;
+    out.count += totals[b];
+    out.buckets.emplace_back(static_cast<int>(b), totals[b]);
+  }
+  out.min = out.count == 0 ? 0 : min;
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (auto& count : shard.counts) count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(~0ULL, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& Registry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, Unit unit) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>(unit);
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms[name] = histogram->snapshot();
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::shared_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json root = Json::object();
+  Json counters_json = Json::object();
+  for (const auto& [name, value] : counters) {
+    counters_json[name] = Json(static_cast<double>(value));
+  }
+  Json gauges_json = Json::object();
+  for (const auto& [name, value] : gauges) gauges_json[name] = Json(value);
+  Json histograms_json = Json::object();
+  for (const auto& [name, hist] : histograms) {
+    Json h = Json::object();
+    h["unit"] = Json(hist.unit);
+    h["count"] = Json(static_cast<double>(hist.count));
+    h["sum"] = Json(static_cast<double>(hist.sum));
+    h["min"] = Json(static_cast<double>(hist.min));
+    h["max"] = Json(static_cast<double>(hist.max));
+    Json buckets = Json::array();
+    for (const auto& [bucket, count] : hist.buckets) {
+      Json pair = Json::array();
+      pair.push_back(Json(bucket));
+      pair.push_back(Json(static_cast<double>(count)));
+      buckets.push_back(std::move(pair));
+    }
+    h["buckets"] = std::move(buckets);
+    histograms_json[name] = std::move(h);
+  }
+  root["counters"] = std::move(counters_json);
+  root["gauges"] = std::move(gauges_json);
+  root["histograms"] = std::move(histograms_json);
+  return root;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const Json& json) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : json.at("counters").members()) {
+    out.counters[name] = static_cast<std::uint64_t>(value.as_number());
+  }
+  for (const auto& [name, value] : json.at("gauges").members()) {
+    out.gauges[name] = value.as_number();
+  }
+  for (const auto& [name, value] : json.at("histograms").members()) {
+    HistogramSnapshot hist;
+    hist.unit = value.at("unit").as_string();
+    hist.count = static_cast<std::uint64_t>(value.at("count").as_number());
+    hist.sum = static_cast<std::uint64_t>(value.at("sum").as_number());
+    hist.min = static_cast<std::uint64_t>(value.at("min").as_number());
+    hist.max = static_cast<std::uint64_t>(value.at("max").as_number());
+    for (const Json& pair : value.at("buckets").items()) {
+      if (pair.size() != 2) {
+        throw std::runtime_error("MetricsSnapshot: malformed bucket");
+      }
+      hist.buckets.emplace_back(
+          static_cast<int>(pair.items()[0].as_number()),
+          static_cast<std::uint64_t>(pair.items()[1].as_number()));
+    }
+    out.histograms[name] = std::move(hist);
+  }
+  return out;
+}
+
+}  // namespace intooa::obs

@@ -1,0 +1,169 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges and log2-scale
+// histograms, designed so instrumentation inside runtime::ThreadPool workers
+// never contends. Counters and histograms are sharded by thread across
+// cache-line-padded relaxed atomics (a worker only ever touches its own
+// shard); reads sum the shards. All update paths are wait-free and a
+// disabled site costs exactly one relaxed atomic load and branch.
+//
+// Instrumentation is RNG-neutral by construction — nothing in this module
+// draws randomness or feeds back into the optimization state — so campaign
+// outputs are byte-identical with metrics/tracing on or off.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace intooa::obs {
+
+/// Global metrics switch. Enabled by default (updates are cheap sharded
+/// relaxed atomics); set_enabled(false) turns every instrumentation site
+/// into a single relaxed-load branch.
+bool enabled();
+void set_enabled(bool on);
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Shard index of the calling thread (thread ordinal modulo shard count).
+std::size_t shard_index();
+/// Nanoseconds since a process-local monotonic origin.
+std::uint64_t monotonic_ns();
+}  // namespace detail
+
+inline constexpr std::size_t kShardCount = 16;
+
+/// Monotonically increasing event count. add() is wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    shards_[detail::shard_index()].value.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShardCount> shards_{};
+};
+
+/// Last-written (or maximum) scalar. Unsharded: gauges are written rarely.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (used for high-water marks).
+  void set_max(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Unit tag carried into snapshots so reports know how to format values.
+enum class Unit { None, Nanoseconds };
+
+/// Read-side view of one histogram.
+struct HistogramSnapshot {
+  std::string unit;  ///< "" or "ns"
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  /// Sparse (bucket index, count) pairs; bucket b holds values in
+  /// [2^(b-1), 2^b) for b > 0 and the value 0 for b == 0.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// Log2-bucketed distribution of non-negative integer samples (durations in
+/// nanoseconds, matrix dimensions, queue depths). record() is wait-free.
+class Histogram {
+ public:
+  explicit Histogram(Unit unit) : unit_(unit) {}
+
+  void record(std::uint64_t v) {
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    record_always(v);
+  }
+  /// Update path without the enabled gate, for callers (spans) that already
+  /// checked it and captured state while enabled.
+  void record_always(std::uint64_t v);
+
+  Unit unit() const { return unit_; }
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  static int bucket_of(std::uint64_t v);
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~0ULL};
+    std::atomic<std::uint64_t> max{0};
+  };
+  Unit unit_;
+  std::array<Shard, kShardCount> shards_{};
+};
+
+/// Full registry snapshot; value-comparable and JSON round-trippable.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  Json to_json() const;
+  static MetricsSnapshot from_json(const Json& json);
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+/// Name -> metric map. Metrics are created on first use and never removed
+/// (reset() zeroes them), so references returned here stay valid for the
+/// process lifetime — instrumentation sites cache them in static locals.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First creation fixes the unit; later callers get the existing metric.
+  Histogram& histogram(std::string_view name, Unit unit = Unit::None);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every registered metric (bench/test isolation). Concurrent
+  /// updates are not lost-safe during the reset itself; call it between
+  /// parallel phases.
+  void reset();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry all instrumentation writes to.
+Registry& registry();
+
+}  // namespace intooa::obs

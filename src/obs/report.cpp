@@ -1,0 +1,148 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace intooa::obs {
+
+namespace {
+
+double ns_to_seconds(std::uint64_t ns) {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+std::string fmt_us(double ns) { return util::fmt(ns / 1000.0, 4); }
+
+}  // namespace
+
+DerivedStats derive_stats(const MetricsSnapshot& snapshot,
+                          double elapsed_seconds) {
+  DerivedStats out;
+  out.elapsed_seconds = elapsed_seconds;
+
+  const auto hit_it = snapshot.counters.find("evaluator.cache_hit");
+  const auto miss_it = snapshot.counters.find("evaluator.cache_miss");
+  const std::uint64_t hits =
+      hit_it == snapshot.counters.end() ? 0 : hit_it->second;
+  const std::uint64_t misses =
+      miss_it == snapshot.counters.end() ? 0 : miss_it->second;
+  if (hits + misses > 0) {
+    out.cache_hit_rate =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+
+  const auto task_it = snapshot.histograms.find("pool.task");
+  const auto workers_it = snapshot.gauges.find("pool.workers");
+  if (task_it != snapshot.histograms.end() &&
+      workers_it != snapshot.gauges.end() && workers_it->second > 0.0 &&
+      elapsed_seconds > 0.0) {
+    out.pool_utilization = ns_to_seconds(task_it->second.sum) /
+                           (workers_it->second * elapsed_seconds);
+  }
+  return out;
+}
+
+Json metrics_report_json(const MetricsSnapshot& snapshot,
+                         double elapsed_seconds) {
+  const DerivedStats stats = derive_stats(snapshot, elapsed_seconds);
+  Json root = snapshot.to_json();
+  root["elapsed_seconds"] = Json(elapsed_seconds);
+  Json derived = Json::object();
+  if (stats.pool_utilization >= 0.0) {
+    derived["pool.utilization"] = Json(stats.pool_utilization);
+  }
+  if (stats.cache_hit_rate >= 0.0) {
+    derived["evaluator.cache_hit_rate"] = Json(stats.cache_hit_rate);
+  }
+  root["derived"] = std::move(derived);
+  return root;
+}
+
+std::string render_report(const MetricsSnapshot& snapshot,
+                          double elapsed_seconds) {
+  std::string out = "== telemetry report (" +
+                    util::fmt_fixed(elapsed_seconds, 2) + " s observed) ==\n";
+
+  // Phase breakdown: duration histograms, heaviest first.
+  std::vector<std::pair<std::string, const HistogramSnapshot*>> phases;
+  std::vector<std::pair<std::string, const HistogramSnapshot*>> values;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    (hist.unit == "ns" ? phases : values).emplace_back(name, &hist);
+  }
+  std::sort(phases.begin(), phases.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->sum > b.second->sum;
+            });
+
+  if (!phases.empty()) {
+    util::Table table({"phase", "count", "total s", "mean us", "min us",
+                       "max us", "% wall"});
+    for (const auto& [name, hist] : phases) {
+      const double total_s = ns_to_seconds(hist->sum);
+      table.add_row(
+          {name, std::to_string(hist->count), util::fmt(total_s, 4),
+           fmt_us(hist->mean()), fmt_us(static_cast<double>(hist->min)),
+           fmt_us(static_cast<double>(hist->max)),
+           elapsed_seconds > 0.0
+               ? util::fmt_fixed(100.0 * total_s / elapsed_seconds, 1)
+               : "-"});
+    }
+    out += table.to_ascii();
+    out += "\n";
+  }
+
+  if (!values.empty()) {
+    util::Table table({"distribution", "count", "mean", "min", "max"});
+    for (const auto& [name, hist] : values) {
+      table.add_row({name, std::to_string(hist->count),
+                     util::fmt(hist->mean(), 4), std::to_string(hist->min),
+                     std::to_string(hist->max)});
+    }
+    out += table.to_ascii();
+    out += "\n";
+  }
+
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    util::Table table({"metric", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.add_row({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.add_row({name, util::fmt(value, 6)});
+    }
+    const DerivedStats stats = derive_stats(snapshot, elapsed_seconds);
+    if (stats.cache_hit_rate >= 0.0) {
+      table.add_row({"evaluator.cache_hit_rate (derived)",
+                     util::fmt_fixed(stats.cache_hit_rate, 3)});
+    }
+    if (stats.pool_utilization >= 0.0) {
+      table.add_row({"pool.utilization (derived)",
+                     util::fmt_fixed(stats.pool_utilization, 3)});
+    }
+    out += table.to_ascii();
+  }
+  return out;
+}
+
+bool write_metrics_report(const std::string& path,
+                          const MetricsSnapshot& snapshot,
+                          double elapsed_seconds) {
+  std::ofstream out(path);
+  if (!out) {
+    util::log_warn("cannot write metrics file", {{"path", path}});
+    return false;
+  }
+  out << metrics_report_json(snapshot, elapsed_seconds).dump(2) << '\n';
+  if (!out) {
+    util::log_warn("metrics write failed", {{"path", path}});
+    return false;
+  }
+  util::log_info("wrote metrics", {{"path", path}});
+  return true;
+}
+
+}  // namespace intooa::obs

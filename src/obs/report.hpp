@@ -1,0 +1,45 @@
+#pragma once
+// Campaign telemetry report: turns a MetricsSnapshot into (a) a metrics
+// JSON document with derived statistics (pool utilization, cache hit rate)
+// and (b) a human-readable table of per-phase wall time and counters, the
+// per-phase cost breakdown the ROADMAP's scaling work is justified against.
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace intooa::obs {
+
+/// Derived statistics computed from a snapshot plus the observation window.
+struct DerivedStats {
+  double elapsed_seconds = 0.0;
+  /// span histogram "pool.task" busy time / (workers * elapsed); negative
+  /// when no pool was active (threads = 1 or nothing ran on the pool).
+  double pool_utilization = -1.0;
+  /// evaluator.cache_hit / (hit + miss); negative when no lookups happened.
+  double cache_hit_rate = -1.0;
+};
+
+DerivedStats derive_stats(const MetricsSnapshot& snapshot,
+                          double elapsed_seconds);
+
+/// Full metrics document: {"elapsed_seconds", "derived", "counters",
+/// "gauges", "histograms"}. MetricsSnapshot::from_json accepts it (the
+/// extra top-level members are ignored on the way back in).
+Json metrics_report_json(const MetricsSnapshot& snapshot,
+                         double elapsed_seconds);
+
+/// Renders the human-readable report: a per-phase wall-time table (one row
+/// per duration histogram, sorted by total time), value histograms,
+/// counters, gauges and the derived statistics.
+std::string render_report(const MetricsSnapshot& snapshot,
+                          double elapsed_seconds);
+
+/// Writes metrics_report_json(...) (pretty-printed) to `path`. Returns
+/// false with a warning logged when the file cannot be written.
+bool write_metrics_report(const std::string& path,
+                          const MetricsSnapshot& snapshot,
+                          double elapsed_seconds);
+
+}  // namespace intooa::obs

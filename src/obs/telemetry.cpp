@@ -1,0 +1,63 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace intooa::obs {
+
+TelemetryOptions TelemetryOptions::from_cli(const util::Cli& cli,
+                                            util::LogLevel default_level) {
+  TelemetryOptions options;
+  options.trace_path = cli.get("trace", "");
+  options.metrics_path = cli.get("metrics", "");
+
+  const std::string level_text = cli.get("log-level", "");
+  if (level_text.empty()) {
+    util::set_log_level(default_level);
+  } else if (const auto level = util::parse_log_level(level_text)) {
+    util::set_log_level(*level);
+  } else {
+    throw std::invalid_argument(
+        "--log-level expects debug|info|warn|error|off, got '" + level_text +
+        "'");
+  }
+  return options;
+}
+
+BenchTelemetry::BenchTelemetry(TelemetryOptions options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
+  if (!options_.trace_path.empty()) start_trace();
+}
+
+BenchTelemetry::~BenchTelemetry() { finalize(); }
+
+double BenchTelemetry::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void BenchTelemetry::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  const double elapsed = elapsed_seconds();
+  if (!options_.trace_path.empty()) write_trace(options_.trace_path);
+
+  const MetricsSnapshot snapshot = registry().snapshot();
+  if (!options_.metrics_path.empty()) {
+    write_metrics_report(options_.metrics_path, snapshot, elapsed);
+  }
+  // The human table rides the Info level: quiet runs (tests, --log-level
+  // warn) skip it. stderr keeps stdout (bench tables piped to files)
+  // byte-identical with telemetry off.
+  if (util::log_level() <= util::LogLevel::Info &&
+      (!snapshot.counters.empty() || !snapshot.histograms.empty())) {
+    std::fputs((render_report(snapshot, elapsed) + "\n").c_str(), stderr);
+  }
+}
+
+}  // namespace intooa::obs

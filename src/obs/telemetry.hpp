@@ -1,0 +1,57 @@
+#pragma once
+// Shared bench-side telemetry wiring. Every bench binary constructs one
+// BenchTelemetry from its parsed CLI:
+//
+//   const util::Cli cli(argc, argv);
+//   obs::BenchTelemetry telemetry(
+//       obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
+//
+// which applies --log-level {debug,info,warn,error,off} (falling back to
+// the given default — Info for benches, while tests keep the global Warn),
+// starts Chrome-trace collection for --trace <file>, and at scope exit
+// writes the trace, dumps the metrics JSON for --metrics <file>, and logs
+// the human-readable telemetry report. Everything here writes only to
+// stderr and the side files, never stdout — bench tables and campaign CSVs
+// are byte-identical with telemetry on or off.
+
+#include <chrono>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace intooa::obs {
+
+struct TelemetryOptions {
+  std::string trace_path;    ///< --trace FILE ("" = no trace)
+  std::string metrics_path;  ///< --metrics FILE ("" = no JSON dump)
+
+  /// Reads --trace / --metrics / --log-level. Throws std::invalid_argument
+  /// on an unknown --log-level value.
+  static TelemetryOptions from_cli(const util::Cli& cli,
+                                   util::LogLevel default_level);
+};
+
+/// RAII bench telemetry session (see header comment).
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(TelemetryOptions options);
+  ~BenchTelemetry();
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  /// Flushes trace + metrics + report now (idempotent; the destructor calls
+  /// it too). Exposed so tests can assert on the written files.
+  void finalize();
+
+  /// Seconds since construction (the report's observation window).
+  double elapsed_seconds() const;
+
+ private:
+  TelemetryOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  bool finalized_ = false;
+};
+
+}  // namespace intooa::obs

@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace intooa::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct TraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t capacity = kDefaultEventCapacity;
+  std::size_t dropped = 0;
+};
+
+TraceBuffer& buffer() {
+  static TraceBuffer instance;
+  return instance;
+}
+
+/// Microseconds with sub-microsecond precision (Chrome's "ts"/"dur" unit).
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  const double us = static_cast<double>(ns) / 1000.0;
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), us,
+                                       std::chars_format::fixed, 3);
+  if (ec == std::errc()) out.append(buf, ptr);
+  else out.push_back('0');
+}
+
+void append_escaped_name(std::string& out, const char* name) {
+  // Span names are code literals (dotted identifiers); escape defensively
+  // anyway so a stray quote cannot corrupt the JSON.
+  for (const char* p = name; *p; ++p) {
+    if (*p == '"' || *p == '\\') out.push_back('\\');
+    out.push_back(*p);
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void start_trace(std::size_t capacity) {
+  TraceBuffer& buf = buffer();
+  {
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.clear();
+    buf.dropped = 0;
+    buf.capacity = capacity > 0 ? capacity : kDefaultEventCapacity;
+    buf.events.reserve(std::min<std::size_t>(buf.capacity, 4096));
+  }
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_trace() { g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+void trace_record(const char* name, std::uint64_t start_ns,
+                  std::uint64_t duration_ns) {
+  if (!trace_enabled()) return;
+  TraceBuffer& buf = buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= buf.capacity) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(
+      TraceEvent{name, util::thread_ordinal(), start_ns, duration_ns});
+}
+
+std::size_t trace_event_count() {
+  TraceBuffer& buf = buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  return buf.events.size();
+}
+
+std::size_t trace_dropped_count() {
+  TraceBuffer& buf = buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  return buf.dropped;
+}
+
+bool write_trace(const std::string& path) {
+  stop_trace();
+  TraceBuffer& buf = buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+
+  std::ofstream out(path);
+  if (!out) {
+    util::log_warn("cannot write trace file", {{"path", path}});
+    return false;
+  }
+
+  // Streamed by hand instead of building one obs::Json tree: a full trace
+  // can hold a million events and the flat writer keeps peak memory at one
+  // line, not a second copy of the buffer.
+  std::string line;
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << buf.dropped << "},\n\"traceEvents\":[\n";
+  int max_tid = 0;
+  for (const TraceEvent& event : buf.events) {
+    if (event.tid > max_tid) max_tid = event.tid;
+  }
+  bool first = true;
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << (tid == 0 ? "main" : "worker")
+        << "\"}}";
+  }
+  for (const TraceEvent& event : buf.events) {
+    line.clear();
+    if (!first) line += ",\n";
+    first = false;
+    line += "{\"name\":\"";
+    append_escaped_name(line, event.name);
+    line += "\",\"cat\":\"intooa\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    line += std::to_string(event.tid);
+    line += ",\"ts\":";
+    append_us(line, event.start_ns);
+    line += ",\"dur\":";
+    append_us(line, event.duration_ns);
+    line += "}";
+    out << line;
+  }
+  out << "\n]}\n";
+  if (!out) {
+    util::log_warn("trace write failed", {{"path", path}});
+    return false;
+  }
+  if (buf.dropped > 0) {
+    util::log_warn("trace buffer overflowed; events were dropped",
+                   {{"kept", buf.events.size()}, {"dropped", buf.dropped}});
+  }
+  util::log_info("wrote trace",
+                 {{"path", path}, {"events", buf.events.size()}});
+  buf.events.clear();
+  buf.events.shrink_to_fit();
+  buf.dropped = 0;
+  return true;
+}
+
+}  // namespace intooa::obs

@@ -10,6 +10,7 @@
 #include <system_error>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace intooa::runtime {
@@ -152,6 +153,7 @@ bool parse_checkpoint(std::istream& in, const std::string& token,
 void save_evaluator_checkpoint(const std::string& path,
                                const std::string& token,
                                const core::TopologyEvaluator& evaluator) {
+  INTOOA_SPAN("checkpoint.save");
   const std::filesystem::path target(path);
   if (target.has_parent_path()) {
     std::filesystem::create_directories(target.parent_path());
@@ -197,6 +199,7 @@ void save_evaluator_checkpoint(const std::string& path,
 bool load_evaluator_checkpoint(const std::string& path,
                                const std::string& token,
                                core::TopologyEvaluator& evaluator) {
+  INTOOA_SPAN("checkpoint.load");
   std::ifstream in(path);
   if (!in) return false;
   std::vector<core::EvalRecord> records;

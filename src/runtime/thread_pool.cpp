@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace intooa::runtime {
 
 namespace {
@@ -14,6 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     throw std::invalid_argument("ThreadPool: need at least 1 worker");
   }
+  obs::registry().gauge("pool.workers").set_max(static_cast<double>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -30,13 +34,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  static obs::Counter& task_counter = obs::registry().counter("pool.tasks");
+  static obs::Gauge& depth_gauge =
+      obs::registry().gauge("pool.queue_depth_max");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) {
       throw std::logic_error("ThreadPool: submit after shutdown");
     }
     queue_.push_back(std::move(job));
+    depth_gauge.set_max(static_cast<double>(queue_.size()));
   }
+  task_counter.add();
   cv_.notify_one();
 }
 
@@ -51,6 +60,9 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    // The span's histogram sum is the pool's total busy time — the
+    // numerator of the telemetry report's worker-utilization figure.
+    INTOOA_SPAN("pool.task");
     job();  // exceptions are captured by the packaged_task wrapper
   }
 }

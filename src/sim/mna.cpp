@@ -5,6 +5,7 @@
 
 #include "la/eigen.hpp"
 #include "la/lu.hpp"
+#include "obs/span.hpp"
 
 namespace intooa::sim {
 
@@ -112,6 +113,7 @@ std::vector<std::complex<double>> node_voltages_from(
 }  // namespace
 
 std::vector<std::complex<double>> AcSolver::solve(double freq_hz) const {
+  INTOOA_SPAN("sim.mna_solve");
   if (freq_hz < 0.0) throw std::invalid_argument("AcSolver: negative frequency");
   const double omega = 2.0 * std::numbers::pi * freq_hz;
   la::MatrixC a(order_, order_);
@@ -129,6 +131,7 @@ std::vector<std::complex<double>> AcSolver::solve(double freq_hz) const {
 
 std::vector<std::complex<double>> AcSolver::solve_current(
     double freq_hz, circuit::NetNode inj_pos, circuit::NetNode inj_neg) const {
+  INTOOA_SPAN("sim.mna_solve");
   if (freq_hz < 0.0) throw std::invalid_argument("AcSolver: negative frequency");
   if (inj_pos >= node_count_ || inj_neg >= node_count_) {
     throw std::out_of_range("AcSolver::solve_current: bad node");

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace intooa::sizing {
 
 double EvalPoint::objective() const {
@@ -23,6 +25,7 @@ EvalContext::EvalContext(const circuit::Spec& s, circuit::BehavioralConfig b,
 EvalPoint evaluate_sized(const circuit::Topology& topology,
                          std::span<const double> values,
                          const EvalContext& ctx) {
+  INTOOA_SPAN("sizing.evaluate");
   EvalPoint point;
   circuit::Netlist net;
   try {

@@ -7,6 +7,7 @@
 
 #include "gp/acquisition.hpp"
 #include "gp/joint_gp.hpp"
+#include "obs/span.hpp"
 
 namespace intooa::sizing {
 
@@ -82,6 +83,7 @@ SizedResult Sizer::optimize(const circuit::Topology& topology,
                             std::span<const std::size_t> free_indices,
                             std::size_t init_points, std::size_t iterations,
                             util::Rng& rng) const {
+  INTOOA_SPAN("sizing.size");
   const std::size_t dim = free_indices.size();
   if (dim == 0) {
     throw std::invalid_argument("Sizer: no free parameters to optimize");

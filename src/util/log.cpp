@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -8,6 +10,9 @@ namespace intooa::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+std::atomic<int> g_next_ordinal{0};
+thread_local int t_ordinal = -1;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -18,24 +23,101 @@ const char* tag(LogLevel level) {
     default: return "?????";
   }
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-
-LogLevel log_level() { return g_level.load(); }
-
-void log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  // stderr is unbuffered; without the lock, lines from parallel campaign
-  // runs can interleave mid-message.
-  static std::mutex emit_mutex;
-  std::lock_guard<std::mutex> lock(emit_mutex);
-  std::fprintf(stderr, "[%s] %s\n", tag(level), message.c_str());
+/// Seconds since the first call in this process (monotonic clock).
+double monotonic_seconds() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin)
+      .count();
 }
 
-void log_debug(const std::string& message) { log(LogLevel::Debug, message); }
-void log_info(const std::string& message) { log(LogLevel::Info, message); }
-void log_warn(const std::string& message) { log(LogLevel::Warn, message); }
-void log_error(const std::string& message) { log(LogLevel::Error, message); }
+std::string number_to_string(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("nan");
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
+int thread_ordinal() {
+  if (t_ordinal < 0) {
+    t_ordinal = g_next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_ordinal;
+}
+
+LogField::LogField(std::string_view k, double v)
+    : key(k), value(number_to_string(v)) {}
+
+LogField::LogField(std::string_view k, long long v)
+    : key(k), value(std::to_string(v)) {}
+
+LogField::LogField(std::string_view k, unsigned long long v)
+    : key(k), value(std::to_string(v)) {}
+
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  // Render off-lock so the critical section is one write; the lock keeps
+  // lines from parallel campaign runs from interleaving mid-message.
+  std::string line;
+  line.reserve(message.size() + 32 * fields.size());
+  line.append(message);
+  for (const LogField& field : fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    line.append(field.value);
+  }
+  const double ts = monotonic_seconds();
+  const int tid = thread_ordinal();
+  static std::mutex emit_mutex;
+  std::lock_guard<std::mutex> lock(emit_mutex);
+  std::fprintf(stderr, "[%11.6f t%02d %s] %.*s\n", ts, tid, tag(level),
+               static_cast<int>(line.size()), line.data());
+}
+
+void log(LogLevel level, std::string_view message) { log(level, message, {}); }
+
+void log_debug(std::string_view message) { log(LogLevel::Debug, message, {}); }
+void log_info(std::string_view message) { log(LogLevel::Info, message, {}); }
+void log_warn(std::string_view message) { log(LogLevel::Warn, message, {}); }
+void log_error(std::string_view message) { log(LogLevel::Error, message, {}); }
+
+void log_debug(std::string_view message,
+               std::initializer_list<LogField> fields) {
+  log(LogLevel::Debug, message, fields);
+}
+void log_info(std::string_view message,
+              std::initializer_list<LogField> fields) {
+  log(LogLevel::Info, message, fields);
+}
+void log_warn(std::string_view message,
+              std::initializer_list<LogField> fields) {
+  log(LogLevel::Warn, message, fields);
+}
+void log_error(std::string_view message,
+               std::initializer_list<LogField> fields) {
+  log(LogLevel::Error, message, fields);
+}
 
 }  // namespace intooa::util
