@@ -11,7 +11,10 @@
 #include "circuit/behavioral.hpp"
 #include "circuit/circuit_graph.hpp"
 #include "circuit/library.hpp"
+#include "gp/fit_cache.hpp"
 #include "gp/wlgp.hpp"
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/mna.hpp"
@@ -82,6 +85,117 @@ void BM_WlGpFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WlGpFit)->Arg(20)->Arg(60);
+
+constexpr std::size_t kMetricModels = 5;  // objective + 4 constraint margins
+
+std::vector<std::vector<double>> random_targets(std::size_t n,
+                                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> targets(kMetricModels,
+                                           std::vector<double>(n));
+  for (auto& column : targets) {
+    for (auto& y : column) y = rng.normal();
+  }
+  return targets;
+}
+
+// The pre-cache per-iteration model cost of Algorithm 1: every metric model
+// refit from scratch (refeaturize, rebuild per-h Grams, refactorize the
+// whole MLE grid).
+void BM_WlGpFitModelsFull(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto featurizer = std::make_shared<graph::WlFeaturizer>(6);
+  std::vector<graph::Graph> graphs;
+  for (const auto& topo : random_topologies(n, 5)) {
+    graphs.push_back(circuit::build_circuit_graph(topo));
+  }
+  const auto targets = random_targets(n, 6);
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < kMetricModels; ++m) {
+      gp::WlGp model(featurizer, gp::WlGpConfig{});
+      model.fit(graphs, targets[m]);
+      benchmark::DoNotOptimize(model.chosen_h());
+    }
+  }
+}
+BENCHMARK(BM_WlGpFitModelsFull)->Unit(benchmark::kMillisecond)->Arg(60)->Arg(100);
+
+// The same six fits through the shared incremental cache in steady state:
+// grid factors are already bordered up to size n, so each model only scores
+// the shared factors against its own target column.
+void BM_WlGpFitModelsShared(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto featurizer = std::make_shared<graph::WlFeaturizer>(6);
+  gp::WlFitCache cache(featurizer, 6);
+  for (const auto& topo : random_topologies(n, 5)) {
+    cache.append(circuit::build_circuit_graph(topo));
+  }
+  const auto targets = random_targets(n, 6);
+  std::vector<gp::WlGp> models;
+  for (std::size_t m = 0; m < kMetricModels; ++m) {
+    models.emplace_back(featurizer, gp::WlGpConfig{});
+  }
+  models[0].fit_shared(cache, targets[0]);  // materialize the grid factors
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < kMetricModels; ++m) {
+      models[m].fit_shared(cache, targets[m]);
+      benchmark::DoNotOptimize(models[m].chosen_h());
+    }
+  }
+}
+BENCHMARK(BM_WlGpFitModelsShared)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(60)
+    ->Arg(100);
+
+la::MatrixD random_spd(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::MatrixD b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  la::MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+void BM_CholeskyFactorize(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::MatrixD a = random_spd(n, 7);
+  for (auto _ : state) {
+    const la::Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_det());
+  }
+}
+BENCHMARK(BM_CholeskyFactorize)->Arg(60)->Arg(100);
+
+// Extend an (n-1)-order factorization by one bordered row (copy + O(n^2)
+// update) — the per-observation cost the fit cache pays instead of the full
+// O(n^3) refactorization above.
+void BM_CholeskyAppendRow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::MatrixD a = random_spd(n, 7);
+  la::MatrixD lead(n - 1, n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = 0; j + 1 < n; ++j) lead(i, j) = a(i, j);
+  }
+  const la::Cholesky base(lead);
+  std::vector<double> row(n);
+  for (std::size_t j = 0; j < n; ++j) row[j] = a(n - 1, j);
+  for (auto _ : state) {
+    la::Cholesky chol = base;
+    chol.append_row(row);
+    benchmark::DoNotOptimize(chol.log_det());
+  }
+}
+BENCHMARK(BM_CholeskyAppendRow)->Arg(60)->Arg(100);
 
 circuit::Netlist nmc_netlist() {
   circuit::BehavioralConfig cfg;

@@ -55,6 +55,15 @@ bool TopologyEvaluator::visited(const circuit::Topology& topology) const {
   return cache_.count(topology.index()) > 0;
 }
 
+std::vector<std::size_t> TopologyEvaluator::visited_indices() const {
+  std::vector<std::size_t> indices;
+  indices.reserve(history_.size());
+  for (const auto& record : history_) {
+    indices.push_back(record.topology.index());
+  }
+  return indices;
+}
+
 std::optional<std::size_t> TopologyEvaluator::best_feasible() const {
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < history_.size(); ++i) {

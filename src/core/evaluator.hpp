@@ -61,6 +61,10 @@ class TopologyEvaluator {
   /// All fresh evaluations in order.
   const std::vector<EvalRecord>& history() const { return history_; }
 
+  /// Topology indices of every history record, in evaluation order. Seeds
+  /// an optimizer's visited set when it attaches to a restored evaluator.
+  std::vector<std::size_t> visited_indices() const;
+
   /// Best feasible record index (by FoM), if any feasible design was seen.
   std::optional<std::size_t> best_feasible() const;
 

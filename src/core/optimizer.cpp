@@ -70,18 +70,34 @@ IntoOaOptimizer::IntoOaOptimizer(OptimizerConfig config)
 void IntoOaOptimizer::fit_models(const TopologyEvaluator& evaluator) {
   INTOOA_SPAN("optimizer.fit_models");
   const auto& history = evaluator.history();
-  std::vector<graph::Graph> graphs;
-  graphs.reserve(history.size());
-  for (const auto& record : history) {
-    graphs.push_back(circuit::build_circuit_graph(record.topology));
+
+  // The cache is valid iff its records are a prefix of the history (the
+  // normal case: one appended record per BO iteration). Attaching to a
+  // different or rewound evaluator rebuilds from scratch.
+  if (!fit_cache_) {
+    fit_cache_ =
+        std::make_unique<gp::WlFitCache>(featurizer_, config_.wlgp.max_h);
   }
+  bool is_prefix = cached_ids_.size() <= history.size();
+  for (std::size_t i = 0; is_prefix && i < cached_ids_.size(); ++i) {
+    is_prefix = cached_ids_[i] == history[i].topology.index();
+  }
+  if (!is_prefix) {
+    fit_cache_->clear();
+    cached_ids_.clear();
+  }
+  for (std::size_t i = cached_ids_.size(); i < history.size(); ++i) {
+    fit_cache_->append(circuit::build_circuit_graph(history[i].topology));
+    cached_ids_.push_back(history[i].topology.index());
+  }
+
   std::vector<double> column(history.size());
   for (std::size_t m = 0; m < kModelCount; ++m) {
     for (std::size_t i = 0; i < history.size(); ++i) {
       column[i] = model_targets(history[i].sized.best)[m];
     }
     if (m == 0) soften_invalid_objectives(history, column);
-    models_[m].fit(graphs, column);
+    models_[m].fit_shared(*fit_cache_, column);
   }
 }
 
@@ -103,7 +119,14 @@ std::vector<circuit::Topology> IntoOaOptimizer::elite(
 
 OptimizationOutcome IntoOaOptimizer::run(TopologyEvaluator& evaluator,
                                          util::Rng& rng) {
+  // Seed the visited set from the evaluator's existing history: a resumed
+  // campaign must never re-propose an already-evaluated topology, and
+  // restored records count toward the initial dataset (the init loop below
+  // only tops up any shortfall).
   std::unordered_set<std::size_t> visited;
+  for (const std::size_t idx : evaluator.visited_indices()) {
+    visited.insert(idx);
+  }
 
   // Line 1 of Alg. 1: random initial dataset.
   std::size_t guard = 0;
@@ -173,14 +196,7 @@ OptimizationOutcome IntoOaOptimizer::run(TopologyEvaluator& evaluator,
             return gp::weighted_ei(in);
           });
     }();
-    double best_score = -1.0;
-    std::size_t best_candidate = 0;
-    for (std::size_t c = 0; c < scores.size(); ++c) {
-      if (scores[c] > best_score) {
-        best_score = scores[c];
-        best_candidate = c;
-      }
-    }
+    const std::size_t best_candidate = select_best_candidate(scores, rng);
 
     // Lines 7-8, 10: evaluate, extend dataset, mark visited.
     evaluator.evaluate(pool[best_candidate], rng);

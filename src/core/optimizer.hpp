@@ -13,6 +13,7 @@
 #include "circuit/spec.hpp"
 #include "core/candidates.hpp"
 #include "core/evaluator.hpp"
+#include "gp/fit_cache.hpp"
 #include "gp/wlgp.hpp"
 #include "graph/wl.hpp"
 #include "util/rng.hpp"
@@ -67,13 +68,23 @@ class IntoOaOptimizer {
 
   const OptimizerConfig& config() const { return config_; }
 
- private:
+  /// (Re)fits all per-metric WL-GPs to the evaluator history through the
+  /// shared incremental fit cache: records already cached are reused, new
+  /// ones extend the per-h Gram matrices and grid Cholesky factors by one
+  /// bordered row each. Pointing the optimizer at a history the cache is
+  /// not a prefix of drops and rebuilds the cache. Called once per BO
+  /// iteration by run(); public so benchmarks and tests can drive the fit
+  /// path directly.
   void fit_models(const TopologyEvaluator& evaluator);
+
+ private:
   std::vector<circuit::Topology> elite(const TopologyEvaluator& evaluator) const;
 
   OptimizerConfig config_;
   std::shared_ptr<graph::WlFeaturizer> featurizer_;
   std::vector<gp::WlGp> models_;  // [0] objective, [1..4] constraints
+  std::unique_ptr<gp::WlFitCache> fit_cache_;
+  std::vector<std::size_t> cached_ids_;  // topology index per cached record
 };
 
 }  // namespace intooa::core

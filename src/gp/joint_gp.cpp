@@ -50,6 +50,7 @@ void JointGp::factorize(double lengthscale, double noise) {
     gram(i, i) += noise;
   }
   chol_ = std::make_unique<la::Cholesky>(gram);
+  obs::registry().gauge("gp.joint_fit.jitter").set(chol_->jitter());
   alpha_.clear();
   for (const auto& y : y_std_) alpha_.push_back(chol_->solve(y));
 }
@@ -112,21 +113,20 @@ void JointGp::fit(const std::vector<std::vector<double>>& inputs,
       for (double noise : noise_grid()) {
         la::MatrixD gram = base;
         for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise;
+        // Zero-jitter scoring: jitter escalation inside the grid would score
+        // the cell with a different effective noise than its label claims.
+        const auto chol = la::Cholesky::try_exact(gram);
+        if (!chol) continue;
         double lml = 0.0;
-        try {
-          const la::Cholesky chol(gram);
-          const double logdet = chol.log_det();
-          for (std::size_t k = 0; k < m; ++k) {
-            const auto alpha = chol.solve(y_std_[k]);
-            double fit_term = 0.0;
-            for (std::size_t i = 0; i < n; ++i) {
-              fit_term += y_std_[k][i] * alpha[i];
-            }
-            lml += -0.5 * fit_term - 0.5 * logdet -
-                   kHalfLog2Pi * static_cast<double>(n);
+        const double logdet = chol->log_det();
+        for (std::size_t k = 0; k < m; ++k) {
+          const auto alpha = chol->solve(y_std_[k]);
+          double fit_term = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            fit_term += y_std_[k][i] * alpha[i];
           }
-        } catch (const la::SingularMatrixError&) {
-          continue;
+          lml += -0.5 * fit_term - 0.5 * logdet -
+                 kHalfLog2Pi * static_cast<double>(n);
         }
         if (lml > best_lml) {
           best_lml = lml;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "gp/fit_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/stats.hpp"
@@ -13,20 +14,29 @@ namespace intooa::gp {
 namespace {
 constexpr double kHalfLog2Pi = 0.9189385332046727;
 
+/// Log marginal likelihood of standardized targets under a factorized Gram.
+double log_marginal(const la::Cholesky& chol, std::span<const double> y_std) {
+  const auto alpha = chol.solve(y_std);
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < y_std.size(); ++i) fit_term += y_std[i] * alpha[i];
+  return -0.5 * fit_term - 0.5 * chol.log_det() -
+         kHalfLog2Pi * static_cast<double>(y_std.size());
+}
+}  // namespace
+
 // Signal-variance grid. Raw WL dot products of these circuit graphs are
 // O(10..100), so with unit-variance targets the prior scale sits well below
 // 1; the grid brackets that range generously.
-const std::vector<double>& signal_grid() {
+const std::vector<double>& wl_signal_grid() {
   static const std::vector<double> grid = {0.002, 0.005, 0.01, 0.03,
                                            0.1,   0.3,   1.0};
   return grid;
 }
 
-const std::vector<double>& noise_grid() {
+const std::vector<double>& wl_noise_grid() {
   static const std::vector<double> grid = {1e-6, 1e-4, 1e-3, 1e-2, 1e-1};
   return grid;
 }
-}  // namespace
 
 WlGp::WlGp(std::shared_ptr<graph::WlFeaturizer> featurizer, WlGpConfig config)
     : featurizer_(std::move(featurizer)), config_(config) {
@@ -41,11 +51,18 @@ WlGp::WlGp(std::shared_ptr<graph::WlFeaturizer> featurizer, WlGpConfig config)
 }
 
 graph::SparseVec WlGp::filtered(const graph::SparseVec& full, int h) const {
-  graph::SparseVec out;
-  for (const auto& [idx, val] : full.entries()) {
-    if (featurizer_->depth_of(idx) <= h) out.add(idx, val);
+  return graph::filter_by_depth(full, *featurizer_, h);
+}
+
+void WlGp::standardize(std::span<const double> targets,
+                       std::vector<double>& y_std) {
+  y_mean_ = util::mean(targets);
+  const double sd = util::stddev(targets);
+  y_scale_ = sd > 1e-12 ? sd : 1.0;
+  y_std.resize(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    y_std[i] = (targets[i] - y_mean_) / y_scale_;
   }
-  return out;
 }
 
 void WlGp::fit(const std::vector<graph::Graph>& graphs,
@@ -54,6 +71,7 @@ void WlGp::fit(const std::vector<graph::Graph>& graphs,
   obs::registry()
       .histogram("gp.cholesky_dim")
       .record(static_cast<std::uint64_t>(graphs.size()));
+  obs::registry().counter("gp.fit.full_refits").add();
   if (graphs.size() != targets.size()) {
     throw std::invalid_argument("WlGp::fit: size mismatch");
   }
@@ -61,14 +79,8 @@ void WlGp::fit(const std::vector<graph::Graph>& graphs,
     throw std::invalid_argument("WlGp::fit: need at least 2 observations");
   }
 
-  // Standardize targets.
-  y_mean_ = util::mean(targets);
-  const double sd = util::stddev(targets);
-  y_scale_ = sd > 1e-12 ? sd : 1.0;
-  std::vector<double> y_std(targets.size());
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    y_std[i] = (targets[i] - y_mean_) / y_scale_;
-  }
+  std::vector<double> y_std;
+  standardize(targets, y_std);
 
   // Full-depth features once per graph; per-h features are depth filters.
   const std::size_t n = graphs.size();
@@ -82,8 +94,8 @@ void WlGp::fit(const std::vector<graph::Graph>& graphs,
 
   double best_lml = -std::numeric_limits<double>::infinity();
   int best_h = h_lo;
-  double best_signal = signal_grid().front();
-  double best_noise = noise_grid().front();
+  double best_signal = wl_signal_grid().front();
+  double best_noise = wl_noise_grid().front();
 
   for (int h = h_lo; h <= h_hi; ++h) {
     std::vector<graph::SparseVec> feats(n);
@@ -96,22 +108,17 @@ void WlGp::fit(const std::vector<graph::Graph>& graphs,
         base(j, i) = k;
       }
     }
-    for (double signal : signal_grid()) {
-      for (double noise : noise_grid()) {
+    for (double signal : wl_signal_grid()) {
+      for (double noise : wl_noise_grid()) {
         la::MatrixD gram = base;
         gram *= signal;
         for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise;
-        double lml;
-        try {
-          const la::Cholesky chol(gram);
-          const auto alpha = chol.solve(y_std);
-          double fit_term = 0.0;
-          for (std::size_t i = 0; i < n; ++i) fit_term += y_std[i] * alpha[i];
-          lml = -0.5 * fit_term - 0.5 * chol.log_det() -
-                kHalfLog2Pi * static_cast<double>(n);
-        } catch (const la::SingularMatrixError&) {
-          continue;
-        }
+        // Zero-jitter scoring: a candidate whose factorization needs jitter
+        // would be scored with different effective noise than its label
+        // claims, biasing the LML comparison — skip it instead.
+        const auto chol = la::Cholesky::try_exact(gram);
+        if (!chol) continue;
+        const double lml = log_marginal(*chol, y_std);
         if (lml > best_lml) {
           best_lml = lml;
           best_h = h;
@@ -141,7 +148,76 @@ void WlGp::fit(const std::vector<graph::Graph>& graphs,
     }
     gram(i, i) += hyper_noise_;
   }
+  // Only the final fit may escalate jitter; the amount actually applied is
+  // visible in the gauge (0 in the overwhelmingly common case).
   chol_ = std::make_unique<la::Cholesky>(gram);
+  obs::registry().gauge("gp.fit.jitter").set(chol_->jitter());
+  alpha_ = chol_->solve(y_std);
+}
+
+void WlGp::fit_shared(WlFitCache& cache, std::span<const double> targets) {
+  INTOOA_SPAN("gp.fit");
+  obs::registry()
+      .histogram("gp.cholesky_dim")
+      .record(static_cast<std::uint64_t>(cache.size()));
+  if (cache.featurizer() != featurizer_) {
+    throw std::invalid_argument("WlGp::fit_shared: cache featurizer differs");
+  }
+  if (cache.size() != targets.size()) {
+    throw std::invalid_argument("WlGp::fit_shared: size mismatch");
+  }
+  if (cache.size() < 2) {
+    throw std::invalid_argument(
+        "WlGp::fit_shared: need at least 2 observations");
+  }
+  if (config_.max_h > cache.max_h()) {
+    throw std::invalid_argument("WlGp::fit_shared: cache max_h too small");
+  }
+
+  std::vector<double> y_std;
+  standardize(targets, y_std);
+
+  const int h_lo = config_.fit_h ? 0 : config_.fixed_h;
+  const int h_hi = config_.fit_h ? config_.max_h : config_.fixed_h;
+
+  // Same grid, same scan order, same strict-> tie-breaking as fit(); only
+  // the factorizations are shared (and maintained incrementally) instead of
+  // rebuilt per model.
+  double best_lml = -std::numeric_limits<double>::infinity();
+  int best_h = h_lo;
+  std::size_t best_si = 0;
+  std::size_t best_ni = 0;
+  for (int h = h_lo; h <= h_hi; ++h) {
+    for (std::size_t si = 0; si < wl_signal_grid().size(); ++si) {
+      for (std::size_t ni = 0; ni < wl_noise_grid().size(); ++ni) {
+        const la::Cholesky* chol = cache.factor(h, si, ni);
+        if (chol == nullptr) continue;
+        const double lml = log_marginal(*chol, y_std);
+        if (lml > best_lml) {
+          best_lml = lml;
+          best_h = h;
+          best_si = si;
+          best_ni = ni;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best_lml)) {
+    throw std::runtime_error("WlGp::fit_shared: no viable hyperparameters");
+  }
+
+  hyper_h_ = best_h;
+  hyper_signal_ = wl_signal_grid()[best_si];
+  hyper_noise_ = wl_noise_grid()[best_ni];
+  hyper_lml_ = best_lml;
+
+  // The winning cell factorized exactly during scoring, so the final fit is
+  // a copy of its factor — the same L the full path's final factorization
+  // produces, with zero jitter by construction.
+  features_ = cache.features_at(best_h);
+  chol_ = std::make_unique<la::Cholesky>(*cache.factor(best_h, best_si,
+                                                       best_ni));
+  obs::registry().gauge("gp.fit.jitter").set(chol_->jitter());
   alpha_ = chol_->solve(y_std);
 }
 

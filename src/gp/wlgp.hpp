@@ -29,6 +29,14 @@
 
 namespace intooa::gp {
 
+class WlFitCache;
+
+/// The signal-variance / noise-variance grids of the WL-GP maximum
+/// marginal likelihood search. Shared with WlFitCache so cached grid
+/// factors line up with the cells fit() and fit_shared() score.
+const std::vector<double>& wl_signal_grid();
+const std::vector<double>& wl_noise_grid();
+
 /// Configuration of the WL-GP hyperparameter search.
 struct WlGpConfig {
   int max_h = 6;       ///< largest WL depth considered by MLE
@@ -50,6 +58,15 @@ class WlGp {
   /// Requires at least 2 observations.
   void fit(const std::vector<graph::Graph>& graphs,
            std::span<const double> targets);
+
+  /// Same model selection and posterior as fit(), but consuming the shared
+  /// per-h Gram matrices and incrementally-maintained grid factors of
+  /// `cache` instead of rebuilding them: all models of one optimizer score
+  /// the same factors and only differ in the standardized target vector.
+  /// `cache` must be built on this model's featurizer, hold one record per
+  /// target, and cover at least this model's max_h. Bit-identical to fit()
+  /// on the same data.
+  void fit_shared(WlFitCache& cache, std::span<const double> targets);
 
   bool trained() const { return chol_ != nullptr; }
   std::size_t size() const { return features_.size(); }
@@ -87,8 +104,7 @@ class WlGp {
 
  private:
   graph::SparseVec filtered(const graph::SparseVec& full, int h) const;
-  void refit_with(int h, double signal, double noise,
-                  std::span<const double> y_std);
+  void standardize(std::span<const double> targets, std::vector<double>& y_std);
 
   std::shared_ptr<graph::WlFeaturizer> featurizer_;
   WlGpConfig config_;

@@ -97,6 +97,15 @@ const std::string& WlFeaturizer::provenance(std::size_t id) const {
   return provenance_[id];
 }
 
+SparseVec filter_by_depth(const SparseVec& full, const WlFeaturizer& featurizer,
+                          int h) {
+  SparseVec out;
+  for (const auto& [idx, val] : full.entries()) {
+    if (featurizer.depth_of(idx) <= h) out.add(idx, val);
+  }
+  return out;
+}
+
 double wl_kernel(WlFeaturizer& featurizer, const Graph& a, const Graph& b,
                  int h) {
   return dot(featurizer.features(a, h), featurizer.features(b, h));

@@ -64,6 +64,13 @@ class WlFeaturizer {
   std::vector<int> depth_;
 };
 
+/// Restriction of a full-depth feature vector to the entries of WL depth
+/// <= h (the per-h feature view of Eq. 2). Full-depth vectors are computed
+/// once per graph; every depth the hyperparameter search considers is a
+/// filter of that one vector.
+SparseVec filter_by_depth(const SparseVec& full, const WlFeaturizer& featurizer,
+                          int h);
+
 /// WL kernel of Eq. 2: inner product of the two graphs' feature vectors
 /// under a shared featurizer.
 double wl_kernel(WlFeaturizer& featurizer, const Graph& a, const Graph& b,

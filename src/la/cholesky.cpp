@@ -27,6 +27,45 @@ Cholesky::Cholesky(const MatrixD& a, double initial_jitter, int max_attempts) {
       "Cholesky: matrix not positive definite even with jitter");
 }
 
+std::optional<Cholesky> Cholesky::try_exact(const MatrixD& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky::try_exact: matrix must be square");
+  }
+  Cholesky chol;
+  if (!chol.try_factorize(a, 0.0)) return std::nullopt;
+  return chol;
+}
+
+void Cholesky::append_row(std::span<const double> row) {
+  const std::size_t n = order();
+  if (row.size() != n + 1) {
+    throw std::invalid_argument("Cholesky::append_row: size mismatch");
+  }
+  // Forward substitution L w = row[0..n-1]. This is the same recurrence, in
+  // the same operation order, that the column-Cholesky loop uses for the
+  // entries of row n, so w is bit-identical to a from-scratch factorization
+  // of the bordered matrix.
+  std::vector<double> w(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = row[j];
+    for (std::size_t k = 0; k < j; ++k) acc -= w[k] * l_(j, k);
+    w[j] = acc / l_(j, j);
+  }
+  double diag = row[n] + jitter_;
+  for (std::size_t k = 0; k < n; ++k) diag -= w[k] * w[k];
+  if (!(diag > 0.0) || !std::isfinite(diag)) {
+    throw SingularMatrixError(
+        "Cholesky::append_row: bordered matrix not positive definite");
+  }
+  MatrixD grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = w[j];
+  grown(n, n) = std::sqrt(diag);
+  l_ = std::move(grown);
+}
+
 bool Cholesky::try_factorize(const MatrixD& a, double jitter) {
   const std::size_t n = a.rows();
   l_ = MatrixD(n, n);

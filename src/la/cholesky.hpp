@@ -6,6 +6,7 @@
 // near-duplicate topologies produce identical WL feature rows).
 
 #include <cmath>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -27,6 +28,24 @@ class Cholesky {
   /// `jitter()`.
   explicit Cholesky(const MatrixD& a, double initial_jitter = 1e-10,
                     int max_attempts = 9);
+
+  /// Single-attempt factorization with NO jitter: returns nullopt when `a`
+  /// is not (numerically) positive definite instead of escalating. Model
+  /// selection scores hyperparameter candidates through this so every
+  /// candidate is scored with exactly the noise its label claims.
+  static std::optional<Cholesky> try_exact(const MatrixD& a);
+
+  /// Border update: extends the factorization of the n x n leading block of
+  /// some SPD matrix to n+1, given the new row `row` of that matrix
+  /// (row.size() == order() + 1, row.back() is the diagonal entry). Costs
+  /// one forward substitution — O(n^2) instead of the O(n^3) refactorization
+  /// — and produces bit-identical L to factorizing the bordered matrix from
+  /// scratch. The jitter of the existing factorization is applied to the
+  /// new diagonal entry so the implied matrix stays A + jitter * I. Throws
+  /// SingularMatrixError (leaving the factorization unchanged) when the
+  /// bordered matrix is not positive definite; there is no jitter
+  /// escalation on this path.
+  void append_row(std::span<const double> row);
 
   std::size_t order() const { return l_.rows(); }
 
@@ -51,6 +70,8 @@ class Cholesky {
   const MatrixD& lower() const { return l_; }
 
  private:
+  Cholesky() = default;  // for try_exact
+
   bool try_factorize(const MatrixD& a, double jitter);
 
   MatrixD l_;

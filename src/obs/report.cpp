@@ -35,6 +35,17 @@ DerivedStats derive_stats(const MetricsSnapshot& snapshot,
         static_cast<double>(hits) / static_cast<double>(hits + misses);
   }
 
+  const auto inc_it = snapshot.counters.find("gp.fit.incremental_hits");
+  const auto full_it = snapshot.counters.find("gp.fit.full_refits");
+  const std::uint64_t inc =
+      inc_it == snapshot.counters.end() ? 0 : inc_it->second;
+  const std::uint64_t full =
+      full_it == snapshot.counters.end() ? 0 : full_it->second;
+  if (inc + full > 0) {
+    out.incremental_fit_rate =
+        static_cast<double>(inc) / static_cast<double>(inc + full);
+  }
+
   const auto task_it = snapshot.histograms.find("pool.task");
   const auto workers_it = snapshot.gauges.find("pool.workers");
   if (task_it != snapshot.histograms.end() &&
@@ -57,6 +68,9 @@ Json metrics_report_json(const MetricsSnapshot& snapshot,
   }
   if (stats.cache_hit_rate >= 0.0) {
     derived["evaluator.cache_hit_rate"] = Json(stats.cache_hit_rate);
+  }
+  if (stats.incremental_fit_rate >= 0.0) {
+    derived["gp.fit.incremental_rate"] = Json(stats.incremental_fit_rate);
   }
   root["derived"] = std::move(derived);
   return root;
@@ -122,6 +136,10 @@ std::string render_report(const MetricsSnapshot& snapshot,
     if (stats.pool_utilization >= 0.0) {
       table.add_row({"pool.utilization (derived)",
                      util::fmt_fixed(stats.pool_utilization, 3)});
+    }
+    if (stats.incremental_fit_rate >= 0.0) {
+      table.add_row({"gp.fit.incremental_rate (derived)",
+                     util::fmt_fixed(stats.incremental_fit_rate, 3)});
     }
     out += table.to_ascii();
   }

@@ -19,6 +19,10 @@ struct DerivedStats {
   double pool_utilization = -1.0;
   /// evaluator.cache_hit / (hit + miss); negative when no lookups happened.
   double cache_hit_rate = -1.0;
+  /// gp.fit.incremental_hits / (incremental_hits + full_refits): the share
+  /// of GP grid factorization work served by O(n^2) border updates instead
+  /// of full refactorizations; negative when no WL-GP fits ran.
+  double incremental_fit_rate = -1.0;
 };
 
 DerivedStats derive_stats(const MetricsSnapshot& snapshot,

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <unordered_set>
 
 #include "circuit/library.hpp"
@@ -190,6 +191,34 @@ TEST(Candidates, Validation) {
                std::invalid_argument);
 }
 
+TEST(Candidates, SelectBestCandidate) {
+  util::Rng rng(62);
+  const std::vector<double> scores = {0.1, 0.7, 0.3};
+  EXPECT_EQ(select_best_candidate(scores, rng), 1u);
+
+  // Non-finite scores are dropped, never selected.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> mixed = {nan, 0.2, inf, 0.5};
+  EXPECT_EQ(select_best_candidate(mixed, rng), 3u);
+
+  // All-zero scores: ties break to the earliest index, as before.
+  const std::vector<double> zeros = {0.0, 0.0, 0.0};
+  EXPECT_EQ(select_best_candidate(zeros, rng), 0u);
+
+  // No finite score at all: deterministic fallback draw from the caller's
+  // rng instead of silently proposing index 0.
+  const std::vector<double> bad = {nan, inf, nan};
+  util::Rng a(7);
+  util::Rng b(7);
+  const std::size_t pick_a = select_best_candidate(bad, a);
+  const std::size_t pick_b = select_best_candidate(bad, b);
+  EXPECT_EQ(pick_a, pick_b);
+  EXPECT_LT(pick_a, bad.size());
+
+  EXPECT_THROW(select_best_candidate({}, rng), std::invalid_argument);
+}
+
 OptimizerConfig fast_optimizer() {
   OptimizerConfig config;
   config.init_topologies = 5;
@@ -234,6 +263,55 @@ TEST(Optimizer, ModelsBeforeRunThrow) {
   EXPECT_THROW(optimizer.objective_model(), std::logic_error);
   EXPECT_THROW(optimizer.constraint_model(0), std::logic_error);
   EXPECT_THROW(optimizer.constraint_model(99), std::out_of_range);
+}
+
+TEST(Optimizer, ResumeSeedsVisitedFromHistory) {
+  // Uninterrupted reference campaign.
+  TopologyEvaluator full(s1_context(), fast_sizing());
+  IntoOaOptimizer ref(fast_optimizer());
+  util::Rng ref_rng(63);
+  const OptimizationOutcome ref_outcome = ref.run(full, ref_rng);
+
+  // Restore the complete history into a fresh evaluator, as the campaign
+  // checkpoint layer does.
+  TopologyEvaluator restored(s1_context(), fast_sizing());
+  for (const auto& record : full.history()) restored.restore(record);
+  const std::size_t base = restored.history().size();
+  const std::size_t base_sims = restored.total_simulations();
+
+  // A zero-iteration resumed run must reconstruct the reference outcome
+  // from the restored records alone: the restored history counts toward
+  // init_topologies, so the init loop adds nothing.
+  OptimizerConfig zero_iters = fast_optimizer();
+  zero_iters.iterations = 0;
+  IntoOaOptimizer reread(zero_iters);
+  util::Rng reread_rng(64);
+  const OptimizationOutcome again = reread.run(restored, reread_rng);
+  EXPECT_EQ(restored.history().size(), base);
+  EXPECT_EQ(restored.total_simulations(), base_sims);
+  EXPECT_EQ(again.best_index, ref_outcome.best_index);
+  EXPECT_EQ(again.best_topology, ref_outcome.best_topology);
+
+  // Continuing with more iterations must never re-propose a restored
+  // topology: growth is exactly the iteration count, every history index
+  // unique.
+  IntoOaOptimizer resumed(fast_optimizer());
+  util::Rng resume_rng(65);
+  resumed.run(restored, resume_rng);
+  EXPECT_EQ(restored.history().size(), base + fast_optimizer().iterations);
+  EXPECT_EQ(restored.total_simulations(),
+            base_sims + fast_optimizer().iterations * 8u);
+  std::unordered_set<std::size_t> seen;
+  for (const auto& record : restored.history()) {
+    EXPECT_TRUE(seen.insert(record.topology.index()).second);
+  }
+
+  // Pointing a used optimizer at a fresh evaluator drops the stale fit
+  // cache (its records are no longer a history prefix) and runs normally.
+  TopologyEvaluator fresh(s1_context(), fast_sizing());
+  util::Rng fresh_rng(66);
+  ref.run(fresh, fresh_rng);
+  EXPECT_EQ(fresh.history().size(), 11u);  // 5 init + 6 iterations
 }
 
 TEST(Interpret, SlotImpactsCoverOccupiedSlots) {

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "gp/acquisition.hpp"
+#include "gp/fit_cache.hpp"
 #include "gp/gp.hpp"
 #include "gp/joint_gp.hpp"
 #include "gp/kernel.hpp"
@@ -285,6 +286,92 @@ TEST(WlGp, Validation) {
   EXPECT_THROW(gp.fit({make_chain({"A"})}, std::vector<double>{1.0}),
                std::invalid_argument);
   EXPECT_THROW(gp.predict(make_chain({"A"})), std::logic_error);
+}
+
+TEST(WlFitCache, SharedFitMatchesFullFitIncrementally) {
+  // Grow the cache one record at a time (exercising factor materialization
+  // at one size and border updates at every later size) and, at each size,
+  // compare fit_shared against an independent full fit on two different
+  // target columns. The shared path is bit-identical, so hyperparameters,
+  // LML, and held-out predictions must match exactly.
+  auto feat = std::make_shared<graph::WlFeaturizer>(3);
+  WlGpConfig config;
+  config.max_h = 3;
+  WlFitCache cache(feat, 3);
+  util::Rng rng(41);
+  std::vector<graph::Graph> graphs;
+  std::vector<double> count_targets;
+  std::vector<double> edge_targets;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> labels;
+    const int n = 3 + static_cast<int>(rng.index(3));
+    for (int j = 0; j < n; ++j) {
+      labels.push_back(rng.chance(0.5) ? "A" : "B");
+    }
+    int ab_edges = 0;
+    for (int j = 0; j + 1 < n; ++j) {
+      if (labels[j] != labels[j + 1]) ++ab_edges;
+    }
+    graphs.push_back(make_chain(labels));
+    count_targets.push_back(static_cast<double>(
+        std::count(labels.begin(), labels.end(), std::string("B"))));
+    edge_targets.push_back(static_cast<double>(ab_edges));
+  }
+  const graph::Graph held_out = make_chain({"A", "B", "A", "B"});
+
+  for (std::size_t n = 0; n < graphs.size(); ++n) {
+    cache.append(graphs[n]);
+    if (n + 1 < 2) continue;
+    const std::vector<graph::Graph> prefix(graphs.begin(),
+                                           graphs.begin() + n + 1);
+    for (const auto* targets : {&count_targets, &edge_targets}) {
+      const std::vector<double> y(targets->begin(), targets->begin() + n + 1);
+      WlGp full(feat, config);
+      full.fit(prefix, y);
+      WlGp shared(feat, config);
+      shared.fit_shared(cache, y);
+      EXPECT_EQ(shared.chosen_h(), full.chosen_h());
+      EXPECT_DOUBLE_EQ(shared.signal_variance(), full.signal_variance());
+      EXPECT_DOUBLE_EQ(shared.noise_variance(), full.noise_variance());
+      EXPECT_DOUBLE_EQ(shared.log_marginal_likelihood(),
+                       full.log_marginal_likelihood());
+      const Prediction p_full = full.predict(held_out);
+      const Prediction p_shared = shared.predict(held_out);
+      EXPECT_DOUBLE_EQ(p_shared.mean, p_full.mean);
+      EXPECT_DOUBLE_EQ(p_shared.variance, p_full.variance);
+    }
+  }
+}
+
+TEST(WlFitCache, Validation) {
+  auto feat = std::make_shared<graph::WlFeaturizer>(2);
+  EXPECT_THROW(WlFitCache(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(WlFitCache(feat, 3), std::invalid_argument);
+  EXPECT_THROW(WlFitCache(feat, -1), std::invalid_argument);
+
+  WlFitCache cache(feat, 2);
+  cache.append(make_chain({"A", "B"}));
+  cache.append(make_chain({"B", "B"}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_THROW(cache.features_at(3), std::out_of_range);
+  EXPECT_THROW(cache.factor(0, 99, 0), std::out_of_range);
+
+  WlGp gp(feat, WlGpConfig{.max_h = 2});
+  const std::vector<double> one = {0.0};
+  EXPECT_THROW(gp.fit_shared(cache, one), std::invalid_argument);
+  const std::vector<double> two = {0.0, 1.0};
+  auto other_feat = std::make_shared<graph::WlFeaturizer>(2);
+  WlGp other(other_feat, WlGpConfig{.max_h = 2});
+  EXPECT_THROW(other.fit_shared(cache, two), std::invalid_argument);
+
+  // A cache shallower than the model's max_h cannot serve its grid.
+  WlFitCache shallow(feat, 1);
+  shallow.append(make_chain({"A", "B"}));
+  shallow.append(make_chain({"B", "B"}));
+  EXPECT_THROW(gp.fit_shared(shallow, two), std::invalid_argument);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(Acquisition, ExpectedImprovementKnownValues) {

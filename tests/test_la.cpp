@@ -186,6 +186,99 @@ TEST(Cholesky, SolveLowerConsistent) {
   EXPECT_NEAR(l(1, 0) * y[0] + l(1, 1) * y[1], 1.0, 1e-12);
 }
 
+TEST(Cholesky, TryExactMatchesConstructorOnSpd) {
+  MatrixD a = {{4, 2}, {2, 3}};
+  const auto chol = Cholesky::try_exact(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_EQ(chol->jitter(), 0.0);
+  const Cholesky ref(a);
+  EXPECT_EQ(chol->lower(), ref.lower());
+
+  // Semidefinite and indefinite inputs are reported, not rescued.
+  MatrixD psd = {{1, 1}, {1, 1}};
+  EXPECT_FALSE(Cholesky::try_exact(psd).has_value());
+  MatrixD indef = {{1, 0}, {0, -5}};
+  EXPECT_FALSE(Cholesky::try_exact(indef).has_value());
+  MatrixD rect(2, 3);
+  EXPECT_THROW(Cholesky::try_exact(rect), std::invalid_argument);
+}
+
+TEST(Cholesky, AppendRowMatchesFreshFactorization) {
+  // Grow random SPD matrices one bordered row at a time; at every size the
+  // incrementally extended factorization must agree with a from-scratch
+  // factorization of the same leading block.
+  intooa::util::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 8 + rng.index(8);
+    MatrixD b(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+    }
+    MatrixD a(n, n);  // B B^T + n I: comfortably SPD
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+        a(i, j) = acc;
+      }
+      a(i, i) += static_cast<double>(n);
+    }
+
+    MatrixD lead(2, 2);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) lead(i, j) = a(i, j);
+    }
+    auto grown = Cholesky::try_exact(lead);
+    ASSERT_TRUE(grown.has_value());
+
+    for (std::size_t k = 2; k < n; ++k) {
+      std::vector<double> row(k + 1);
+      for (std::size_t j = 0; j <= k; ++j) row[j] = a(k, j);
+      grown->append_row(row);
+      ASSERT_EQ(grown->order(), k + 1);
+
+      MatrixD block(k + 1, k + 1);
+      for (std::size_t i = 0; i <= k; ++i) {
+        for (std::size_t j = 0; j <= k; ++j) block(i, j) = a(i, j);
+      }
+      const auto fresh = Cholesky::try_exact(block);
+      ASSERT_TRUE(fresh.has_value());
+
+      // The border update replays the column-Cholesky recurrence in the
+      // same operation order, so the factors are identical, not just close.
+      EXPECT_EQ(grown->lower(), fresh->lower());
+      EXPECT_NEAR(grown->log_det(), fresh->log_det(), 1e-10);
+      std::vector<double> rhs(k + 1);
+      for (std::size_t i = 0; i <= k; ++i) {
+        rhs[i] = 1.0 + static_cast<double>(i);
+      }
+      const auto x_grown = grown->solve(rhs);
+      const auto x_fresh = fresh->solve(rhs);
+      for (std::size_t i = 0; i <= k; ++i) {
+        EXPECT_NEAR(x_grown[i], x_fresh[i], 1e-10);
+      }
+    }
+  }
+}
+
+TEST(Cholesky, AppendRowRejectsNonPositiveDefinite) {
+  MatrixD a = {{1}};
+  auto chol = Cholesky::try_exact(a);
+  ASSERT_TRUE(chol.has_value());
+  // Bordering to {{1, 1}, {1, 1}} (rank 1) must fail and leave the
+  // factorization untouched.
+  const std::vector<double> rank1 = {1.0, 1.0};
+  EXPECT_THROW(chol->append_row(rank1), SingularMatrixError);
+  EXPECT_EQ(chol->order(), 1u);
+  const std::vector<double> wrong_size = {1.0};
+  EXPECT_THROW(chol->append_row(wrong_size), std::invalid_argument);
+  // A valid border still works after the failed attempt.
+  const std::vector<double> good = {1.0, 5.0};
+  chol->append_row(good);
+  EXPECT_EQ(chol->order(), 2u);
+  EXPECT_NEAR(chol->log_det(), std::log(5.0 - 1.0), 1e-12);
+}
+
 TEST(Grid, Linspace) {
   const auto v = linspace(0.0, 1.0, 5);
   ASSERT_EQ(v.size(), 5u);
