@@ -5,6 +5,7 @@
 // simulations-to-success on one spec.
 //
 // Options: --spec S-1 (default) --runs N (default 3) --iters N --seed S
+//          --store FILE (persistent cross-campaign evaluation store)
 
 #include <cstdio>
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
 
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
+  const auto eval_store = open_store_from_cli(cli);
   sizing::SizingConfig sizing_config;  // paper protocol 10+30
 
   std::printf(
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
         for (std::size_t r = 0; r < runs; ++r) {
           core::TopologyEvaluator evaluator(sizing::EvalContext(spec),
                                             sizing_config);
+          store::attach(evaluator, eval_store);
           core::OptimizerConfig config;
           config.iterations = iters;
           config.candidates.pool_size = pool;

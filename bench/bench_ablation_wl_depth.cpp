@@ -5,6 +5,7 @@
 // matter beyond bag-of-subcircuits counting (h = 0).
 //
 // Options: --spec S-1 (default) --runs N (default 3) --iters N --seed S
+//          --store FILE (persistent cross-campaign evaluation store)
 
 #include <cstdio>
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
 
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
+  const auto eval_store = open_store_from_cli(cli);
   sizing::SizingConfig sizing_config;
 
   std::printf("ABLATION: WL kernel depth h (spec %s, %zu runs x %zu iterations)\n\n",
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
     for (std::size_t r = 0; r < runs; ++r) {
       core::TopologyEvaluator evaluator(sizing::EvalContext(spec),
                                         sizing_config);
+      store::attach(evaluator, eval_store);
       core::OptimizerConfig config;
       config.iterations = iters;
       config.wlgp.fit_h = variant.fit_h;

@@ -6,6 +6,7 @@
 //
 // Options: --quick | --runs N --iters N --init N --pool N --seed S
 //          --cache-dir DIR | --no-cache   --spec S-3 (restrict to one spec)
+//          --store FILE (persistent cross-campaign evaluation store)
 //          --threads N (default: hardware concurrency; results are
 //          byte-identical for any value, 1 = fully serial)
 
@@ -35,7 +36,8 @@ int main(int argc, char** argv) {
     std::vector<CampaignSet> sets;
     for (Method method : all_methods()) {
       sets.push_back(
-          run_or_load(spec.name, method, options.params, options.cache_dir));
+          run_or_load(spec.name, method, options.params, options.cache_dir,
+                      options.store));
     }
 
     // Full-resolution CSV for plotting.

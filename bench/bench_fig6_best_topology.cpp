@@ -4,7 +4,7 @@
 // netlist, and the re-simulated performance.
 //
 // Options: --quick | --runs N ... --cache-dir DIR | --no-cache
-//          --spec S-3 (default S-3, any spec accepted)
+//          --store FILE --spec S-3 (default S-3, any spec accepted)
 
 #include <cstdio>
 
@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
 
   const CampaignSet set =
-      run_or_load(spec_name, Method::IntoOa, options.params, options.cache_dir);
+      run_or_load(spec_name, Method::IntoOa, options.params, options.cache_dir,
+                  options.store);
   const auto best = set.best_run();
   if (!best) {
     std::printf("No feasible %s design found; rerun with more iterations.\n",

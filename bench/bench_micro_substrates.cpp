@@ -1,12 +1,18 @@
 // google-benchmark microbenchmarks of the computational substrates: WL
 // feature extraction and kernel evaluation, WL-GP fitting (the O(N^3) GP
 // cost the paper argues dominates the WL kernel cost), complex MNA AC
-// analysis, pole extraction, and one full sized-circuit evaluation (the
-// "simulation" unit of every experiment).
+// analysis, pole extraction, one full sized-circuit evaluation (the
+// "simulation" unit of every experiment), and the persistent evaluation
+// store (append with per-record fsync, and indexed lookup).
+//
+// Options: --store FILE (path for the store microbenchmarks; default
+//          bench-store-micro.bin in the working directory, removed after)
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "circuit/behavioral.hpp"
 #include "circuit/circuit_graph.hpp"
@@ -19,6 +25,7 @@
 #include "sim/metrics.hpp"
 #include "sim/mna.hpp"
 #include "sizing/evaluate.hpp"
+#include "store/store.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -243,6 +250,70 @@ void BM_TopologyIndexRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_TopologyIndexRoundTrip);
 
+// ---- persistent evaluation store ----------------------------------------
+
+std::string g_store_path = "bench-store-micro.bin";  // set from --store
+
+/// Synthetic (key, record) pair shaped like a real paper-protocol
+/// evaluation: 40-point sizing history plus the best design.
+core::EvalKey synthetic_key(std::uint64_t i) {
+  return {0x5107eULL * 0x100000001b3ULL + i, "micro " + std::to_string(i)};
+}
+
+core::EvalRecord synthetic_record(std::uint64_t i) {
+  core::EvalRecord record;
+  record.topology =
+      circuit::Topology::from_index(i % circuit::design_space_size());
+  record.sized.topology = record.topology;
+  record.sized.simulations = 40;
+  record.sized.best_values = {1e-4, 2e-4, 1e-3, 2e-12};
+  record.sized.best.perf.valid = true;
+  record.sized.best.perf.gain_db = 80.0;
+  record.sized.best.perf.gbw_hz = 1e6 + static_cast<double>(i);
+  record.sized.best.perf.pm_deg = 60.0;
+  record.sized.best.perf.power_w = 1e-4;
+  record.sized.best.fom = 400.0;
+  record.sized.best.feasible = true;
+  record.sized.history.assign(40, record.sized.best);
+  return record;
+}
+
+// One durable append: encode + CRC + positional write + fsync (the fsync
+// dominates; this is the per-fresh-evaluation persistence overhead).
+void BM_StoreAppend(benchmark::State& state) {
+  std::filesystem::remove(g_store_path);
+  auto eval_store = store::EvalStore::open(g_store_path);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval_store->append(synthetic_key(i), synthetic_record(i)));
+    ++i;
+  }
+  eval_store.reset();
+  std::filesystem::remove(g_store_path);
+}
+BENCHMARK(BM_StoreAppend)->Unit(benchmark::kMicrosecond);
+
+// One warm lookup from a store of `range(0)` records: index probe + pread
+// + CRC verify + decode (what a warm campaign pays instead of 40
+// simulations).
+void BM_StoreLookup(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  std::filesystem::remove(g_store_path);
+  auto eval_store = store::EvalStore::open(g_store_path);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    eval_store->append(synthetic_key(i), synthetic_record(i));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_store->lookup(synthetic_key(i % n)));
+    ++i;
+  }
+  eval_store.reset();
+  std::filesystem::remove(g_store_path);
+}
+BENCHMARK(BM_StoreLookup)->Arg(100)->Arg(1000);
+
 }  // namespace
 
 // Hand-rolled BENCHMARK_MAIN so the shared telemetry flags (--trace,
@@ -253,6 +324,7 @@ int main(int argc, char** argv) {
   const intooa::util::Cli cli(argc, argv);
   intooa::obs::BenchTelemetry telemetry(intooa::obs::TelemetryOptions::from_cli(
       cli, intooa::util::LogLevel::Warn));
+  g_store_path = cli.get("store", g_store_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -4,7 +4,7 @@
 // topology should hold its spec at every corner (or degrade gracefully).
 //
 // Options: --quick | --runs/--iters/... --cache-dir DIR | --no-cache
-//          --spec S-3 (restrict)
+//          --store FILE --spec S-3 (restrict)
 
 #include <cstdio>
 
@@ -32,8 +32,9 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : circuit::paper_specs()) {
     if (!only_spec.empty() && spec.name != only_spec) continue;
-    const CampaignSet set = run_or_load(spec.name, Method::IntoOa,
-                                        options.params, options.cache_dir);
+    const CampaignSet set =
+        run_or_load(spec.name, Method::IntoOa, options.params,
+                    options.cache_dir, options.store);
     const auto best = set.best_run();
     if (!best) {
       table.add_row({spec.name, "-", "-", "-", "-", "-", "-",

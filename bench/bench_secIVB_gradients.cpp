@@ -6,6 +6,7 @@
 // that subcircuit is removed.
 //
 // Options: --quick | --runs/--iters/... --spec S-4 (default) --seed S
+//          --store FILE (persistent cross-campaign evaluation store)
 
 #include <cmath>
 #include <cstdio>
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   sizing_config.init_points = options.params.sizing_init;
   sizing_config.iterations = options.params.sizing_iterations;
   core::TopologyEvaluator evaluator(ctx, sizing_config);
+  store::attach(evaluator, options.store);
   core::OptimizerConfig opt_config;
   opt_config.init_topologies = options.params.init_topologies;
   opt_config.iterations = options.params.iterations;

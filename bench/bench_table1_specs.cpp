@@ -1,11 +1,15 @@
 // Regenerates Table I: the five design-specification sets. Also prints the
 // derived design-space statistics quoted in Sec. II-C (type counts per
 // slot, total space size) as a sanity header for the other benches.
+//
+// Options: --store FILE (open and report on a persistent evaluation store:
+//          record count after tail recovery — a cheap integrity check)
 
 #include <cstdio>
 
 #include "circuit/rules.hpp"
 #include "circuit/spec.hpp"
+#include "common/campaign.hpp"
 #include "obs/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -16,6 +20,10 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   obs::BenchTelemetry telemetry(
       obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
+  if (const auto store = bench::open_store_from_cli(cli)) {
+    std::printf("evaluation store %s: %zu record(s)\n\n",
+                store->path().c_str(), store->size());
+  }
 
   std::printf("TABLE I: The Design Specification Sets\n");
   util::Table table(

@@ -4,6 +4,7 @@
 //
 // Options: --quick | --runs N --iters N --init N --pool N --seed S
 //          --cache-dir DIR | --no-cache   --spec S-3 (restrict to one spec)
+//          --store FILE (persistent cross-campaign evaluation store)
 
 #include <cstdio>
 
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
     if (!only_spec.empty() && spec.name != only_spec) continue;
     for (Method method : methods) {
       const CampaignSet set =
-          run_or_load(spec.name, method, options.params, options.cache_dir);
+          run_or_load(spec.name, method, options.params, options.cache_dir,
+                      options.store);
       const auto best = set.best_run();
       if (!best) {
         table.add_row({spec.name, method_name(method), "-", "-", "-", "-",

@@ -3,7 +3,7 @@
 // Prints the per-design before/after performance (Table IV) and the
 // Fig. 7-style description of each single-slot edit.
 //
-// Options: --quick | --runs/--iters/... --seed S
+// Options: --quick | --runs/--iters/... --seed S --store FILE
 
 #include <cstdio>
 
@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
       obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const BenchOptions options = BenchOptions::from_cli(cli);
 
-  const RefinementFlow flow = run_refinement_flow(options.params);
+  const RefinementFlow flow =
+      run_refinement_flow(options.params, options.store);
 
   std::printf(
       "\nTABLE IV: Behavior-level Op-amp Performance before and after "

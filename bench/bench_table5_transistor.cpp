@@ -4,7 +4,7 @@
 // refined designs R1/R2 are mapped for S-5 as in the paper.
 //
 // Options: --quick | --runs/--iters/... --cache-dir DIR | --no-cache
-//          --spec S-3 (restrict) --skip-refined
+//          --store FILE --spec S-3 (restrict) --skip-refined
 
 #include <cstdio>
 
@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     if (!only_spec.empty() && spec.name != only_spec) continue;
     for (Method method : methods) {
       const CampaignSet set =
-          run_or_load(spec.name, method, options.params, options.cache_dir);
+          run_or_load(spec.name, method, options.params, options.cache_dir,
+                      options.store);
       const auto best = set.best_run();
       if (!best) {
         table.add_row({spec.name, method_name(method), "-", "-", "-", "-",
@@ -66,7 +67,8 @@ int main(int argc, char** argv) {
 
   // Refined designs (S-5 rows at the bottom of the paper's Table V).
   if (!cli.has("skip-refined") && (only_spec.empty() || only_spec == "S-5")) {
-    const RefinementFlow flow = run_refinement_flow(options.params);
+    const RefinementFlow flow =
+        run_refinement_flow(options.params, options.store);
     sizing::EvalContext ctx(circuit::spec_by_name("S-5"));
     for (const auto& [name, result] :
          {std::pair<const char*, const core::RefineResult*>{"R1", &flow.c1},

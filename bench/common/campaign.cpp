@@ -38,10 +38,14 @@ std::string method_name(Method method) {
 }
 
 std::string CampaignParams::cache_token() const {
+  // The leading "v2" stamps the deterministic-sizing protocol (the inner
+  // sizing BO is seeded from the evaluation key, not the campaign stream):
+  // campaign CSVs and checkpoints produced before that change are not
+  // comparable and must never be silently reused.
   std::ostringstream out;
-  out << "r" << runs << "_i" << init_topologies << "x" << iterations << "_p"
-      << pool << "_s" << sizing_init << "x" << sizing_iterations << "_seed"
-      << seed;
+  out << "v2_r" << runs << "_i" << init_topologies << "x" << iterations
+      << "_p" << pool << "_s" << sizing_init << "x" << sizing_iterations
+      << "_seed" << seed;
   return out.str();
 }
 
@@ -233,13 +237,18 @@ std::string run_checkpoint_path(const std::string& cache_dir,
 RunResult execute_run(const std::string& spec_name, Method method,
                       const CampaignParams& params, std::uint64_t seed,
                       const std::string& checkpoint_path,
-                      const std::string& checkpoint_token) {
+                      const std::string& checkpoint_token,
+                      const std::shared_ptr<store::EvalStore>& store) {
   INTOOA_SPAN("campaign.run");
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
   sizing::SizingConfig sizing_config;
   sizing_config.init_points = params.sizing_init;
   sizing_config.iterations = params.sizing_iterations;
   core::TopologyEvaluator evaluator(sizing::EvalContext(spec), sizing_config);
+  // Persistent tier below the in-memory cache: all runs of the sweep (and
+  // any concurrent process on the same file) share one store. Attached
+  // before checkpoint restore so restored records also populate the store.
+  store::attach(evaluator, store);
 
   if (!checkpoint_path.empty() &&
       runtime::load_evaluator_checkpoint(checkpoint_path, checkpoint_token,
@@ -324,7 +333,8 @@ RunResult run_result_from_evaluator(const core::TopologyEvaluator& evaluator,
 
 CampaignSet run_or_load(const std::string& spec_name, Method method,
                         const CampaignParams& params,
-                        const std::string& cache_dir) {
+                        const std::string& cache_dir,
+                        std::shared_ptr<store::EvalStore> store) {
   const std::string path =
       cache_dir.empty() ? ""
                         : cache_path(cache_dir, spec_name, method, params);
@@ -367,7 +377,8 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
                                                 params, job.index);
     return execute_run(spec_name, method, params, job.seed, ckpt_path,
                        run_token(spec_name, method, params, job.index,
-                                 job.seed));
+                                 job.seed),
+                       store);
   });
   if (!path.empty()) save_cache(path, set);
 
@@ -378,6 +389,12 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
        {"cache_hits", hit_counter.value() - hits_before},
        {"cache_misses", miss_counter.value() - misses_before}});
   return set;
+}
+
+std::shared_ptr<store::EvalStore> open_store_from_cli(const util::Cli& cli) {
+  const std::string path = cli.get("store", "");
+  if (path.empty()) return nullptr;
+  return store::EvalStore::open(path);
 }
 
 BenchOptions BenchOptions::from_cli(const util::Cli& cli) {
@@ -401,6 +418,7 @@ BenchOptions BenchOptions::from_cli(const util::Cli& cli) {
       cli.get_int("seed", static_cast<long>(options.params.seed)));
   options.cache_dir = cli.get("cache-dir", options.cache_dir);
   if (cli.has("no-cache")) options.cache_dir.clear();
+  options.store = open_store_from_cli(cli);
   options.threads = cli.get_size("threads", 0);  // 0 = hardware concurrency
   runtime::set_thread_count(options.threads);
   options.threads = runtime::thread_count();

@@ -8,12 +8,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "circuit/spec.hpp"
 #include "core/evaluator.hpp"
+#include "store/store.hpp"
 #include "util/cli.hpp"
 
 namespace intooa::bench {
@@ -96,23 +98,40 @@ RunResult run_result_from_evaluator(const core::TopologyEvaluator& evaluator,
 /// additionally checkpointed to `<cache_dir>/checkpoints/` (the full
 /// evaluator history), so an interrupted campaign resumes from the
 /// completed runs without re-simulating them.
+///
+/// With a non-null `store`, every run's evaluator additionally reads
+/// through / writes behind to the shared persistent evaluation store: all
+/// (seed x method) runs of the campaign — and any other campaign or
+/// process pointed at the same file — reuse each other's sized results for
+/// identical (spec, sizing protocol, topology) evaluations. Warm runs are
+/// byte-identical to cold ones at any thread count; only where the results
+/// come from changes.
 CampaignSet run_or_load(const std::string& spec_name, Method method,
                         const CampaignParams& params,
-                        const std::string& cache_dir);
+                        const std::string& cache_dir,
+                        std::shared_ptr<store::EvalStore> store = nullptr);
 
 /// Shared CLI handling for the campaign benches: reads --runs, --iters,
 /// --init, --pool, --seed, --quick (3 runs, 20 iterations, pool 100,
-/// sizing 5+15), --cache-dir (default "bench-cache"), --no-cache, and
-/// --threads N (worker threads for campaign runs and candidate scoring;
-/// default = hardware concurrency, 1 = fully serial). from_cli applies
-/// the thread count to the global runtime executor.
+/// sizing 5+15), --cache-dir (default "bench-cache"), --no-cache,
+/// --store FILE (persistent cross-campaign evaluation store, opened once
+/// per process and shared by every run), and --threads N (worker threads
+/// for campaign runs and candidate scoring; default = hardware
+/// concurrency, 1 = fully serial). from_cli applies the thread count to
+/// the global runtime executor and opens the store (throwing on an
+/// unusable store file).
 struct BenchOptions {
   CampaignParams params;
   std::string cache_dir = "bench-cache";
+  std::shared_ptr<store::EvalStore> store;  ///< from --store ("" = null)
   std::size_t threads = 0;  ///< resolved count (>= 1) after from_cli
 
   static BenchOptions from_cli(const util::Cli& cli);
 };
+
+/// Opens the --store file named on the command line (null when the flag is
+/// absent). For benches that do not go through BenchOptions.
+std::shared_ptr<store::EvalStore> open_store_from_cli(const util::Cli& cli);
 
 /// The paper's reference FoM per spec (the dashed lines of Fig. 5):
 /// 90% of the weakest method's mean final FoM among methods with at least

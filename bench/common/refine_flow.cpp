@@ -6,7 +6,8 @@
 
 namespace intooa::bench {
 
-RefinementFlow run_refinement_flow(const CampaignParams& params) {
+RefinementFlow run_refinement_flow(const CampaignParams& params,
+                                   std::shared_ptr<store::EvalStore> store) {
   const circuit::Spec& spec = circuit::spec_by_name("S-5");
   sizing::EvalContext ctx(spec);
   sizing::SizingConfig sizing_config;
@@ -17,6 +18,7 @@ RefinementFlow run_refinement_flow(const CampaignParams& params) {
   // paper reuses from its S-5 optimization).
   util::log_info("refinement flow: training WL-GP models on S-5...");
   core::TopologyEvaluator evaluator(ctx, sizing_config);
+  store::attach(evaluator, std::move(store));
   core::OptimizerConfig opt_config;
   opt_config.init_topologies = params.init_topologies;
   opt_config.iterations = params.iterations;

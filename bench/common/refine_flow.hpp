@@ -19,7 +19,11 @@ struct RefinementFlow {
 
 /// Runs the full flow for spec "S-5" with the given campaign protocol
 /// (one model-training campaign run; refinement budget 40 simulations per
-/// attempt as in the paper).
-RefinementFlow run_refinement_flow(const CampaignParams& params);
+/// attempt as in the paper). A non-null `store` serves the model-training
+/// campaign's topology evaluations from / persists them to the shared
+/// evaluation store.
+RefinementFlow run_refinement_flow(
+    const CampaignParams& params,
+    std::shared_ptr<store::EvalStore> store = nullptr);
 
 }  // namespace intooa::bench

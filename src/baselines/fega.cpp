@@ -61,7 +61,7 @@ core::OptimizationOutcome FeGa::run(core::TopologyEvaluator& evaluator,
     Individual ind;
     const circuit::Topology topo = decode_genes(genes);
     ind.genes = std::move(genes);
-    ind.point = evaluator.evaluate(topo, rng).best;
+    ind.point = evaluator.evaluate(topo).best;
     return ind;
   };
 

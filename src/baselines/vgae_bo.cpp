@@ -52,7 +52,7 @@ core::OptimizationOutcome VgaeBo::run(core::TopologyEvaluator& evaluator,
   std::vector<sizing::EvalPoint> points;
 
   auto observe = [&](const circuit::Topology& topo) {
-    const auto& sized = evaluator.evaluate(topo, rng);
+    const auto& sized = evaluator.evaluate(topo);
     visited.insert(topo.index());
     latents.push_back(vae.encode(topo));
     targets.push_back(gp_targets(sized.best));

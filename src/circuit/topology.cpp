@@ -33,6 +33,17 @@ Topology Topology::with(Slot slot, SubcktType type) const {
   return copy;
 }
 
+std::uint64_t Topology::canonical_digest() const {
+  // FNV-1a 64 over (slot ordinal, type ordinal) byte pairs in canonical
+  // slot order. The constants are the standard FNV offset basis / prime.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < kSlotCount; ++i) {
+    h = (h ^ static_cast<std::uint64_t>(i)) * 0x100000001b3ULL;
+    h = (h ^ static_cast<std::uint64_t>(types_[i])) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
 std::size_t Topology::index() const {
   std::size_t idx = 0;
   for (Slot slot : all_slots()) {

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,13 @@ class Topology {
 
   /// Dense mixed-radix index in [0, design_space_size()).
   std::size_t index() const;
+
+  /// Stable 64-bit content digest of the canonical 5-slot type vector
+  /// (FNV-1a over the slot/type byte pairs). Unlike index(), the digest does
+  /// not depend on the per-slot allowed-type tables, so it stays stable if
+  /// the design space is extended; it addresses evaluation results in the
+  /// persistent store and seeds the deterministic per-topology sizing RNG.
+  std::uint64_t canonical_digest() const;
 
   /// Inverse of index().
   static Topology from_index(std::size_t index);

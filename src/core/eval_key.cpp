@@ -1,0 +1,68 @@
+#include "core/eval_key.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace intooa::core {
+
+namespace {
+
+/// Shortest decimal representation that parses back to exactly `v`.
+std::string exact(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) throw std::runtime_error("eval_key: to_chars");
+  return std::string(buf, ptr);
+}
+
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (const char c : data) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+EvalKeyContext::EvalKeyContext(const sizing::EvalContext& context,
+                               const sizing::SizingConfig& config) {
+  const circuit::Spec& s = context.spec;
+  const circuit::BehavioralConfig& b = context.behavioral;
+  const sim::AcOptions& a = context.ac;
+  std::ostringstream out;
+  out << "spec " << s.name << ' ' << exact(s.gain_db_min) << ' '
+      << exact(s.gbw_hz_min) << ' ' << exact(s.pm_deg_min) << ' '
+      << exact(s.power_w_max) << ' ' << exact(s.load_cap);
+  out << " | behav " << exact(b.vdd) << ' ' << exact(b.stage_intrinsic_gain)
+      << ' ' << exact(b.stage_ft_hz) << ' ' << exact(b.stage_c0) << ' '
+      << exact(b.gm_over_id) << ' ' << exact(b.gmin) << ' '
+      << exact(b.load_cap) << ' ' << exact(b.gm_lo) << ' ' << exact(b.gm_hi)
+      << ' ' << exact(b.r_lo) << ' ' << exact(b.r_hi) << ' ' << exact(b.c_lo)
+      << ' ' << exact(b.c_hi);
+  out << " | ac " << exact(a.f_min_hz) << ' ' << exact(a.f_max_hz) << ' '
+      << a.points_per_decade << ' ' << (a.check_stability ? 1 : 0);
+  out << " | sizing " << config.init_points << ' ' << config.iterations << ' '
+      << config.candidates << ' ' << config.refit_hyper_every;
+  prefix_ = out.str();
+  prefix_digest_ = fnv1a64(prefix_);
+}
+
+EvalKey EvalKeyContext::key_for(const circuit::Topology& topology) const {
+  EvalKey key;
+  key.fingerprint = prefix_ + " | topo ";
+  for (const auto type : topology.types()) {
+    key.fingerprint += std::to_string(static_cast<unsigned>(type));
+    key.fingerprint += ',';
+  }
+  // Chain the canonical slot-vector digest into the prefix digest so the
+  // 64-bit address reflects the topology even if the textual rendering of
+  // two different configurations ever coincided.
+  std::uint64_t h = prefix_digest_;
+  h = (h ^ topology.canonical_digest()) * 0x100000001b3ULL;
+  key.digest = fnv1a64(key.fingerprint, h);
+  return key;
+}
+
+}  // namespace intooa::core

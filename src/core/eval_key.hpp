@@ -1,0 +1,52 @@
+#pragma once
+// Canonical identity of one topology evaluation. Under the deterministic
+// sizing discipline, a sized result is a pure function of
+// (spec, behavioral model, AC options, sizing protocol, topology): the
+// inner sizing BO draws its randomness from an RNG seeded by this key's
+// digest, never from the campaign stream. EvalKey captures exactly that
+// function input, so two campaigns (or two processes) that evaluate a
+// semantically identical design under the same configuration produce — and
+// can therefore share — byte-identical results. The persistent evaluation
+// store (intooa::store) addresses records by this key.
+//
+// The fingerprint is an exact, human-readable rendering of every input
+// (doubles via shortest-round-trip to_chars); the digest is FNV-1a 64 over
+// the fingerprint combined with the topology's canonical slot-vector
+// digest. Store lookups verify the full fingerprint, so a 64-bit digest
+// collision degrades to a cache miss, never to a wrong result.
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/topology.hpp"
+#include "sizing/evaluate.hpp"
+#include "sizing/sizer.hpp"
+
+namespace intooa::core {
+
+/// Content address of one (configuration, topology) evaluation.
+struct EvalKey {
+  std::uint64_t digest = 0;  ///< 64-bit key digest (also the sizing seed)
+  std::string fingerprint;   ///< exact key material, verified on store hits
+};
+
+/// Precomputed per-(spec, config) fingerprint prefix; key_for() extends it
+/// per topology. One instance lives in every TopologyEvaluator and every
+/// store tier bound to it.
+class EvalKeyContext {
+ public:
+  EvalKeyContext(const sizing::EvalContext& context,
+                 const sizing::SizingConfig& config);
+
+  /// Full key of evaluating `topology` under this context.
+  EvalKey key_for(const circuit::Topology& topology) const;
+
+  /// The (spec, behavioral, ac, sizing) part of the fingerprint.
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+  std::uint64_t prefix_digest_ = 0;
+};
+
+}  // namespace intooa::core

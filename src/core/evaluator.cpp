@@ -6,15 +6,33 @@ namespace intooa::core {
 
 TopologyEvaluator::TopologyEvaluator(sizing::EvalContext context,
                                      sizing::SizingConfig config)
-    : sizer_(std::move(context), config) {}
+    : sizer_(std::move(context), config),
+      keys_(sizer_.context(), sizer_.config()) {}
+
+void TopologyEvaluator::attach_store(std::shared_ptr<ResultStore> store) {
+  store_ = std::move(store);
+}
+
+const sizing::SizedResult& TopologyEvaluator::insert(EvalRecord record) {
+  const std::size_t key = record.topology.index();
+  record.sims_before = total_simulations_;
+  total_simulations_ += record.sized.simulations;
+  history_.push_back(std::move(record));
+  cache_[key] = history_.size() - 1;
+  return history_.back().sized;
+}
 
 const sizing::SizedResult& TopologyEvaluator::evaluate(
-    const circuit::Topology& topology, util::Rng& rng) {
+    const circuit::Topology& topology) {
   // Static refs: one registry lookup per process, wait-free updates after.
   static obs::Counter& hit_counter =
       obs::registry().counter("evaluator.cache_hit");
   static obs::Counter& miss_counter =
       obs::registry().counter("evaluator.cache_miss");
+  static obs::Counter& store_hit_counter =
+      obs::registry().counter("evaluator.store_hit");
+  static obs::Counter& sizer_counter =
+      obs::registry().counter("evaluator.sizer_runs");
   static obs::Counter& sim_counter =
       obs::registry().counter("evaluator.simulations");
 
@@ -28,27 +46,37 @@ const sizing::SizedResult& TopologyEvaluator::evaluate(
   ++cache_misses_;
   miss_counter.add();
 
+  // Read-through: a stored result joins the history with its full logical
+  // simulation cost but zero simulator work in this process.
+  if (store_) {
+    if (auto stored = store_->load(topology)) {
+      ++store_hits_;
+      store_hit_counter.add();
+      return insert(std::move(*stored));
+    }
+  }
+
   EvalRecord record;
   record.topology = topology;
-  record.sims_before = total_simulations_;
-  record.sized = sizer_.size(topology, rng);
-  total_simulations_ += record.sized.simulations;
+  // Deterministic sizing: the inner BO's randomness is a pure function of
+  // the evaluation key, so the result is identical wherever (and whenever)
+  // this topology is evaluated under the same configuration.
+  util::Rng sizing_rng(keys_.key_for(topology).digest);
+  record.sized = sizer_.size(topology, sizing_rng);
+  sizer_counter.add();
   sim_counter.add(record.sized.simulations);
-  history_.push_back(std::move(record));
-  cache_[key] = history_.size() - 1;
-  return history_.back().sized;
+  const sizing::SizedResult& sized = insert(std::move(record));
+  if (store_) store_->save(history_.back());  // write-behind
+  return sized;
 }
 
 void TopologyEvaluator::restore(EvalRecord record) {
-  const std::size_t key = record.topology.index();
-  if (cache_.count(key) > 0) {
+  if (cache_.count(record.topology.index()) > 0) {
     throw std::invalid_argument(
         "TopologyEvaluator::restore: topology already evaluated");
   }
-  record.sims_before = total_simulations_;
-  total_simulations_ += record.sized.simulations;
-  history_.push_back(std::move(record));
-  cache_[key] = history_.size() - 1;
+  insert(std::move(record));
+  if (store_) store_->save(history_.back());
 }
 
 bool TopologyEvaluator::visited(const circuit::Topology& topology) const {

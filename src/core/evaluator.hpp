@@ -5,14 +5,30 @@
 // evaluation history that the Fig. 5 / Table II accounting is built on.
 // Using one evaluator for all methods guarantees identical cost accounting
 // across methods, as in the paper.
+//
+// Sizing is deterministic per topology: the inner BO draws from an RNG
+// seeded by the evaluation's canonical EvalKey digest (spec + behavioral
+// model + sizing protocol + topology), never from the campaign stream. A
+// sized result is therefore a pure function of its key, which is what lets
+// the persistent evaluation store (intooa::store) share results across
+// campaigns, seeds and processes while keeping warm runs byte-identical to
+// cold ones.
+//
+// Cache hierarchy on evaluate(): in-memory record cache -> attached
+// ResultStore tier (read-through on miss, write-behind on fresh results)
+// -> the sizing loop itself. A store hit joins the history with full
+// simulation-cost accounting, exactly as if the sizer had produced it, but
+// performs zero simulator work.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "circuit/spec.hpp"
 #include "circuit/topology.hpp"
+#include "core/eval_key.hpp"
 #include "sizing/sizer.hpp"
 #include "util/rng.hpp"
 
@@ -25,17 +41,40 @@ struct EvalRecord {
   std::size_t sims_before = 0;  ///< cumulative simulations before this eval
 };
 
+/// Persistence tier below the in-memory cache. Implementations (the
+/// content-addressed store in intooa::store) must be safe to call from
+/// concurrent evaluators and must never throw out of save(): persistence
+/// failures degrade to cache misses, never to failed campaigns.
+class ResultStore {
+ public:
+  virtual ~ResultStore() = default;
+
+  /// Returns the stored record for `topology` under this tier's evaluation
+  /// context, or nullopt. The returned record's sims_before is meaningless;
+  /// the evaluator re-derives it from its own counter.
+  virtual std::optional<EvalRecord> load(const circuit::Topology& topology) = 0;
+
+  /// Persists a freshly computed (or checkpoint-restored) record. Must be
+  /// idempotent for already-present keys.
+  virtual void save(const EvalRecord& record) = 0;
+};
+
 /// Caching, counting wrapper around the sizing loop.
 class TopologyEvaluator {
  public:
   TopologyEvaluator(sizing::EvalContext context,
                     sizing::SizingConfig config = {});
 
-  /// Sizes `topology` (or returns the cached result) and appends to the
-  /// history on a fresh evaluation. The paper's methods never re-evaluate
-  /// a visited topology, so cache hits do not consume simulations.
-  const sizing::SizedResult& evaluate(const circuit::Topology& topology,
-                                      util::Rng& rng);
+  /// Sizes `topology` (or returns the cached/stored result) and appends to
+  /// the history on a fresh evaluation. The paper's methods never
+  /// re-evaluate a visited topology, so cache hits do not consume
+  /// simulations; store hits consume their recorded simulation cost in the
+  /// accounting but perform no simulator work.
+  const sizing::SizedResult& evaluate(const circuit::Topology& topology);
+
+  /// Attaches a persistence tier consulted on in-memory cache misses and
+  /// fed every new history record (write-behind). Pass nullptr to detach.
+  void attach_store(std::shared_ptr<ResultStore> store);
 
   /// True when the topology has been evaluated already.
   bool visited(const circuit::Topology& topology) const;
@@ -45,18 +84,27 @@ class TopologyEvaluator {
   /// is added to the counter, exactly as if evaluate() had produced it.
   /// Records must be restored in their original order into an evaluator
   /// with no conflicting entries; throws std::invalid_argument when the
-  /// topology is already present.
+  /// topology is already present. Restored records are offered to the
+  /// attached store (if any), so old checkpoints populate new stores.
   void restore(EvalRecord record);
 
-  /// Total simulator calls consumed so far.
+  /// Total simulator calls consumed so far (store hits included: the
+  /// accounting reflects the campaign's logical cost, not this process's
+  /// physical work).
   std::size_t total_simulations() const { return total_simulations_; }
 
   /// Cache accounting: lookups that returned a previously sized topology
-  /// vs. lookups that ran the sizer. Mirrored into the obs metrics registry
-  /// ("evaluator.cache_hit" / "evaluator.cache_miss") for the campaign
-  /// telemetry report. restore() counts as neither.
+  /// vs. lookups that missed the in-memory tier. Mirrored into the obs
+  /// metrics registry ("evaluator.cache_hit" / "evaluator.cache_miss") for
+  /// the campaign telemetry report. restore() counts as neither.
   std::size_t cache_hits() const { return cache_hits_; }
   std::size_t cache_misses() const { return cache_misses_; }
+
+  /// Memory-tier misses answered by the attached store without simulation.
+  std::size_t store_hits() const { return store_hits_; }
+
+  /// The canonical evaluation-identity context of this evaluator.
+  const EvalKeyContext& key_context() const { return keys_; }
 
   /// All fresh evaluations in order.
   const std::vector<EvalRecord>& history() const { return history_; }
@@ -81,12 +129,17 @@ class TopologyEvaluator {
   const sizing::Sizer& sizer() const { return sizer_; }
 
  private:
+  const sizing::SizedResult& insert(EvalRecord record);
+
   sizing::Sizer sizer_;
+  EvalKeyContext keys_;
+  std::shared_ptr<ResultStore> store_;
   std::unordered_map<std::size_t, std::size_t> cache_;  // topo index -> record
   std::vector<EvalRecord> history_;
   std::size_t total_simulations_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
+  std::size_t store_hits_ = 0;
 };
 
 }  // namespace intooa::core

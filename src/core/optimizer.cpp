@@ -136,7 +136,7 @@ OptimizationOutcome IntoOaOptimizer::run(TopologyEvaluator& evaluator,
       ++guard;
       continue;
     }
-    evaluator.evaluate(topo, rng);
+    evaluator.evaluate(topo);
     visited.insert(topo.index());
   }
 
@@ -199,7 +199,7 @@ OptimizationOutcome IntoOaOptimizer::run(TopologyEvaluator& evaluator,
     const std::size_t best_candidate = select_best_candidate(scores, rng);
 
     // Lines 7-8, 10: evaluate, extend dataset, mark visited.
-    evaluator.evaluate(pool[best_candidate], rng);
+    evaluator.evaluate(pool[best_candidate]);
     visited.insert(pool[best_candidate].index());
     util::log_debug("INTO-OA iter " + std::to_string(iter + 1) + ": " +
                     pool[best_candidate].to_string());

@@ -169,8 +169,15 @@ void Registry::reset() {
 }
 
 Registry& registry() {
-  static Registry instance;
-  return instance;
+  // Intentionally leaked. A ThreadPool worker fulfills a task's future
+  // inside job() and only then closes its pool.task span, so main can
+  // return from future.get(), reach exit and run static destructors while
+  // the worker is still inside ScopedSpan::finish(). Leaking keeps the
+  // registry valid for those last few instructions (and for the workers the
+  // global pool joins during static destruction); the static pointer keeps
+  // it reachable, so LeakSanitizer stays quiet.
+  static Registry* instance = new Registry();
+  return *instance;
 }
 
 Json MetricsSnapshot::to_json() const {

@@ -22,8 +22,11 @@ struct TraceBuffer {
 };
 
 TraceBuffer& buffer() {
-  static TraceBuffer instance;
-  return instance;
+  // Intentionally leaked for the same reason as obs::registry(): a pool
+  // worker may still be finishing a span (and, in a traced run, recording
+  // an event) after main has entered static destruction.
+  static TraceBuffer* instance = new TraceBuffer();
+  return *instance;
 }
 
 /// Microseconds with sub-microsecond precision (Chrome's "ts"/"dur" unit).

@@ -1,22 +1,25 @@
 #include "runtime/checkpoint.hpp"
 
 #include <charconv>
-#include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <system_error>
 #include <vector>
 
 #include "obs/span.hpp"
+#include "util/fs.hpp"
 #include "util/log.hpp"
 
 namespace intooa::runtime {
 
 namespace {
 
+/// Versioned magic line. The family prefix identifies the file type; the
+/// trailing number is the format version, so a checkpoint written by an
+/// incompatible build is rejected with a clear message instead of being
+/// parsed into garbage.
+constexpr const char* kMagicFamily = "intooa-evaluator-checkpoint v";
 constexpr const char* kMagic = "intooa-evaluator-checkpoint v1";
 
 /// Shortest decimal representation that parses back to exactly `v`.
@@ -89,7 +92,15 @@ bool parse_checkpoint(std::istream& in, const std::string& token,
                       std::vector<core::EvalRecord>& records,
                       std::size_t& total_simulations) {
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) return false;
+  if (!std::getline(in, line) || line != kMagic) {
+    if (line.rfind(kMagicFamily, 0) == 0) {
+      util::log_error(
+          "checkpoint written by an incompatible version (file magic \"" +
+          line + "\", this build reads \"" + kMagic +
+          "\"); delete it or use a matching build");
+    }
+    return false;
+  }
   if (!std::getline(in, line) || line != "token " + token) return false;
 
   std::size_t record_count = 0;
@@ -154,45 +165,33 @@ void save_evaluator_checkpoint(const std::string& path,
                                const std::string& token,
                                const core::TopologyEvaluator& evaluator) {
   INTOOA_SPAN("checkpoint.save");
-  const std::filesystem::path target(path);
-  if (target.has_parent_path()) {
-    std::filesystem::create_directories(target.parent_path());
-  }
-  const std::filesystem::path tmp = target.string() + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      throw std::runtime_error("checkpoint: cannot write " + tmp.string());
-    }
-    out << kMagic << '\n';
-    out << "token " << token << '\n';
-    out << "records " << evaluator.history().size() << '\n';
-    out << "sims " << evaluator.total_simulations() << '\n';
-    for (const auto& record : evaluator.history()) {
-      out << "record " << record.topology.index() << ' ' << record.sims_before
-          << ' ' << record.sized.simulations << '\n';
-      out << "values " << record.sized.best_values.size();
-      for (double v : record.sized.best_values) out << ' ' << exact(v);
-      out << '\n';
-      out << "best ";
-      write_point(out, record.sized.best);
-      out << "hist " << record.sized.history.size() << '\n';
-      for (const auto& point : record.sized.history) {
-        out << "p ";
-        write_point(out, point);
-      }
-    }
-    out << "end\n";
-    if (!out) {
-      throw std::runtime_error("checkpoint: write failed for " + tmp.string());
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "token " << token << '\n';
+  out << "records " << evaluator.history().size() << '\n';
+  out << "sims " << evaluator.total_simulations() << '\n';
+  for (const auto& record : evaluator.history()) {
+    out << "record " << record.topology.index() << ' ' << record.sims_before
+        << ' ' << record.sized.simulations << '\n';
+    out << "values " << record.sized.best_values.size();
+    for (double v : record.sized.best_values) out << ' ' << exact(v);
+    out << '\n';
+    out << "best ";
+    write_point(out, record.sized.best);
+    out << "hist " << record.sized.history.size() << '\n';
+    for (const auto& point : record.sized.history) {
+      out << "p ";
+      write_point(out, point);
     }
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, target, ec);
-  if (ec) {
-    std::filesystem::remove(tmp);
-    throw std::runtime_error("checkpoint: cannot rename " + tmp.string() +
-                             " -> " + path + ": " + ec.message());
+  out << "end\n";
+  // Durable atomic publish (temp file + fsync + rename + directory fsync):
+  // a crash at any point leaves the previous checkpoint or the complete new
+  // one — and once save returns, the record contents survive power loss.
+  try {
+    util::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("checkpoint: ") + e.what());
   }
 }
 

@@ -8,9 +8,11 @@
 // Doubles are written with std::to_chars (shortest decimal that
 // round-trips exactly), so a restored evaluator reproduces FoM curves,
 // best-design selection and every downstream aggregate byte-for-byte.
-// Files are written atomically (tmp file + rename): a crash mid-write
-// leaves either the previous checkpoint or none, never a torn one.
-// The format is documented in docs/ALGORITHMS.md.
+// Files are published with util::atomic_write_file (temp file + fsync +
+// rename + directory fsync): a crash at any point — including right after
+// the rename — leaves either the previous complete checkpoint or the new
+// complete one, never a torn or content-less file. The format is
+// documented in docs/ALGORITHMS.md and docs/PERSISTENCE.md.
 
 #include <string>
 

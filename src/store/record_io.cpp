@@ -1,0 +1,155 @@
+#include "store/record_io.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace intooa::store {
+
+namespace {
+
+// The store targets little-endian hosts (every supported platform); the
+// static_assert turns a silent byte-order corruption into a build error.
+static_assert(std::endian::native == std::endian::little,
+              "intooa::store log format assumes a little-endian host");
+
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) { return raw(&v, sizeof v); }
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof v); }
+  bool f64(double& v) { return raw(&v, sizeof v); }
+  bool str(std::string& s) {
+    std::uint32_t n = 0;
+    if (!u32(n) || data_.size() - pos_ < n) return false;
+    s.assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void write_point(Writer& w, const sizing::EvalPoint& point) {
+  w.u8(point.perf.valid ? 1 : 0);
+  w.f64(point.perf.gain_db);
+  w.f64(point.perf.gbw_hz);
+  w.f64(point.perf.pm_deg);
+  w.f64(point.perf.power_w);
+  w.str(point.perf.failure);
+  w.f64(point.fom);
+  for (const double m : point.margins) w.f64(m);
+  w.u8(point.feasible ? 1 : 0);
+}
+
+bool read_point(Reader& r, sizing::EvalPoint& point) {
+  std::uint8_t flag = 0;
+  if (!r.u8(flag) || flag > 1) return false;
+  point.perf.valid = flag == 1;
+  if (!r.f64(point.perf.gain_db)) return false;
+  if (!r.f64(point.perf.gbw_hz)) return false;
+  if (!r.f64(point.perf.pm_deg)) return false;
+  if (!r.f64(point.perf.power_w)) return false;
+  if (!r.str(point.perf.failure)) return false;
+  if (!r.f64(point.fom)) return false;
+  for (double& m : point.margins) {
+    if (!r.f64(m)) return false;
+  }
+  if (!r.u8(flag) || flag > 1) return false;
+  point.feasible = flag == 1;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_record(const core::EvalKey& key,
+                          const core::EvalRecord& record) {
+  std::string out;
+  out.reserve(128 + key.fingerprint.size() +
+              record.sized.history.size() * 96);
+  Writer w(out);
+  w.u64(key.digest);
+  w.str(key.fingerprint);
+  w.u64(record.topology.index());
+  w.u64(record.sized.simulations);
+  w.u32(static_cast<std::uint32_t>(record.sized.best_values.size()));
+  for (const double v : record.sized.best_values) w.f64(v);
+  write_point(w, record.sized.best);
+  w.u32(static_cast<std::uint32_t>(record.sized.history.size()));
+  for (const auto& point : record.sized.history) write_point(w, point);
+  return out;
+}
+
+std::optional<StoredRecord> decode_record(std::string_view payload) {
+  Reader r(payload);
+  StoredRecord out;
+  if (!r.u64(out.key.digest)) return std::nullopt;
+  if (!r.str(out.key.fingerprint)) return std::nullopt;
+  std::uint64_t topo_index = 0;
+  if (!r.u64(topo_index)) return std::nullopt;
+  try {
+    out.record.topology =
+        circuit::Topology::from_index(static_cast<std::size_t>(topo_index));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  out.record.sized.topology = out.record.topology;
+  std::uint64_t sims = 0;
+  if (!r.u64(sims)) return std::nullopt;
+  out.record.sized.simulations = static_cast<std::size_t>(sims);
+  // Element counts are capped by what the payload could physically hold, so
+  // a corrupt-but-checksummed count can never drive a giant allocation.
+  std::uint32_t n = 0;
+  if (!r.u32(n) || n > payload.size() / sizeof(double)) return std::nullopt;
+  out.record.sized.best_values.resize(n);
+  for (double& v : out.record.sized.best_values) {
+    if (!r.f64(v)) return std::nullopt;
+  }
+  if (!read_point(r, out.record.sized.best)) return std::nullopt;
+  if (!r.u32(n) || n > payload.size() / sizeof(double)) return std::nullopt;
+  out.record.sized.history.resize(n);
+  for (auto& point : out.record.sized.history) {
+    if (!read_point(r, point)) return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;  // trailing bytes = corruption
+  return out;
+}
+
+std::optional<std::uint64_t> peek_digest(std::string_view payload) {
+  if (payload.size() < sizeof(std::uint64_t)) return std::nullopt;
+  std::uint64_t digest = 0;
+  std::memcpy(&digest, payload.data(), sizeof digest);
+  return digest;
+}
+
+}  // namespace intooa::store

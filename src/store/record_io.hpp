@@ -1,0 +1,39 @@
+#pragma once
+// Binary (de)serialization of one stored evaluation: the frame payload of
+// the append-only store log. Doubles are written as raw IEEE-754 bits, so a
+// decoded record reproduces FoM curves and best-design selection
+// byte-for-byte; strings (the key fingerprint, failure reasons) are
+// length-prefixed. All integers are fixed-width little-endian. Decoding is
+// fully bounds-checked and returns nullopt on any structural defect — the
+// store treats an undecodable payload exactly like a CRC failure.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/eval_key.hpp"
+#include "core/evaluator.hpp"
+
+namespace intooa::store {
+
+/// One decoded log frame: the key it was filed under plus the record.
+struct StoredRecord {
+  core::EvalKey key;
+  core::EvalRecord record;
+};
+
+/// Serializes (key, record) into a frame payload. record.sims_before is not
+/// stored: it is positional state of one campaign, not content.
+std::string encode_record(const core::EvalKey& key,
+                          const core::EvalRecord& record);
+
+/// Inverse of encode_record. Returns nullopt on truncation, trailing bytes,
+/// or an invalid topology index.
+std::optional<StoredRecord> decode_record(std::string_view payload);
+
+/// Reads just the leading key digest (for index building without a full
+/// decode). Returns nullopt when the payload is too short.
+std::optional<std::uint64_t> peek_digest(std::string_view payload);
+
+}  // namespace intooa::store

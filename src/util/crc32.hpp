@@ -1,0 +1,22 @@
+#pragma once
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) used to
+// frame records in the on-disk evaluation store: a torn or bit-flipped
+// record fails its checksum and is treated as end-of-log instead of being
+// parsed into garbage.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace intooa::util {
+
+/// CRC-32 of `data`, optionally chaining a previous crc (pass the prior
+/// return value to checksum data split across buffers).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t crc = 0);
+
+inline std::uint32_t crc32(std::string_view data, std::uint32_t crc = 0) {
+  return crc32(data.data(), data.size(), crc);
+}
+
+}  // namespace intooa::util

@@ -1,0 +1,70 @@
+#include "util/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace intooa::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void fsync_fd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) fail("fsync " + what);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("open dir " + parent.string());
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) fail("fsync dir " + parent.string());
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("atomic_write_file: open " + tmp);
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("atomic_write_file: write " + tmp);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("atomic_write_file: fsync " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("atomic_write_file: rename " + tmp + " -> " + path);
+  }
+  fsync_parent_dir(path);
+}
+
+}  // namespace intooa::util

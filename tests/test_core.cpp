@@ -34,20 +34,19 @@ sizing::SizingConfig fast_sizing() {
 
 TEST(Evaluator, CountsAndCaches) {
   TopologyEvaluator evaluator(s1_context(), fast_sizing());
-  util::Rng rng(51);
   const auto nmc = circuit::named_topology("NMC");
   EXPECT_FALSE(evaluator.visited(nmc));
-  evaluator.evaluate(nmc, rng);
+  evaluator.evaluate(nmc);
   EXPECT_TRUE(evaluator.visited(nmc));
   EXPECT_EQ(evaluator.total_simulations(), 8u);
   EXPECT_EQ(evaluator.history().size(), 1u);
 
   // Cache hit: no new simulations, no new history entry.
-  evaluator.evaluate(nmc, rng);
+  evaluator.evaluate(nmc);
   EXPECT_EQ(evaluator.total_simulations(), 8u);
   EXPECT_EQ(evaluator.history().size(), 1u);
 
-  evaluator.evaluate(circuit::named_topology("C1"), rng);
+  evaluator.evaluate(circuit::named_topology("C1"));
   EXPECT_EQ(evaluator.total_simulations(), 16u);
   EXPECT_EQ(evaluator.history()[1].sims_before, 8u);
 }
@@ -57,18 +56,17 @@ TEST(Evaluator, CacheHitLeavesAccountingUntouched) {
   // simulation charge, no extension of the Fig. 5 curve — the invariant the
   // checkpoint-resume layer and the paper's cost accounting both rely on.
   TopologyEvaluator evaluator(s1_context(), fast_sizing());
-  util::Rng rng(60);
   const auto nmc = circuit::named_topology("NMC");
   const auto c1 = circuit::named_topology("C1");
-  evaluator.evaluate(nmc, rng);
-  evaluator.evaluate(c1, rng);
+  evaluator.evaluate(nmc);
+  evaluator.evaluate(c1);
 
   const auto history_size = evaluator.history().size();
   const auto sims = evaluator.total_simulations();
   const auto curve = evaluator.fom_curve();
 
-  const auto& hit1 = evaluator.evaluate(nmc, rng);
-  const auto& hit2 = evaluator.evaluate(c1, rng);
+  const auto& hit1 = evaluator.evaluate(nmc);
+  const auto& hit2 = evaluator.evaluate(c1);
   EXPECT_EQ(hit1.topology, nmc);
   EXPECT_EQ(hit2.topology, c1);
   EXPECT_EQ(evaluator.history().size(), history_size);
@@ -78,9 +76,8 @@ TEST(Evaluator, CacheHitLeavesAccountingUntouched) {
 
 TEST(Evaluator, RestoreReplaysAccounting) {
   TopologyEvaluator original(s1_context(), fast_sizing());
-  util::Rng rng(61);
-  original.evaluate(circuit::named_topology("NMC"), rng);
-  original.evaluate(circuit::named_topology("C1"), rng);
+  original.evaluate(circuit::named_topology("NMC"));
+  original.evaluate(circuit::named_topology("C1"));
 
   TopologyEvaluator restored(s1_context(), fast_sizing());
   for (const auto& record : original.history()) restored.restore(record);
@@ -89,15 +86,14 @@ TEST(Evaluator, RestoreReplaysAccounting) {
   EXPECT_EQ(restored.fom_curve(), original.fom_curve());
   EXPECT_TRUE(restored.visited(circuit::named_topology("NMC")));
   // Restored entries behave like evaluated ones: cache hits stay free.
-  restored.evaluate(circuit::named_topology("C1"), rng);
+  restored.evaluate(circuit::named_topology("C1"));
   EXPECT_EQ(restored.total_simulations(), original.total_simulations());
 }
 
 TEST(Evaluator, FomCurveMonotoneAndSized) {
   TopologyEvaluator evaluator(s1_context(), fast_sizing());
-  util::Rng rng(52);
-  evaluator.evaluate(circuit::named_topology("NMC"), rng);
-  evaluator.evaluate(circuit::named_topology("C1"), rng);
+  evaluator.evaluate(circuit::named_topology("NMC"));
+  evaluator.evaluate(circuit::named_topology("C1"));
   const auto curve = evaluator.fom_curve();
   EXPECT_EQ(curve.size(), evaluator.total_simulations());
   for (std::size_t i = 1; i < curve.size(); ++i) {
@@ -107,10 +103,9 @@ TEST(Evaluator, FomCurveMonotoneAndSized) {
 
 TEST(Evaluator, BestSelectors) {
   TopologyEvaluator evaluator(s1_context(), fast_sizing());
-  util::Rng rng(53);
   EXPECT_FALSE(evaluator.best_overall().has_value());
-  evaluator.evaluate(circuit::named_topology("NMC"), rng);
-  evaluator.evaluate(circuit::named_topology("bare"), rng);
+  evaluator.evaluate(circuit::named_topology("NMC"));
+  evaluator.evaluate(circuit::named_topology("bare"));
   ASSERT_TRUE(evaluator.best_overall().has_value());
   const auto best_f = evaluator.best_feasible();
   if (best_f) {

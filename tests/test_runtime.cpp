@@ -222,9 +222,9 @@ std::string temp_checkpoint(const std::string& name) {
 TEST(Checkpoint, RoundTripIsExact) {
   auto original = fresh_evaluator();
   util::Rng rng(2024);
-  original.evaluate(circuit::named_topology("NMC"), rng);
-  original.evaluate(circuit::named_topology("C1"), rng);
-  original.evaluate(circuit::Topology::random(rng), rng);
+  original.evaluate(circuit::named_topology("NMC"));
+  original.evaluate(circuit::named_topology("C1"));
+  original.evaluate(circuit::Topology::random(rng));
 
   const std::string path = temp_checkpoint("intooa_ckpt_roundtrip.ckpt");
   save_evaluator_checkpoint(path, "token-a", original);
@@ -257,8 +257,7 @@ TEST(Checkpoint, RoundTripIsExact) {
 
 TEST(Checkpoint, RejectsWrongToken) {
   auto original = fresh_evaluator();
-  util::Rng rng(7);
-  original.evaluate(circuit::named_topology("NMC"), rng);
+  original.evaluate(circuit::named_topology("NMC"));
   const std::string path = temp_checkpoint("intooa_ckpt_token.ckpt");
   save_evaluator_checkpoint(path, "seed-1", original);
 
@@ -270,9 +269,8 @@ TEST(Checkpoint, RejectsWrongToken) {
 
 TEST(Checkpoint, RejectsTruncatedFile) {
   auto original = fresh_evaluator();
-  util::Rng rng(8);
-  original.evaluate(circuit::named_topology("NMC"), rng);
-  original.evaluate(circuit::named_topology("C1"), rng);
+  original.evaluate(circuit::named_topology("NMC"));
+  original.evaluate(circuit::named_topology("C1"));
   const std::string path = temp_checkpoint("intooa_ckpt_trunc.ckpt");
   save_evaluator_checkpoint(path, "t", original);
 
@@ -299,8 +297,7 @@ TEST(Checkpoint, MissingFileReturnsFalse) {
 
 TEST(Checkpoint, RestoreRejectsDuplicateTopology) {
   auto evaluator = fresh_evaluator();
-  util::Rng rng(9);
-  evaluator.evaluate(circuit::named_topology("NMC"), rng);
+  evaluator.evaluate(circuit::named_topology("NMC"));
   core::EvalRecord duplicate = evaluator.history()[0];
   EXPECT_THROW(evaluator.restore(std::move(duplicate)),
                std::invalid_argument);
