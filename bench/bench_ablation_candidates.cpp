@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/campaign.hpp"
+#include "common/drain.hpp"
 #include "core/optimizer.hpp"
 #include "obs/telemetry.hpp"
 #include "util/log.hpp"
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
   using namespace intooa::bench;
 
   const util::Cli cli(argc, argv);
+  bench::reject_unknown_flags(cli, {"spec"});
+  install_drain_handler();
   obs::BenchTelemetry telemetry(
       obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const std::string spec_name = cli.get("spec", "S-1");
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
         std::vector<double> foms;
         std::vector<double> sims_to_feasible;
         for (std::size_t r = 0; r < runs; ++r) {
+          exit_if_draining();
           core::TopologyEvaluator evaluator(sizing::EvalContext(spec),
                                             sizing_config);
           store::attach(evaluator, eval_store);

@@ -317,11 +317,14 @@ BENCHMARK(BM_StoreLookup)->Arg(100)->Arg(1000);
 }  // namespace
 
 // Hand-rolled BENCHMARK_MAIN so the shared telemetry flags (--trace,
-// --metrics, --log-level) work here too. util::Cli ignores google-benchmark's
-// --benchmark_* flags and benchmark::Initialize leaves ours in place, so the
-// two parsers coexist (unrecognized-argument reporting is skipped).
+// --metrics, --log-level) work here too. The "benchmark_*" wildcard lets
+// google-benchmark's --benchmark_* passthrough flags coexist with ours
+// (benchmark::Initialize leaves unknown flags in place), while anything
+// else still fails loudly.
 int main(int argc, char** argv) {
   const intooa::util::Cli cli(argc, argv);
+  cli.reject_unknown(
+      {"store", "trace", "metrics", "log-level", "benchmark_*"});
   intooa::obs::BenchTelemetry telemetry(intooa::obs::TelemetryOptions::from_cli(
       cli, intooa::util::LogLevel::Warn));
   g_store_path = cli.get("store", g_store_path);

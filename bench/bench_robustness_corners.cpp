@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace intooa::bench;
 
   const util::Cli cli(argc, argv);
+  bench::reject_unknown_flags(cli, {"spec"});
   obs::BenchTelemetry telemetry(
       obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   const BenchOptions options = BenchOptions::from_cli(cli);

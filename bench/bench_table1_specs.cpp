@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace intooa;
 
   const util::Cli cli(argc, argv);
+  bench::reject_unknown_flags(cli);
   obs::BenchTelemetry telemetry(
       obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
   if (const auto store = bench::open_store_from_cli(cli)) {

@@ -4,10 +4,12 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <sstream>
 
 #include "baselines/fega.hpp"
 #include "baselines/vgae_bo.hpp"
+#include "common/drain.hpp"
 #include "core/optimizer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -335,6 +337,7 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
                         const CampaignParams& params,
                         const std::string& cache_dir,
                         std::shared_ptr<store::EvalStore> store) {
+  install_drain_handler();
   const std::string path =
       cache_dir.empty() ? ""
                         : cache_path(cache_dir, spec_name, method, params);
@@ -371,6 +374,10 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
 
   const runtime::CampaignRunner runner(runtime::global_pool());
   set.runs = runner.run<RunResult>(jobs, [&](const runtime::CampaignJob& job) {
+    // Drain discipline (see common/drain.hpp): runs not yet started when a
+    // SIGINT/SIGTERM arrives are skipped; runs already in flight finish
+    // and checkpoint below.
+    if (draining()) return RunResult{};
     const std::string ckpt_path =
         cache_dir.empty() ? ""
                           : run_checkpoint_path(cache_dir, spec_name, method,
@@ -380,6 +387,10 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
                                  job.seed),
                        store);
   });
+  // A drained campaign exits 128+signal here — after every in-flight run
+  // has published its checkpoint, but before the campaign CSV is written
+  // (a partial set must not be mistaken for a finished one).
+  exit_if_draining();
   if (!path.empty()) save_cache(path, set);
 
   util::log_info(
@@ -395,6 +406,16 @@ std::shared_ptr<store::EvalStore> open_store_from_cli(const util::Cli& cli) {
   const std::string path = cli.get("store", "");
   if (path.empty()) return nullptr;
   return store::EvalStore::open(path);
+}
+
+void reject_unknown_flags(const util::Cli& cli,
+                          std::initializer_list<std::string_view> extra) {
+  std::vector<std::string_view> known = {
+      "quick",     "runs",     "iters", "init",    "pool",
+      "seed",      "cache-dir", "no-cache", "store", "threads",
+      "trace",     "metrics",  "log-level"};
+  known.insert(known.end(), extra.begin(), extra.end());
+  cli.reject_unknown(std::span<const std::string_view>(known));
 }
 
 BenchOptions BenchOptions::from_cli(const util::Cli& cli) {

@@ -8,9 +8,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "circuit/spec.hpp"
@@ -132,6 +134,15 @@ struct BenchOptions {
 /// Opens the --store file named on the command line (null when the flag is
 /// absent). For benches that do not go through BenchOptions.
 std::shared_ptr<store::EvalStore> open_store_from_cli(const util::Cli& cli);
+
+/// Validates the command line against the shared campaign flags (--quick,
+/// --runs, --iters, --init, --pool, --seed, --cache-dir, --no-cache,
+/// --store, --threads), the telemetry flags (--trace, --metrics,
+/// --log-level), and any bench-specific `extra` flags; exits 2 with a
+/// did-you-mean diagnostic on anything else (util::Cli::reject_unknown).
+/// Call it right after parsing, before any flag is read.
+void reject_unknown_flags(const util::Cli& cli,
+                          std::initializer_list<std::string_view> extra = {});
 
 /// The paper's reference FoM per spec (the dashed lines of Fig. 5):
 /// 90% of the weakest method's mean final FoM among methods with at least

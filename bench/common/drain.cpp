@@ -1,0 +1,59 @@
+#include "common/drain.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace intooa::bench {
+
+namespace {
+
+std::atomic<int> g_drain_signal{0};
+
+// Async-signal-safe: record the signal; force-exit on the second one (the
+// escape hatch when a run wedges mid-drain).
+void on_signal(int sig) {
+  int expected = 0;
+  if (!g_drain_signal.compare_exchange_strong(expected, sig,
+                                              std::memory_order_relaxed)) {
+    _exit(128 + sig);
+  }
+  // One line so an interactive ^C user knows the bench heard them. write()
+  // is on the async-signal-safe list; fprintf is not.
+  static const char message[] =
+      "\ndraining: finishing in-flight runs, checkpointing, skipping the "
+      "rest (signal again to force-quit)\n";
+  [[maybe_unused]] const ssize_t n =
+      write(STDERR_FILENO, message, sizeof(message) - 1);
+}
+
+}  // namespace
+
+void install_drain_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action {};
+    action.sa_handler = on_signal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+  });
+}
+
+int drain_signal() { return g_drain_signal.load(std::memory_order_relaxed); }
+
+void exit_if_draining() {
+  const int sig = drain_signal();
+  if (sig == 0) return;
+  std::fprintf(stderr,
+               "campaign drained after signal %d: finished runs are "
+               "checkpointed; re-run the same command to resume\n",
+               sig);
+  std::exit(128 + sig);
+}
+
+}  // namespace intooa::bench

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace intooa;
 
   const util::Cli cli(argc, argv);
+  cli.reject_unknown({"cl-pf", "topology"});
   const std::string name = cli.get("topology", "NMC");
   const circuit::Topology topology = circuit::named_topology(name);
 

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace intooa;
 
   const util::Cli cli(argc, argv);
+  cli.reject_unknown({"spec", "topology", "iters"});
   const std::string name = cli.get("topology", "C1");
   const circuit::Topology topology = circuit::named_topology(name);
 

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace intooa;
 
   const util::Cli cli(argc, argv);
+  cli.reject_unknown({"spec", "circuit", "iters", "seed"});
   util::set_log_level(util::LogLevel::Info);
   const std::string circuit_name = cli.get("circuit", "C1");
   const std::string spec_name = cli.get("spec", "S-5");

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   using namespace intooa;
 
   const util::Cli cli(argc, argv);
+  cli.reject_unknown({"spec", "init", "iters", "pool", "seed"});
   util::set_log_level(util::LogLevel::Info);
   const std::string spec_name = cli.get("spec", "S-3");
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);

@@ -1,66 +1,17 @@
 #include "store/record_io.hpp"
 
-#include <bit>
 #include <cstring>
+
+#include "util/wire.hpp"
 
 namespace intooa::store {
 
 namespace {
 
-// The store targets little-endian hosts (every supported platform); the
-// static_assert turns a silent byte-order corruption into a build error.
-static_assert(std::endian::native == std::endian::little,
-              "intooa::store log format assumes a little-endian host");
+using util::WireReader;
+using util::WireWriter;
 
-class Writer {
- public:
-  explicit Writer(std::string& out) : out_(out) {}
-
-  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void f64(double v) { raw(&v, sizeof v); }
-  void str(std::string_view s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.append(s.data(), s.size());
-  }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    out_.append(static_cast<const char*>(p), n);
-  }
-  std::string& out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  bool u8(std::uint8_t& v) { return raw(&v, sizeof v); }
-  bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
-  bool u64(std::uint64_t& v) { return raw(&v, sizeof v); }
-  bool f64(double& v) { return raw(&v, sizeof v); }
-  bool str(std::string& s) {
-    std::uint32_t n = 0;
-    if (!u32(n) || data_.size() - pos_ < n) return false;
-    s.assign(data_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  bool done() const { return pos_ == data_.size(); }
-
- private:
-  bool raw(void* p, std::size_t n) {
-    if (data_.size() - pos_ < n) return false;
-    std::memcpy(p, data_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
-
-void write_point(Writer& w, const sizing::EvalPoint& point) {
+void write_point(WireWriter& w, const sizing::EvalPoint& point) {
   w.u8(point.perf.valid ? 1 : 0);
   w.f64(point.perf.gain_db);
   w.f64(point.perf.gbw_hz);
@@ -72,7 +23,7 @@ void write_point(Writer& w, const sizing::EvalPoint& point) {
   w.u8(point.feasible ? 1 : 0);
 }
 
-bool read_point(Reader& r, sizing::EvalPoint& point) {
+bool read_point(WireReader& r, sizing::EvalPoint& point) {
   std::uint8_t flag = 0;
   if (!r.u8(flag) || flag > 1) return false;
   point.perf.valid = flag == 1;
@@ -97,7 +48,7 @@ std::string encode_record(const core::EvalKey& key,
   std::string out;
   out.reserve(128 + key.fingerprint.size() +
               record.sized.history.size() * 96);
-  Writer w(out);
+  WireWriter w(out);
   w.u64(key.digest);
   w.str(key.fingerprint);
   w.u64(record.topology.index());
@@ -111,7 +62,7 @@ std::string encode_record(const core::EvalKey& key,
 }
 
 std::optional<StoredRecord> decode_record(std::string_view payload) {
-  Reader r(payload);
+  WireReader r(payload);
   StoredRecord out;
   if (!r.u64(out.key.digest)) return std::nullopt;
   if (!r.str(out.key.fingerprint)) return std::nullopt;

@@ -1,0 +1,128 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace intooa::svc {
+
+void Client::connect(const Address& address) {
+  fd_ = connect_to(address);
+  if (!write_all(fd_.get(), encode_frame(MsgType::Hello, encode_hello()))) {
+    fd_.reset();
+    throw std::runtime_error("svc: connection closed during handshake");
+  }
+  Frame frame;
+  const ReadStatus status = read_frame(fd_.get(), frame, kMidFrameGraceMs);
+  if (status != ReadStatus::Ok) {
+    fd_.reset();
+    throw std::runtime_error("svc: no handshake reply from " +
+                             address.to_string());
+  }
+  if (frame.type == MsgType::Error) {
+    const auto error = decode_error(frame.payload);
+    fd_.reset();
+    throw std::runtime_error(
+        "svc: server rejected handshake (" +
+        std::string(error ? error_code_name(error->code) : "malformed") +
+        "): " + (error ? error->message : ""));
+  }
+  if (frame.type != MsgType::HelloOk ||
+      decode_hello_ok(frame.payload) != kProtocolVersion) {
+    fd_.reset();
+    throw std::runtime_error("svc: malformed handshake reply");
+  }
+}
+
+void Client::send_request(const EvalRequest& request) {
+  if (!connected()) throw std::runtime_error("svc: client not connected");
+  if (!write_all(fd_.get(),
+                 encode_frame(MsgType::EvalRequest,
+                              encode_eval_request(request)))) {
+    throw std::runtime_error("svc: connection lost while sending request");
+  }
+}
+
+Reply Client::read_reply(int timeout_ms) {
+  if (!connected()) throw std::runtime_error("svc: client not connected");
+  Frame frame;
+  const ReadStatus status = read_frame(fd_.get(), frame, timeout_ms);
+  if (status == ReadStatus::Timeout) {
+    throw std::runtime_error("svc: timed out waiting for a reply");
+  }
+  if (status != ReadStatus::Ok) {
+    throw std::runtime_error("svc: connection lost while awaiting a reply");
+  }
+  Reply reply;
+  switch (frame.type) {
+    case MsgType::EvalResponse: {
+      const auto response = decode_eval_response(frame.payload);
+      if (!response) {
+        throw std::runtime_error("svc: malformed EvalResponse");
+      }
+      reply.kind = Reply::Kind::Ok;
+      reply.response = std::move(*response);
+      return reply;
+    }
+    case MsgType::Busy: {
+      const auto busy = decode_busy(frame.payload);
+      if (!busy) throw std::runtime_error("svc: malformed Busy reply");
+      reply.kind = Reply::Kind::Busy;
+      reply.busy = *busy;
+      return reply;
+    }
+    case MsgType::Error: {
+      const auto error = decode_error(frame.payload);
+      if (!error) throw std::runtime_error("svc: malformed Error reply");
+      reply.kind = Reply::Kind::Error;
+      reply.error = std::move(*error);
+      return reply;
+    }
+    default:
+      throw std::runtime_error("svc: unexpected reply frame type " +
+                               std::to_string(static_cast<unsigned>(
+                                   frame.type)));
+  }
+}
+
+Reply Client::evaluate(const EvalRequest& request, int timeout_ms) {
+  send_request(request);
+  return read_reply(timeout_ms);
+}
+
+Reply Client::evaluate_with_retry(const EvalRequest& request,
+                                  int max_attempts, int timeout_ms) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Reply reply = evaluate(request, timeout_ms);
+    if (reply.kind != Reply::Kind::Busy) return reply;
+    const int backoff = std::clamp<int>(
+        static_cast<int>(reply.busy.retry_after_ms), 10, 2000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  throw std::runtime_error("svc: server still busy after " +
+                           std::to_string(max_attempts) + " attempts");
+}
+
+bool Client::ping(std::uint64_t nonce, int timeout_ms) {
+  if (!connected()) throw std::runtime_error("svc: client not connected");
+  if (!write_all(fd_.get(), encode_frame(MsgType::Ping, encode_ping(nonce)))) {
+    throw std::runtime_error("svc: connection lost while sending ping");
+  }
+  Frame frame;
+  if (read_frame(fd_.get(), frame, timeout_ms) != ReadStatus::Ok ||
+      frame.type != MsgType::Pong) {
+    return false;
+  }
+  return decode_ping(frame.payload) == nonce;
+}
+
+store::StoredRecord decode_response_record(const EvalResponse& response) {
+  auto decoded = store::decode_record(response.record_payload);
+  if (!decoded) {
+    throw std::runtime_error("svc: response record bytes do not decode");
+  }
+  return std::move(*decoded);
+}
+
+}  // namespace intooa::svc

@@ -1,0 +1,73 @@
+#pragma once
+// svc::Client — the client side of the evaluation service protocol. One
+// Client owns one connection: connect() dials and performs the
+// Hello/HelloOk version handshake; evaluate() is the blocking
+// request/response call used by the CLI and the examples; send_request() /
+// read_reply() expose the pipelined form (many requests in flight on one
+// connection, replies matched by request id) used by the hammer mode.
+//
+// The client never retries by itself: a Busy reply is surfaced to the
+// caller, who owns the backoff policy (evaluate_with_retry implements the
+// standard one). All failures throw std::runtime_error with a message that
+// names the protocol error code when the server sent one.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "store/record_io.hpp"
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace intooa::svc {
+
+/// One reply to an EvalRequest, whichever of the three shapes it took.
+struct Reply {
+  enum class Kind { Ok, Busy, Error } kind = Kind::Error;
+  EvalResponse response;  ///< when kind == Ok
+  BusyReply busy;         ///< when kind == Busy
+  ErrorReply error;       ///< when kind == Error
+};
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Dials `address` and performs the version handshake. Throws
+  /// std::runtime_error on connection failure, a protocol-version
+  /// rejection, or a malformed handshake.
+  void connect(const Address& address);
+
+  bool connected() const { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+  /// Sends one EvalRequest frame (does not wait for the reply).
+  void send_request(const EvalRequest& request);
+
+  /// Blocks for the next reply frame addressed to any outstanding request.
+  /// `timeout_ms` < 0 waits forever. Throws on connection loss, frame
+  /// corruption, or timeout.
+  Reply read_reply(int timeout_ms = -1);
+
+  /// send_request + read_reply for the single-request case.
+  Reply evaluate(const EvalRequest& request, int timeout_ms = -1);
+
+  /// evaluate() with Busy-backoff: sleeps the server's retry hint (bounded
+  /// to [10ms, 2s]) and retries, up to `max_attempts`. Returns the first
+  /// non-Busy reply; throws std::runtime_error when every attempt was
+  /// rejected Busy.
+  Reply evaluate_with_retry(const EvalRequest& request, int max_attempts = 8,
+                            int timeout_ms = -1);
+
+  /// Round-trips a Ping; returns false on nonce mismatch.
+  bool ping(std::uint64_t nonce, int timeout_ms = -1);
+
+ private:
+  Fd fd_;
+};
+
+/// Decodes the record bytes of an Ok reply. Throws std::runtime_error when
+/// the payload does not decode (a server bug or transport corruption).
+store::StoredRecord decode_response_record(const EvalResponse& response);
+
+}  // namespace intooa::svc

@@ -1,0 +1,252 @@
+// intooa-svc-client — CLI front end for the evaluation service. Three
+// modes sharing one request vocabulary:
+//
+//   single (default): one request for (--spec, --topology), one reply
+//   --batch FILE:     one request per file line ("SPEC TOPOLOGY_INDEX";
+//                     '#' starts a comment)
+//   --hammer N:       N concurrent connections splitting the request list
+//                     (the list is the batch file when given, otherwise
+//                     --count consecutive topologies starting at
+//                     --topology), with Busy-backoff retries
+//
+// --verify re-runs every evaluation in-process and byte-compares the local
+// store::encode_record bytes against the server's record payload — the
+// end-to-end determinism check used by the CI smoke. Exit status: 0 when
+// every request was served Ok (and verified, when asked), 1 otherwise.
+//
+// Options: --connect ADDR --spec S-1 --topology N --count N --batch FILE
+//          --hammer N --retries N --timeout-ms MS --verify
+//          --sizing-init N --sizing-iters N --candidates N --refit-every N
+//          plus the standard telemetry flags (--trace --metrics
+//          --log-level).
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/eval_key.hpp"
+#include "obs/telemetry.hpp"
+#include "sizing/sizer.hpp"
+#include "store/record_io.hpp"
+#include "svc/client.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace intooa;
+
+/// One request to issue: the spec name plus the topology index.
+struct Job {
+  std::string spec;
+  std::uint64_t topology_index = 0;
+};
+
+std::vector<Job> read_batch(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open batch file " + path);
+  std::vector<Job> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    Job job;
+    if (!(fields >> job.spec)) continue;  // blank / comment-only line
+    if (!(fields >> job.topology_index)) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": expected 'SPEC TOPOLOGY_INDEX'");
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+svc::EvalRequest make_request(const Job& job, const sizing::SizingConfig& cfg,
+                              std::uint64_t request_id) {
+  svc::EvalRequest request;
+  request.request_id = request_id;
+  request.spec = circuit::spec_by_name(job.spec);
+  request.sizing = cfg;
+  request.topology_index = job.topology_index;
+  return request;
+}
+
+/// Recomputes the evaluation in-process and byte-compares against the
+/// server's record payload. Returns true when identical.
+bool verify_reply(const svc::EvalRequest& request,
+                  const svc::EvalResponse& response) {
+  const sizing::EvalContext context = request.eval_context();
+  const core::EvalKeyContext keys(context, request.sizing);
+  const circuit::Topology topology =
+      circuit::Topology::from_index(request.topology_index);
+  const core::EvalKey key = keys.key_for(topology);
+  util::Rng sizing_rng(key.digest);
+  const sizing::Sizer sizer(context, request.sizing);
+  core::EvalRecord record;
+  record.topology = topology;
+  record.sized = sizer.size(topology, sizing_rng);
+  return store::encode_record(key, record) == response.record_payload;
+}
+
+const char* served_from_name(svc::ServedFrom from) {
+  switch (from) {
+    case svc::ServedFrom::Computed: return "computed";
+    case svc::ServedFrom::Memory: return "memory";
+    case svc::ServedFrom::Store: return "store";
+  }
+  return "?";
+}
+
+struct Tally {
+  std::mutex mutex;
+  std::size_t ok = 0, failed = 0, verified = 0, mismatched = 0;
+};
+
+/// Runs `jobs` sequentially over one connection; updates `tally`.
+void run_jobs(const svc::Address& address, const std::vector<Job>& jobs,
+              std::uint64_t id_base, const sizing::SizingConfig& cfg,
+              int retries, int timeout_ms, bool verify, bool print,
+              Tally& tally) {
+  svc::Client client;
+  client.connect(address);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const svc::EvalRequest request =
+        make_request(jobs[i], cfg, id_base + i + 1);
+    try {
+      const svc::Reply reply =
+          client.evaluate_with_retry(request, retries, timeout_ms);
+      if (reply.kind != svc::Reply::Kind::Ok) {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        ++tally.failed;
+        std::fprintf(stderr, "request %llu (%s topo %llu): %s %s\n",
+                     (unsigned long long)request.request_id,
+                     jobs[i].spec.c_str(),
+                     (unsigned long long)jobs[i].topology_index,
+                     "server error:",
+                     reply.error.message.c_str());
+        continue;
+      }
+      const store::StoredRecord record =
+          svc::decode_response_record(reply.response);
+      const bool identical = verify && verify_reply(request, reply.response);
+      {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        ++tally.ok;
+        if (verify) ++(identical ? tally.verified : tally.mismatched);
+        if (print) {
+          std::printf("%s topo %llu: served=%s feasible=%d fom=%.4f sims=%zu%s\n",
+                      jobs[i].spec.c_str(),
+                      (unsigned long long)jobs[i].topology_index,
+                      served_from_name(reply.response.served_from),
+                      record.record.sized.best.feasible ? 1 : 0,
+                      record.record.sized.best.fom,
+                      record.record.sized.simulations,
+                      !verify ? "" : identical ? " verify=ok"
+                                               : " verify=MISMATCH");
+        }
+      }
+    } catch (const std::exception& error) {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.failed;
+      std::fprintf(stderr, "request %llu: %s\n",
+                   (unsigned long long)(id_base + i + 1), error.what());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    cli.reject_unknown({"connect", "spec", "topology", "count", "batch",
+                        "hammer", "retries", "timeout-ms", "verify",
+                        "sizing-init", "sizing-iters", "candidates",
+                        "refit-every", "trace", "metrics", "log-level"});
+    obs::BenchTelemetry telemetry(
+        obs::TelemetryOptions::from_cli(cli, util::LogLevel::Warn));
+
+    const svc::Address address =
+        svc::Address::parse(cli.get("connect", "unix:intooa-svc.sock"));
+    sizing::SizingConfig cfg;
+    cfg.init_points = cli.get_size("sizing-init", cfg.init_points);
+    cfg.iterations = cli.get_size("sizing-iters", cfg.iterations);
+    cfg.candidates = cli.get_size("candidates", cfg.candidates);
+    cfg.refit_hyper_every =
+        static_cast<int>(cli.get_int("refit-every", cfg.refit_hyper_every));
+    const int retries = static_cast<int>(cli.get_int("retries", 16));
+    const int timeout_ms = static_cast<int>(cli.get_int("timeout-ms", -1));
+    const bool verify = cli.has("verify");
+
+    // Build the request list: batch file, or --count consecutive
+    // topologies starting at --topology.
+    std::vector<Job> jobs;
+    const std::string batch_path = cli.get("batch", "");
+    if (!batch_path.empty()) {
+      jobs = read_batch(batch_path);
+    } else {
+      const std::string spec = cli.get("spec", "S-1");
+      const std::uint64_t base = cli.get_size("topology", 0);
+      const std::size_t count = cli.get_size("count", 1);
+      for (std::size_t i = 0; i < count; ++i) {
+        jobs.push_back({spec, base + i});
+      }
+    }
+    if (jobs.empty()) {
+      std::fprintf(stderr, "intooa-svc-client: nothing to request\n");
+      return 1;
+    }
+
+    Tally tally;
+    const std::size_t hammer = cli.get_size("hammer", 0);
+    if (hammer <= 1) {
+      run_jobs(address, jobs, 0, cfg, retries, timeout_ms, verify,
+               /*print=*/true, tally);
+    } else {
+      // Split the list round-robin across `hammer` connections, one thread
+      // each. Ids are disjoint per worker so replies are attributable.
+      std::vector<std::vector<Job>> split(hammer);
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        split[i % hammer].push_back(jobs[i]);
+      }
+      std::vector<std::thread> workers;
+      std::atomic<int> connect_failures{0};
+      for (std::size_t w = 0; w < hammer; ++w) {
+        workers.emplace_back([&, w] {
+          try {
+            run_jobs(address, split[w], (w + 1) << 32, cfg, retries,
+                     timeout_ms, verify, /*print=*/true, tally);
+          } catch (const std::exception& error) {
+            connect_failures.fetch_add(1);
+            std::fprintf(stderr, "worker %zu: %s\n", w, error.what());
+          }
+        });
+      }
+      for (auto& worker : workers) worker.join();
+      if (connect_failures.load() > 0) tally.failed += 1;
+    }
+
+    std::printf("ok=%zu failed=%zu", tally.ok, tally.failed);
+    if (verify) {
+      std::printf(" verified=%zu mismatched=%zu", tally.verified,
+                  tally.mismatched);
+    }
+    std::printf("\n");
+    const bool success =
+        tally.failed == 0 && tally.ok == jobs.size() && tally.mismatched == 0;
+    return success ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "intooa-svc-client: %s\n", error.what());
+    return 1;
+  }
+}

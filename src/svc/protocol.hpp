@@ -1,0 +1,151 @@
+#pragma once
+// intooa::svc wire protocol — the versioned, length-prefixed binary framing
+// spoken between intooa-served and svc::Client over TCP or Unix-domain
+// sockets (docs/SERVICE.md has the byte-level layout).
+//
+// Every frame is:   u32 payload_len | u8 msg_type | payload[payload_len]
+// with payload_len capped at kMaxFrame; a peer announcing a larger frame is
+// protocol-corrupt and the connection is terminated after an Error reply.
+// A connection opens with a Hello / HelloOk handshake that pins the
+// protocol version; everything after is request/response keyed by a
+// client-chosen u64 request id, so responses may arrive out of order (the
+// server evaluates concurrently across its thread pool).
+//
+// An EvalRequest carries the full evaluation identity — spec, behavioral
+// model, AC options, sizing protocol, topology index — i.e. exactly the
+// inputs of core::EvalKeyContext. The EvalResponse payload embeds the
+// store::encode_record(key, record) bytes unchanged, so a remotely served
+// evaluation is byte-comparable (and byte-identical, by the deterministic
+// sizing discipline) to the same evaluation run in-process.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "circuit/topology.hpp"
+#include "core/evaluator.hpp"
+#include "sizing/evaluate.hpp"
+#include "sizing/sizer.hpp"
+
+namespace intooa::svc {
+
+/// Protocol version; bumped on any frame/message layout change. Hello
+/// carries it and the server rejects mismatches (no negotiation: client and
+/// server builds must agree, like the store log version).
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Handshake magic inside the Hello payload.
+inline constexpr std::string_view kHelloMagic = "intooa-svc";
+
+/// Hard cap on one frame payload. Requests are a few hundred bytes and
+/// responses a few KiB (40-point sizing history); anything near the cap is
+/// corruption or abuse, not traffic.
+inline constexpr std::uint32_t kMaxFrame = 1u << 22;  // 4 MiB
+
+/// Bytes of the fixed frame header (u32 payload_len + u8 msg_type).
+inline constexpr std::size_t kFrameHeaderSize = 5;
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,         ///< client -> server: magic + protocol version
+  HelloOk = 2,       ///< server -> client: version accepted
+  EvalRequest = 3,   ///< client -> server: one evaluation
+  EvalResponse = 4,  ///< server -> client: the stored-record bytes
+  Busy = 5,          ///< server -> client: backpressure, retry later
+  Error = 6,         ///< server -> client: request- or connection-level error
+  Ping = 7,          ///< client -> server: liveness probe
+  Pong = 8,          ///< server -> client: echo of Ping
+};
+
+enum class ErrorCode : std::uint32_t {
+  BadFrame = 1,         ///< unparseable frame or unknown message type
+  VersionMismatch = 2,  ///< Hello magic/version not accepted
+  OversizedFrame = 3,   ///< announced payload_len exceeds kMaxFrame
+  MalformedRequest = 4, ///< EvalRequest payload failed validation
+  Draining = 5,         ///< server is shutting down; no new work accepted
+  Internal = 6,         ///< evaluation failed server-side
+};
+
+/// Name of an error code ("version_mismatch", ...) for logs and CLIs.
+std::string_view error_code_name(ErrorCode code);
+
+/// One evaluation over the wire: the complete input of core::EvalKeyContext
+/// plus the topology. Identical configuration fields produce an identical
+/// EvalKey on the server, hence identical warm-store addressing.
+struct EvalRequest {
+  std::uint64_t request_id = 0;
+  circuit::Spec spec;
+  circuit::BehavioralConfig behavioral;
+  sim::AcOptions ac;
+  sizing::SizingConfig sizing;
+  std::uint64_t topology_index = 0;
+
+  /// The (context, config) pair this request evaluates under.
+  sizing::EvalContext eval_context() const;
+};
+
+/// Where the server answered a request from (reported for observability and
+/// asserted by the warm-serving tests).
+enum class ServedFrom : std::uint8_t { Computed = 0, Memory = 1, Store = 2 };
+
+/// Decoded EvalResponse.
+struct EvalResponse {
+  std::uint64_t request_id = 0;
+  ServedFrom served_from = ServedFrom::Computed;
+  /// store::encode_record(key, record) bytes, verbatim. Decode with
+  /// store::decode_record when the caller wants the structured result.
+  std::string record_payload;
+};
+
+/// Decoded Busy reply.
+struct BusyReply {
+  std::uint64_t request_id = 0;
+  std::uint32_t retry_after_ms = 0;  ///< server's backoff hint
+};
+
+/// Decoded Error reply. request_id == 0 marks a connection-level error
+/// (handshake failure, bad frame) rather than a per-request one.
+struct ErrorReply {
+  std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+};
+
+/// One parsed frame: the type tag plus the raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::Error;
+  std::string payload;
+};
+
+// ---- payload codecs (frame payload <-> message structs) ----
+// Encoders produce payload bytes (no frame header); decoders are fully
+// bounds-checked and return nullopt on any structural defect, trailing
+// bytes included.
+
+std::string encode_hello(std::uint32_t version = kProtocolVersion);
+/// Returns the announced version, or nullopt when magic/shape is wrong.
+std::optional<std::uint32_t> decode_hello(std::string_view payload);
+
+std::string encode_hello_ok(std::uint32_t version = kProtocolVersion);
+std::optional<std::uint32_t> decode_hello_ok(std::string_view payload);
+
+std::string encode_eval_request(const EvalRequest& request);
+std::optional<EvalRequest> decode_eval_request(std::string_view payload);
+
+std::string encode_eval_response(const EvalResponse& response);
+std::optional<EvalResponse> decode_eval_response(std::string_view payload);
+
+std::string encode_busy(const BusyReply& busy);
+std::optional<BusyReply> decode_busy(std::string_view payload);
+
+std::string encode_error(const ErrorReply& error);
+std::optional<ErrorReply> decode_error(std::string_view payload);
+
+std::string encode_ping(std::uint64_t nonce);
+std::optional<std::uint64_t> decode_ping(std::string_view payload);
+
+/// Serializes a complete frame (header + payload) ready for the socket.
+/// Throws std::length_error when payload exceeds kMaxFrame.
+std::string encode_frame(MsgType type, std::string_view payload);
+
+}  // namespace intooa::svc

@@ -1,0 +1,101 @@
+// intooa-served — the long-lived evaluation daemon. Listens on a Unix or
+// TCP endpoint, serves EvalRequest frames from the warm tiers (memory
+// cache, persistent --store file) or computes them on a thread pool, and
+// drains gracefully on SIGTERM/SIGINT: in-flight evaluations finish and
+// flush, new work is refused, and the process exits 0 with every store
+// append fsync'd. docs/SERVICE.md walks through the protocol; run
+//
+//   intooa-served --listen unix:/tmp/intooa.sock --store eval-store.bin
+//
+// and point intooa-svc-client (or any svc::Client) at the same address.
+//
+// Options: --listen ADDR (unix:PATH | tcp:HOST:PORT, default
+//          unix:intooa-svc.sock) --threads N --max-inflight N
+//          --max-connections N --idle-timeout-ms MS --busy-retry-ms MS
+//          --store FILE   plus the standard telemetry flags
+//          (--trace FILE --metrics FILE --log-level LEVEL).
+
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+#include <atomic>
+#include <exception>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "store/store.hpp"
+#include "svc/server.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+// Written once before signals are installed, read only by the handler.
+std::atomic<int> g_wake_fd{-1};
+
+// Async-signal-safe: one byte on the self-pipe asks the server to drain.
+// A second signal while draining force-exits (the escape hatch when an
+// evaluation wedges).
+std::atomic<int> g_signal_count{0};
+void on_signal(int sig) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) > 0) {
+    _exit(128 + sig);
+  }
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace intooa;
+  try {
+    const util::Cli cli(argc, argv);
+    cli.reject_unknown({"listen", "threads", "max-inflight",
+                        "max-connections", "idle-timeout-ms", "busy-retry-ms",
+                        "store", "test-eval-delay-ms", "trace", "metrics",
+                        "log-level"});
+    obs::BenchTelemetry telemetry(
+        obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
+
+    svc::ServerConfig config;
+    config.address =
+        svc::Address::parse(cli.get("listen", "unix:intooa-svc.sock"));
+    config.threads = cli.get_size("threads", 0);
+    config.max_inflight = cli.get_size("max-inflight", 64);
+    config.max_connections = cli.get_size("max-connections", 64);
+    config.idle_timeout_ms =
+        static_cast<int>(cli.get_int("idle-timeout-ms", 60'000));
+    config.busy_retry_ms =
+        static_cast<std::uint32_t>(cli.get_size("busy-retry-ms", 250));
+    // Undocumented test hook used by the CI backpressure smoke.
+    config.test_eval_delay_ms =
+        static_cast<int>(cli.get_int("test-eval-delay-ms", 0));
+    const std::string store_path = cli.get("store", "");
+    if (!store_path.empty()) config.store = store::EvalStore::open(store_path);
+
+    svc::Server server(std::move(config));
+    server.bind();
+    g_wake_fd.store(server.wake_fd(), std::memory_order_relaxed);
+
+    struct sigaction action {};
+    action.sa_handler = on_signal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+
+    if (!store_path.empty()) {
+      util::log_info("intooa-served: warm store attached",
+                     {{"store", store_path}});
+    }
+    server.run();  // returns after a graceful drain
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "intooa-served: %s\n", error.what());
+    return 1;
+  }
+}

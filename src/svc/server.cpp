@@ -1,0 +1,539 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/eval_key.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sizing/sizer.hpp"
+#include "store/record_io.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace intooa::svc {
+
+namespace {
+
+/// Poll slice for connection readers: short enough that drain and idle
+/// checks stay responsive, long enough to cost nothing.
+constexpr int kPollSliceMs = 200;
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::registry().counter("svc.requests");
+  return c;
+}
+obs::Counter& busy_counter() {
+  static obs::Counter& c = obs::registry().counter("svc.busy_rejections");
+  return c;
+}
+obs::Counter& errors_counter() {
+  static obs::Counter& c = obs::registry().counter("svc.errors");
+  return c;
+}
+obs::Counter& connections_counter() {
+  static obs::Counter& c = obs::registry().counter("svc.connections");
+  return c;
+}
+obs::Gauge& inflight_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("svc.inflight");
+  return g;
+}
+obs::Gauge& open_connections_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("svc.open_connections");
+  return g;
+}
+obs::Histogram& request_latency() {
+  static obs::Histogram& h =
+      obs::registry().histogram("svc.request_ns", obs::Unit::Nanoseconds);
+  return h;
+}
+
+obs::Counter& served_counter(ServedFrom from) {
+  static obs::Counter& computed =
+      obs::registry().counter("svc.served_computed");
+  static obs::Counter& memory = obs::registry().counter("svc.served_memory");
+  static obs::Counter& store = obs::registry().counter("svc.served_store");
+  switch (from) {
+    case ServedFrom::Memory: return memory;
+    case ServedFrom::Store: return store;
+    case ServedFrom::Computed: return computed;
+  }
+  return computed;
+}
+
+}  // namespace
+
+/// Requests whose evaluation configuration (EvalKeyContext prefix) is
+/// byte-identical share one shard: one sizer, one response cache, one
+/// in-progress set that deduplicates concurrent evaluations of the same
+/// key (the second requester waits for the first instead of re-sizing).
+struct Server::Shard {
+  explicit Shard(const EvalRequest& request)
+      : context(request.eval_context()),
+        sizer(context, request.sizing),
+        keys(context, request.sizing) {}
+
+  sizing::EvalContext context;
+  sizing::Sizer sizer;
+  core::EvalKeyContext keys;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  /// digest -> encoded store record payload (responses are immutable).
+  std::unordered_map<std::uint64_t, std::string> cache;
+  std::unordered_set<std::uint64_t> in_progress;
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  if (config_.threads == 0) {
+    config_.threads = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+  }
+  if (config_.max_inflight == 0) config_.max_inflight = 1;
+}
+
+Server::~Server() {
+  // A destroyed server must not leave threads running; run() normally joins
+  // them, but guard against a caller that never ran.
+  begin_drain();
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::bind() {
+  if (listen_fd_.valid()) return;
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error(std::string("svc: pipe: ") +
+                             std::strerror(errno));
+  }
+  wake_rx_ = Fd(pipe_fds[0]);
+  wake_tx_ = Fd(pipe_fds[1]);
+  listen_fd_ = listen_on(config_.address);
+  pool_ = std::make_unique<runtime::ThreadPool>(config_.threads);
+  util::log_info("intooa-served listening on " + config_.address.to_string(),
+                 {{"threads", config_.threads},
+                  {"max_inflight", config_.max_inflight},
+                  {"store", config_.store ? config_.store->path() : "(none)"},
+                  {"protocol_version", kProtocolVersion}});
+}
+
+void Server::run() {
+  bind();
+  while (!draining()) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd_.get(), POLLIN, 0};
+    fds[1] = {wake_rx_.get(), POLLIN, 0};
+    const int got = ::poll(fds, 2, -1);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      util::log_error(std::string("svc: accept poll: ") +
+                      std::strerror(errno));
+      break;
+    }
+    if (fds[1].revents != 0) {
+      begin_drain();
+      break;
+    }
+    if (fds[0].revents == 0) continue;
+    Fd client(::accept(listen_fd_.get(), nullptr, nullptr));
+    if (!client.valid()) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      util::log_error(std::string("svc: accept: ") + std::strerror(errno));
+      continue;
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      // Connection-level backpressure: a Busy frame with id 0, then close.
+      const std::string frame = encode_frame(
+          MsgType::Busy, encode_busy({0, config_.busy_retry_ms}));
+      write_all(client.get(), frame);
+      busy_counter().add();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.busy_rejections;
+      }
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(client);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    open_connections_gauge().set(
+        static_cast<double>(open_connections_.load()));
+    connections_counter().add();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable {
+          handle_connection(std::move(conn));
+        });
+  }
+
+  // Drain: every admitted evaluation finishes and flushes its response.
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_.load() == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (auto& thread : connection_threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    connection_threads_.clear();
+  }
+  pool_.reset();  // queue is empty; joins the workers
+  if (config_.address.kind == Address::Kind::Unix) {
+    ::unlink(config_.address.path.c_str());
+  }
+  const ServerStats final = stats();
+  util::log_info("intooa-served drained",
+                 {{"requests", final.requests},
+                  {"ok", final.responses_ok},
+                  {"busy", final.busy_rejections},
+                  {"errors", final.errors},
+                  {"served_memory", final.served_memory},
+                  {"served_store", final.served_store},
+                  {"served_computed", final.served_computed}});
+}
+
+void Server::begin_drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Wake the acceptor (idempotent; harmless when called from run() itself).
+  if (wake_tx_.valid()) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t ignored = ::write(wake_tx_.get(), &byte, 1);
+  }
+  // Wake any run() blocked on inflight (in case nothing is in flight).
+  inflight_cv_.notify_all();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+bool Server::send_frame(const std::shared_ptr<Connection>& conn, MsgType type,
+                        std::string_view payload) {
+  const std::string frame = encode_frame(type, payload);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->broken.load(std::memory_order_relaxed)) return false;
+  if (!write_all(conn->fd.get(), frame)) {
+    conn->broken.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Server::send_error(const std::shared_ptr<Connection>& conn,
+                        std::uint64_t request_id, ErrorCode code,
+                        const std::string& message) {
+  errors_counter().add();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+  }
+  send_frame(conn, MsgType::Error,
+             encode_error({request_id, code, message}));
+}
+
+void Server::handle_connection(std::shared_ptr<Connection> conn) {
+  // Handshake: the first frame must be a Hello with our magic and version.
+  // Waited for in poll slices so a silent client never delays a drain.
+  Frame frame;
+  ReadStatus hello_status = ReadStatus::Timeout;
+  for (int waited = 0; !draining(); waited += kPollSliceMs) {
+    if (config_.idle_timeout_ms >= 0 && waited >= config_.idle_timeout_ms) {
+      break;
+    }
+    hello_status = read_frame(conn->fd.get(), frame, kPollSliceMs);
+    if (hello_status != ReadStatus::Timeout) break;
+  }
+  bool ok = false;
+  if (hello_status == ReadStatus::Ok && frame.type == MsgType::Hello) {
+    if (const auto version = decode_hello(frame.payload)) {
+      if (*version == kProtocolVersion) {
+        ok = send_frame(conn, MsgType::HelloOk, encode_hello_ok());
+      } else {
+        send_error(conn, 0, ErrorCode::VersionMismatch,
+                   "server speaks protocol version " +
+                       std::to_string(kProtocolVersion) + ", client sent " +
+                       std::to_string(*version));
+      }
+    } else {
+      send_error(conn, 0, ErrorCode::VersionMismatch,
+                 "malformed Hello (bad magic)");
+    }
+  } else if (hello_status == ReadStatus::Oversized) {
+    send_error(conn, 0, ErrorCode::OversizedFrame,
+               "frame exceeds " + std::to_string(kMaxFrame) + " bytes");
+  } else if (hello_status == ReadStatus::Ok) {
+    send_error(conn, 0, ErrorCode::BadFrame, "expected Hello");
+  }
+
+  int idle_ms = 0;
+  while (ok && !conn->broken.load(std::memory_order_relaxed)) {
+    const ReadStatus status =
+        read_frame(conn->fd.get(), frame, kPollSliceMs);
+    if (status == ReadStatus::Timeout) {
+      // The drain check rides the timeout so frames already buffered when
+      // the drain began are still read and answered (with Error(draining))
+      // instead of silently dropped.
+      if (draining()) break;  // pending responses are flushed below
+      idle_ms += kPollSliceMs;
+      if (config_.idle_timeout_ms >= 0 && idle_ms >= config_.idle_timeout_ms) {
+        util::log_debug("svc: closing idle connection");
+        break;
+      }
+      continue;
+    }
+    if (status == ReadStatus::Oversized) {
+      send_error(conn, 0, ErrorCode::OversizedFrame,
+                 "frame exceeds " + std::to_string(kMaxFrame) + " bytes");
+      break;
+    }
+    if (status != ReadStatus::Ok) break;  // Closed or Error
+    idle_ms = 0;
+    if (!dispatch(conn, frame)) break;
+  }
+
+  // Never close the socket while admitted evaluations still owe this
+  // connection a response (the drain guarantee).
+  finish_pending(conn);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  open_connections_gauge().set(static_cast<double>(open_connections_.load()));
+}
+
+void Server::finish_pending(const std::shared_ptr<Connection>& conn) {
+  std::unique_lock<std::mutex> lock(conn->pending_mutex);
+  conn->pending_cv.wait(lock, [&] { return conn->pending == 0; });
+}
+
+bool Server::dispatch(const std::shared_ptr<Connection>& conn,
+                      const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::Ping: {
+      if (const auto nonce = decode_ping(frame.payload)) {
+        send_frame(conn, MsgType::Pong, encode_ping(*nonce));
+        return true;
+      }
+      send_error(conn, 0, ErrorCode::BadFrame, "malformed Ping");
+      return false;
+    }
+    case MsgType::EvalRequest: {
+      requests_counter().add();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requests;
+      }
+      std::optional<EvalRequest> request;
+      {
+        INTOOA_SPAN("svc.decode");
+        request = decode_eval_request(frame.payload);
+      }
+      if (!request) {
+        send_error(conn, 0, ErrorCode::BadFrame, "malformed EvalRequest");
+        return false;
+      }
+      if (draining()) {
+        // Refuse and close: the reply tells the client why, and closing
+        // keeps a still-streaming client from delaying the drain.
+        send_error(conn, request->request_id, ErrorCode::Draining,
+                   "server is draining; no new work accepted");
+        return false;
+      }
+      // Bounded admission: grab an in-flight slot or reply Busy now.
+      std::size_t current = inflight_.load(std::memory_order_relaxed);
+      do {
+        if (current >= config_.max_inflight) {
+          busy_counter().add();
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.busy_rejections;
+          }
+          send_frame(conn, MsgType::Busy,
+                     encode_busy({request->request_id,
+                                  config_.busy_retry_ms}));
+          return true;
+        }
+      } while (!inflight_.compare_exchange_weak(current, current + 1,
+                                                std::memory_order_acq_rel));
+      inflight_gauge().set(static_cast<double>(current + 1));
+      {
+        std::lock_guard<std::mutex> lock(conn->pending_mutex);
+        ++conn->pending;
+      }
+      const std::uint64_t admitted_at = obs::detail::monotonic_ns();
+      pool_->submit([this, conn, request = std::move(*request),
+                     admitted_at]() mutable {
+        process_request(std::move(conn), std::move(request), admitted_at);
+      });
+      return true;
+    }
+    default:
+      send_error(conn, 0, ErrorCode::BadFrame,
+                 "unknown message type " +
+                     std::to_string(static_cast<unsigned>(frame.type)));
+      return false;
+  }
+}
+
+void Server::process_request(std::shared_ptr<Connection> conn,
+                             EvalRequest request,
+                             std::uint64_t admitted_at_ns) {
+  try {
+    EvalResponse response = serve_request(request);
+    response.request_id = request.request_id;
+    served_counter(response.served_from).add();
+    std::string payload;
+    {
+      INTOOA_SPAN("svc.encode");
+      payload = encode_eval_response(response);
+    }
+    if (send_frame(conn, MsgType::EvalResponse, payload)) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.responses_ok;
+      switch (response.served_from) {
+        case ServedFrom::Memory: ++stats_.served_memory; break;
+        case ServedFrom::Store: ++stats_.served_store; break;
+        case ServedFrom::Computed: ++stats_.served_computed; break;
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    send_error(conn, request.request_id, ErrorCode::MalformedRequest,
+               e.what());
+  } catch (const std::exception& e) {
+    send_error(conn, request.request_id, ErrorCode::Internal, e.what());
+  }
+  request_latency().record(obs::detail::monotonic_ns() - admitted_at_ns);
+
+  // Release the in-flight slot and this connection's pending count; both
+  // the drain loop and the connection closer may be waiting on them.
+  {
+    std::lock_guard<std::mutex> lock(conn->pending_mutex);
+    --conn->pending;
+  }
+  conn->pending_cv.notify_all();
+  const std::size_t now =
+      inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  inflight_gauge().set(static_cast<double>(now));
+  if (now == 0) {
+    // Pairing the notify with the waiter's mutex closes the window where
+    // run() checks the predicate, we decrement-and-notify, and run() then
+    // sleeps forever.
+    { std::lock_guard<std::mutex> lock(inflight_mutex_); }
+    inflight_cv_.notify_all();
+  }
+}
+
+Server::Shard& Server::shard_for(const EvalRequest& request) {
+  // Cheap probe: building the key context renders the canonical prefix.
+  core::EvalKeyContext probe(request.eval_context(), request.sizing);
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  auto it = shards_.find(probe.prefix());
+  if (it == shards_.end()) {
+    it = shards_
+             .emplace(probe.prefix(), std::make_unique<Shard>(request))
+             .first;
+    util::log_info("svc: new evaluation configuration shard",
+                   {{"spec", request.spec.name},
+                    {"shards", shards_.size()}});
+  }
+  return *it->second;
+}
+
+EvalResponse Server::serve_request(const EvalRequest& request) {
+  INTOOA_SPAN("svc.evaluate");
+  // Validates the topology index (throws std::invalid_argument -> the
+  // MalformedRequest reply).
+  const circuit::Topology topology = circuit::Topology::from_index(
+      static_cast<std::size_t>(request.topology_index));
+  Shard& shard = shard_for(request);
+  const core::EvalKey key = shard.keys.key_for(topology);
+
+  EvalResponse response;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    for (;;) {
+      const auto hit = shard.cache.find(key.digest);
+      if (hit != shard.cache.end()) {
+        response.served_from = ServedFrom::Memory;
+        response.record_payload = hit->second;
+        return response;
+      }
+      if (shard.in_progress.count(key.digest) == 0) break;
+      // Another request is evaluating this exact key: wait for its result
+      // instead of duplicating the sizing work.
+      shard.cv.wait(lock);
+    }
+    shard.in_progress.insert(key.digest);
+  }
+
+  if (config_.test_eval_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.test_eval_delay_ms));
+  }
+
+  core::EvalRecord record;
+  record.topology = topology;
+  response.served_from = ServedFrom::Computed;
+  bool have_record = false;
+  try {
+    if (config_.store) {
+      if (auto stored = config_.store->lookup(key)) {
+        record = std::move(*stored);
+        response.served_from = ServedFrom::Store;
+        have_record = true;
+      }
+    }
+    if (!have_record) {
+      // Deterministic sizing, exactly as core::TopologyEvaluator::evaluate:
+      // the inner BO draws from an RNG seeded by the key digest, so the
+      // result — and its encoding — is a pure function of the key.
+      util::Rng sizing_rng(key.digest);
+      record.sized = shard.sizer.size(topology, sizing_rng);
+      obs::registry().counter("evaluator.sizer_runs").add();
+      obs::registry()
+          .counter("evaluator.simulations")
+          .add(record.sized.simulations);
+      if (config_.store) {
+        try {
+          config_.store->append(key, record);
+        } catch (const std::exception& e) {
+          util::log_warn(
+              std::string("svc: store append failed (result served but not "
+                          "persisted): ") +
+              e.what());
+        }
+      }
+    }
+    response.record_payload = store::encode_record(key, record);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.in_progress.erase(key.digest);
+    shard.cv.notify_all();
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.emplace(key.digest, response.record_payload);
+    shard.in_progress.erase(key.digest);
+  }
+  shard.cv.notify_all();
+  return response;
+}
+
+}  // namespace intooa::svc

@@ -1,0 +1,166 @@
+#pragma once
+// intooa-served's engine: a long-lived evaluation service that accepts
+// EvalRequest frames from many concurrent clients, batches the actual
+// sizing work into a runtime::ThreadPool, and serves warm results from two
+// cache tiers — a per-configuration in-memory response cache and the
+// persistent content-addressed store::EvalStore shared with every offline
+// campaign. Admission is bounded: once `max_inflight` evaluations are
+// queued or running, further requests get an immediate Busy reply
+// (explicit backpressure) instead of unbounded buffering.
+//
+// Threading model: one connection-handler thread per client (blocking
+// frame reads with poll timeouts), evaluation tasks on the shared pool,
+// responses written back under a per-connection mutex (responses to one
+// connection may interleave across requests but never across frames).
+// Responses are keyed by the client's request id and may arrive out of
+// order.
+//
+// Shutdown: begin_drain() — or a byte written to wake_fd(), which is the
+// async-signal-safe spelling used by intooa-served's SIGTERM/SIGINT
+// handler — stops the acceptor, refuses new requests with Error(draining),
+// finishes every admitted evaluation, flushes its response, and returns
+// from run(). Store appends are fsync'd per record (store::EvalStore), so
+// a drained server leaves a durable store behind.
+//
+// Determinism: the service adds no randomness. Sizing draws from an RNG
+// seeded by the evaluation key digest (the same discipline as
+// core::TopologyEvaluator), so a response's record bytes are identical to
+// the same evaluation run in-process — and identical across servers,
+// restarts, and cache tiers.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "store/store.hpp"
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace intooa::svc {
+
+struct ServerConfig {
+  Address address;                 ///< listen endpoint (unix or tcp)
+  std::size_t threads = 0;         ///< eval workers; 0 = hardware concurrency
+  std::size_t max_inflight = 64;   ///< admitted evaluations before Busy
+  std::size_t max_connections = 64;
+  int idle_timeout_ms = 60'000;    ///< close idle connections; <0 = never
+  std::uint32_t busy_retry_ms = 250;  ///< hint carried in Busy replies
+  /// Optional persistent warm tier shared with offline campaigns.
+  std::shared_ptr<store::EvalStore> store;
+  /// Test hook: artificial delay inside every evaluation, used by the
+  /// backpressure/drain tests to hold the queue in a known state. 0 in
+  /// production.
+  int test_eval_delay_ms = 0;
+};
+
+/// Point-in-time server counters (process-local mirror of the svc.*
+/// metrics, exposed for tests and the drain log line).
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t served_memory = 0;
+  std::uint64_t served_store = 0;
+  std::uint64_t served_computed = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. Separate from run() so callers (tests, the daemon)
+  /// know the endpoint accepts connections before spawning clients. Throws
+  /// std::runtime_error when the endpoint cannot be bound.
+  void bind();
+
+  /// Accept loop; blocks until a drain completes. Calls bind() if the
+  /// caller did not.
+  void run();
+
+  /// Starts a graceful drain: stop accepting, refuse new requests, finish
+  /// admitted work, then run() returns. Thread-safe and idempotent, but NOT
+  /// async-signal-safe — from a signal handler, write one byte to
+  /// wake_fd() instead.
+  void begin_drain();
+
+  /// Write end of the self-pipe that triggers begin_drain(); write() to it
+  /// is async-signal-safe. Valid after bind().
+  int wake_fd() const { return wake_tx_.get(); }
+
+  /// True once begin_drain() (or a wake-pipe byte) has been observed.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  /// Per-connection state shared between the reader thread and the pool
+  /// tasks writing responses.
+  struct Connection {
+    Fd fd;
+    std::mutex write_mutex;          ///< one frame at a time on the wire
+    std::mutex pending_mutex;
+    std::condition_variable pending_cv;
+    std::size_t pending = 0;         ///< admitted, response not yet written
+    std::atomic<bool> broken{false};  ///< write failed; stop serving
+  };
+
+  /// Per-evaluation-configuration state: requests with byte-identical
+  /// EvalKeyContext prefixes share one shard (sizer, response cache,
+  /// in-progress dedup).
+  struct Shard;
+
+  void handle_connection(std::shared_ptr<Connection> conn);
+  /// Dispatches one decoded frame; returns false when the connection must
+  /// close (protocol violation).
+  bool dispatch(const std::shared_ptr<Connection>& conn, const Frame& frame);
+  void process_request(std::shared_ptr<Connection> conn, EvalRequest request,
+                       std::uint64_t admitted_at_ns);
+  /// Serves one evaluation through the cache tiers; returns the encoded
+  /// EvalResponse payload. Throws on internal failure.
+  EvalResponse serve_request(const EvalRequest& request);
+  Shard& shard_for(const EvalRequest& request);
+
+  bool send_frame(const std::shared_ptr<Connection>& conn, MsgType type,
+                  std::string_view payload);
+  void send_error(const std::shared_ptr<Connection>& conn,
+                  std::uint64_t request_id, ErrorCode code,
+                  const std::string& message);
+
+  void finish_pending(const std::shared_ptr<Connection>& conn);
+
+  ServerConfig config_;
+  Fd listen_fd_;
+  Fd wake_rx_, wake_tx_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> open_connections_{0};
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+
+  std::mutex shards_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Shard>> shards_;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace intooa::svc

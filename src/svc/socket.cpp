@@ -1,0 +1,235 @@
+#include "svc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace intooa::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+obs::Counter& rx_counter() {
+  static obs::Counter& c = obs::registry().counter("svc.bytes_rx");
+  return c;
+}
+obs::Counter& tx_counter() {
+  static obs::Counter& c = obs::registry().counter("svc.bytes_tx");
+  return c;
+}
+
+/// poll() for readability, riding out EINTR. timeout_ms < 0 = forever.
+/// Returns false on timeout.
+bool wait_readable(int fd, int timeout_ms) {
+  struct pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    const int got = ::poll(&p, 1, timeout_ms);
+    if (got > 0) return true;
+    if (got == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+/// Reads exactly n bytes (blocking, poll-gated). Returns the byte count
+/// actually read: n on success, 0 on clean EOF before any byte, -1 on
+/// error/EOF-mid-buffer/timeout. `first_byte_timeout_ms` applies before the
+/// first byte only; later bytes get kMidFrameGraceMs each.
+ssize_t read_exact(int fd, char* out, std::size_t n,
+                   int first_byte_timeout_ms) {
+  std::size_t got = 0;
+  while (got < n) {
+    const int timeout = got == 0 ? first_byte_timeout_ms : kMidFrameGraceMs;
+    if (!wait_readable(fd, timeout)) return got == 0 ? -2 : -1;
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return -1;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;  // EOF (mid-buffer = torn frame)
+    got += static_cast<std::size_t>(r);
+  }
+  rx_counter().add(n);
+  return static_cast<ssize_t>(n);
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::string Address::to_string() const {
+  if (kind == Kind::Unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Address Address::parse(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("svc: empty address");
+  Address address;
+  std::string rest = text;
+  if (rest.rfind("unix:", 0) == 0) {
+    address.kind = Kind::Unix;
+    address.path = rest.substr(5);
+  } else if (rest.rfind("tcp:", 0) == 0 ||
+             rest.find(':') != std::string::npos) {
+    if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 == rest.size()) {
+      throw std::invalid_argument("svc: tcp address needs host:port, got '" +
+                                  text + "'");
+    }
+    address.kind = Kind::Tcp;
+    address.host = rest.substr(0, colon);
+    if (address.host.empty()) address.host = "127.0.0.1";
+    const std::string port_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+      throw std::invalid_argument("svc: bad tcp port '" + port_text + "'");
+    }
+    address.port = static_cast<std::uint16_t>(port);
+  } else {
+    address.kind = Kind::Unix;
+    address.path = rest;
+  }
+  if (address.kind == Kind::Unix) {
+    if (address.path.empty()) {
+      throw std::invalid_argument("svc: empty unix socket path");
+    }
+    if (address.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::invalid_argument("svc: unix socket path too long: " +
+                                  address.path);
+    }
+  }
+  return address;
+}
+
+Fd listen_on(const Address& address, int backlog) {
+  if (address.kind == Address::Kind::Unix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) fail("svc: socket(AF_UNIX)");
+    ::unlink(address.path.c_str());  // stale socket file from a dead server
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, address.path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      fail("svc: bind " + address.to_string());
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      fail("svc: listen " + address.to_string());
+    }
+    return fd;
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("svc: socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(address.port);
+  if (address.host == "*" || address.host == "0.0.0.0") {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, address.host.c_str(), &sa.sin_addr) != 1) {
+    throw std::runtime_error("svc: cannot parse listen host '" + address.host +
+                             "' (use a dotted-quad IP, 0.0.0.0 or *)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    fail("svc: bind " + address.to_string());
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    fail("svc: listen " + address.to_string());
+  }
+  return fd;
+}
+
+Fd connect_to(const Address& address) {
+  if (address.kind == Address::Kind::Unix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) fail("svc: socket(AF_UNIX)");
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, address.path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) !=
+        0) {
+      fail("svc: connect " + address.to_string());
+    }
+    return fd;
+  }
+  struct addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* info = nullptr;
+  const std::string port = std::to_string(address.port);
+  const int rc =
+      ::getaddrinfo(address.host.c_str(), port.c_str(), &hints, &info);
+  if (rc != 0 || info == nullptr) {
+    throw std::runtime_error("svc: cannot resolve " + address.host + ": " +
+                             ::gai_strerror(rc));
+  }
+  Fd fd(::socket(info->ai_family, info->ai_socktype, info->ai_protocol));
+  if (!fd.valid()) {
+    ::freeaddrinfo(info);
+    fail("svc: socket(AF_INET)");
+  }
+  const int connected = ::connect(fd.get(), info->ai_addr, info->ai_addrlen);
+  ::freeaddrinfo(info);
+  if (connected != 0) fail("svc: connect " + address.to_string());
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+ReadStatus read_frame(int fd, Frame& frame, int idle_timeout_ms) {
+  char header[kFrameHeaderSize];
+  const ssize_t got =
+      read_exact(fd, header, sizeof header, idle_timeout_ms);
+  if (got == 0) return ReadStatus::Closed;
+  if (got == -2) return ReadStatus::Timeout;
+  if (got < 0) return ReadStatus::Error;
+
+  std::uint32_t length = 0;
+  std::memcpy(&length, header, sizeof length);
+  frame.type = static_cast<MsgType>(static_cast<std::uint8_t>(header[4]));
+  if (length > kMaxFrame) return ReadStatus::Oversized;
+  frame.payload.resize(length);
+  if (length > 0 &&
+      read_exact(fd, frame.payload.data(), length, kMidFrameGraceMs) !=
+          static_cast<ssize_t>(length)) {
+    return ReadStatus::Error;
+  }
+  return ReadStatus::Ok;
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t put =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(put);
+  }
+  tx_counter().add(data.size());
+  return true;
+}
+
+}  // namespace intooa::svc

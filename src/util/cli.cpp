@@ -1,10 +1,39 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace intooa::util {
 
+namespace {
+
+/// Levenshtein distance capped at 3 (enough to spot one-slip typos like
+/// "--stroe" for "--store" without quadratic blowup on long flags).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
 Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0 && argv[0] != nullptr) {
+    std::string_view name = argv[0];
+    const auto slash = name.rfind('/');
+    if (slash != std::string_view::npos) name.remove_prefix(slash + 1);
+    if (!name.empty()) program_ = std::string(name);
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -14,9 +43,12 @@ Cli::Cli(int argc, const char* const* argv) {
     std::string key = arg.substr(2);
     const auto eq = key.find('=');
     if (eq != std::string::npos) {
-      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      key.resize(eq);
+      if (values_.count(key) == 0) flag_order_.push_back(key);
+      values_[key] = std::string(arg.substr(2 + eq + 1));
       continue;
     }
+    if (values_.count(key) == 0) flag_order_.push_back(key);
     // "--key value" unless the next token is itself a flag (then boolean).
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[key] = argv[++i];
@@ -24,6 +56,68 @@ Cli::Cli(int argc, const char* const* argv) {
       values_[key] = "";
     }
   }
+}
+
+std::vector<std::string> Cli::unknown_flags(
+    std::span<const std::string_view> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& flag : flag_order_) {
+    bool matched = false;
+    for (const auto entry : known) {
+      if (!entry.empty() && entry.back() == '*') {
+        matched = flag.rfind(entry.substr(0, entry.size() - 1), 0) == 0;
+      } else {
+        matched = flag == entry;
+      }
+      if (matched) break;
+    }
+    if (!matched) unknown.push_back(flag);
+  }
+  return unknown;
+}
+
+std::vector<std::string> Cli::unknown_flags(
+    std::initializer_list<std::string_view> known) const {
+  return unknown_flags(
+      std::span<const std::string_view>(known.begin(), known.size()));
+}
+
+void Cli::reject_unknown(std::span<const std::string_view> known) const {
+  const std::vector<std::string> unknown = unknown_flags(known);
+  if (unknown.empty()) return;
+  for (const auto& flag : unknown) {
+    std::string hint;
+    std::size_t best = 3;  // suggest only close matches
+    for (const auto entry : known) {
+      if (entry.empty() || entry.back() == '*') continue;
+      const std::size_t d = edit_distance(flag, entry);
+      if (d < best) {
+        best = d;
+        hint = std::string(entry);
+      }
+    }
+    if (hint.empty()) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(),
+                   flag.c_str());
+    } else {
+      std::fprintf(stderr, "%s: unknown flag --%s (did you mean --%s?)\n",
+                   program_.c_str(), flag.c_str(), hint.c_str());
+    }
+  }
+  std::string known_list;
+  for (const auto entry : known) {
+    known_list += known_list.empty() ? "--" : ", --";
+    known_list += std::string(entry);
+  }
+  std::fprintf(stderr, "%s: accepted flags: %s\n", program_.c_str(),
+               known_list.c_str());
+  std::exit(2);
+}
+
+void Cli::reject_unknown(
+    std::initializer_list<std::string_view> known) const {
+  reject_unknown(
+      std::span<const std::string_view>(known.begin(), known.size()));
 }
 
 bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }

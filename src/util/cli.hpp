@@ -2,22 +2,31 @@
 // Tiny command-line flag parser shared by the bench binaries and examples.
 // Supports "--key value", "--key=value" and boolean "--flag" forms; anything
 // else is collected as a positional argument.
+//
+// Binaries declare their accepted flags with reject_unknown(): a typo like
+// "--stroe" then fails loudly with exit code 2 and a did-you-mean
+// suggestion instead of being silently ignored (which used to mask typos —
+// a mistyped --store quietly ran the whole campaign without persistence).
 
 #include <cstddef>
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace intooa::util {
 
-/// Parsed command line. Unknown flags are accepted (the benches share a
-/// common option set but each uses only a subset).
+/// Parsed command line. Flags are collected permissively; binaries then
+/// validate them against their accepted set with reject_unknown().
 class Cli {
  public:
-  /// Parses argv (argv[0] is skipped). Throws std::invalid_argument on a
-  /// trailing "--key" with no value when the next token is another flag —
-  /// such keys are treated as boolean instead, so parsing never fails.
+  /// Parses argv (argv[0] is skipped and kept as the program name for
+  /// error messages). Throws std::invalid_argument on a trailing "--key"
+  /// with no value when the next token is another flag — such keys are
+  /// treated as boolean instead, so parsing never fails.
   Cli(int argc, const char* const* argv);
 
   /// True if the flag was present (with or without a value).
@@ -40,8 +49,27 @@ class Cli {
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Flags present on the command line but absent from `known`, in
+  /// parse order. A known entry ending in '*' is a prefix wildcard
+  /// ("benchmark_*" accepts every google-benchmark passthrough flag).
+  std::vector<std::string> unknown_flags(
+      std::span<const std::string_view> known) const;
+  std::vector<std::string> unknown_flags(
+      std::initializer_list<std::string_view> known) const;
+
+  /// Exits 2 with a "<program>: unknown flag --X" diagnostic (plus a
+  /// did-you-mean suggestion when a known flag is within edit distance 2)
+  /// when any parsed flag is not in `known`. Returns normally otherwise.
+  void reject_unknown(std::span<const std::string_view> known) const;
+  void reject_unknown(std::initializer_list<std::string_view> known) const;
+
+  /// The binary name (basename of argv[0]; "cli" when argv is empty).
+  const std::string& program() const { return program_; }
+
  private:
+  std::string program_ = "cli";
   std::map<std::string, std::string> values_;
+  std::vector<std::string> flag_order_;  ///< keys in first-seen parse order
   std::vector<std::string> positional_;
 };
 

@@ -1,0 +1,78 @@
+#pragma once
+// Little-endian binary (de)serialization primitives shared by every wire
+// and on-disk format in the repo: the evaluation-store log payloads
+// (store/record_io) and the evaluation-service frames (svc/protocol).
+// Integers are fixed-width little-endian, doubles are raw IEEE-754 bits
+// (so decoded values reproduce computations byte-for-byte), strings are
+// u32-length-prefixed. Reading is fully bounds-checked: every accessor
+// returns false instead of reading past the end, and a reader that did not
+// consume its input exactly reports !done() — callers treat both as
+// corruption, never as a partial success.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace intooa::util {
+
+// Every supported platform is little-endian; the static_assert turns a
+// silent byte-order corruption into a build error.
+static_assert(std::endian::native == std::endian::little,
+              "intooa wire formats assume a little-endian host");
+
+/// Appends fixed-width values to a byte string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string& out_;
+};
+
+/// Bounds-checked sequential reader over a byte view.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) { return raw(&v, sizeof v); }
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof v); }
+  bool f64(double& v) { return raw(&v, sizeof v); }
+  bool str(std::string& s) {
+    std::uint32_t n = 0;
+    if (!u32(n) || data_.size() - pos_ < n) return false;
+    s.assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  /// True when the input was consumed exactly.
+  bool done() const { return pos_ == data_.size(); }
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace intooa::util

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "circuit/library.hpp"
+#include "core/eval_key.hpp"
 #include "core/candidates.hpp"
 #include "core/evaluator.hpp"
 #include "core/interpret.hpp"
@@ -424,6 +425,73 @@ TEST(Refine, Validation) {
                std::invalid_argument);
   EXPECT_THROW(Refiner(s1_context(), RefineConfig{.max_alternatives = 0}),
                std::invalid_argument);
+}
+
+
+// ---- EvalKey golden values -------------------------------------------------
+// The key digest is the content address of every stored evaluation AND the
+// sizing RNG seed, so it must stay bit-stable across refactors: a silent
+// change would orphan every persistent store file and break the
+// remote-vs-in-process byte-identity contract of intooa::svc. These pins
+// cover representative (spec, behavioral model, AC options, sizing
+// protocol, topology) tuples; if one fails, either restore the canonical
+// serialization or bump the store/protocol versions and document the
+// migration.
+
+TEST(EvalKey, GoldenDigestsAreBitStable) {
+  // Paper-default protocol, S-1, the classic NMC topology.
+  {
+    const core::EvalKeyContext keys(sizing::EvalContext(circuit::spec_by_name("S-1")),
+                                    sizing::SizingConfig{});
+    EXPECT_EQ(keys.key_for(circuit::named_topology("NMC")).digest,
+              0xf9dafad698e30916ULL);
+  }
+  // Quick protocol (5 init + 15 iterations), S-3, topology index 42.
+  {
+    sizing::SizingConfig cfg;
+    cfg.init_points = 5;
+    cfg.iterations = 15;
+    const core::EvalKeyContext keys(sizing::EvalContext(circuit::spec_by_name("S-3")),
+                                    cfg);
+    EXPECT_EQ(keys.key_for(circuit::Topology::from_index(42)).digest,
+              0xd2b4fa8722ae632aULL);
+  }
+  // Custom behavioral model (slower stages) and coarser AC sweep, S-5.
+  {
+    circuit::BehavioralConfig behav;
+    behav.stage_ft_hz = 90e6;
+    sim::AcOptions ac;
+    ac.points_per_decade = 8;
+    const core::EvalKeyContext keys(
+        sizing::EvalContext(circuit::spec_by_name("S-5"), behav, ac),
+        sizing::SizingConfig{});
+    EXPECT_EQ(keys.key_for(circuit::Topology::from_index(0)).digest,
+              0xb6b5f669b3cda582ULL);
+  }
+  // S-2 with the C1 library topology.
+  {
+    const core::EvalKeyContext keys(sizing::EvalContext(circuit::spec_by_name("S-2")),
+                                    sizing::SizingConfig{});
+    EXPECT_EQ(keys.key_for(circuit::named_topology("C1")).digest,
+              0x0a29cd1cdf75c637ULL);
+  }
+}
+
+TEST(EvalKey, DigestSeparatesEveryKeyComponent) {
+  const auto digest_of = [](const std::string& spec,
+                            const sizing::SizingConfig& cfg,
+                            std::size_t topology_index) {
+    const core::EvalKeyContext keys(
+        sizing::EvalContext(circuit::spec_by_name(spec)), cfg);
+    return keys.key_for(circuit::Topology::from_index(topology_index)).digest;
+  };
+  const std::uint64_t base = digest_of("S-1", {}, 7);
+  EXPECT_NE(base, digest_of("S-2", {}, 7));  // spec matters
+  sizing::SizingConfig other;
+  other.iterations = 31;
+  EXPECT_NE(base, digest_of("S-1", other, 7));  // protocol matters
+  EXPECT_NE(base, digest_of("S-1", {}, 8));     // topology matters
+  EXPECT_EQ(base, digest_of("S-1", {}, 7));     // and it is deterministic
 }
 
 }  // namespace

@@ -1,0 +1,461 @@
+// Unit and end-to-end tests for intooa::svc — the wire codec, the socket
+// framing (partial writes, torn frames, oversized frames), the
+// Hello/HelloOk version handshake, bounded admission (Busy backpressure),
+// the cache tiers (memory / persistent store), graceful drain, and the
+// headline determinism contract: a remotely served evaluation is
+// byte-identical to the same evaluation run in-process.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/eval_key.hpp"
+#include "sizing/sizer.hpp"
+#include "store/record_io.hpp"
+#include "store/store.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc/socket.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace intooa;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Fresh unix-socket address for one test (unlinked up front; kept short —
+/// sun_path is ~108 bytes).
+svc::Address fresh_unix(const std::string& name) {
+  const std::string path =
+      temp_path("intooa-" + name + "-" + std::to_string(::getpid()) + ".sock");
+  std::filesystem::remove(path);
+  return svc::Address::parse("unix:" + path);
+}
+
+/// Tiny sizing protocol so an evaluation costs milliseconds, not seconds.
+sizing::SizingConfig tiny_sizing() {
+  sizing::SizingConfig cfg;
+  cfg.init_points = 2;
+  cfg.iterations = 2;
+  cfg.candidates = 16;
+  cfg.refit_hyper_every = 1;
+  return cfg;
+}
+
+svc::EvalRequest tiny_request(std::uint64_t id, std::uint64_t topology_index,
+                              const std::string& spec = "S-1") {
+  svc::EvalRequest request;
+  request.request_id = id;
+  request.spec = circuit::spec_by_name(spec);
+  request.sizing = tiny_sizing();
+  request.topology_index = topology_index;
+  return request;
+}
+
+/// The exact in-process evaluation the server promises to match
+/// byte-for-byte: key-seeded RNG, paper sizer, store encoding.
+std::string evaluate_in_process(const svc::EvalRequest& request) {
+  const sizing::EvalContext context = request.eval_context();
+  const core::EvalKeyContext keys(context, request.sizing);
+  const circuit::Topology topology = circuit::Topology::from_index(
+      static_cast<std::size_t>(request.topology_index));
+  const core::EvalKey key = keys.key_for(topology);
+  util::Rng sizing_rng(key.digest);
+  const sizing::Sizer sizer(context, request.sizing);
+  core::EvalRecord record;
+  record.topology = topology;
+  record.sized = sizer.size(topology, sizing_rng);
+  return store::encode_record(key, record);
+}
+
+/// Server running on its own thread; drains and joins on destruction.
+struct TestServer {
+  svc::Server server;
+  std::thread thread;
+
+  explicit TestServer(svc::ServerConfig config) : server(std::move(config)) {
+    server.bind();
+    thread = std::thread([this] { server.run(); });
+  }
+  ~TestServer() { stop(); }
+  void stop() {
+    if (thread.joinable()) {
+      server.begin_drain();
+      thread.join();
+    }
+  }
+};
+
+svc::ServerConfig base_config(const svc::Address& address) {
+  svc::ServerConfig config;
+  config.address = address;
+  config.threads = 2;
+  return config;
+}
+
+// ---- protocol codec -------------------------------------------------------
+
+TEST(SvcProtocol, HelloRoundTripAndMagicCheck) {
+  const std::string payload = svc::encode_hello(7);
+  EXPECT_EQ(svc::decode_hello(payload), 7u);
+  // A corrupted magic is rejected, not misparsed.
+  std::string bad = payload;
+  bad[0] ^= 0x5a;
+  EXPECT_FALSE(svc::decode_hello(bad).has_value());
+  EXPECT_FALSE(svc::decode_hello("").has_value());
+}
+
+TEST(SvcProtocol, EvalRequestRoundTripsEveryField) {
+  svc::EvalRequest request = tiny_request(42, 137, "S-3");
+  request.ac.points_per_decade = 24;
+  request.ac.check_stability = false;
+  request.behavioral.gm_hi *= 1.5;
+  const auto decoded =
+      svc::decode_eval_request(svc::encode_eval_request(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->topology_index, 137u);
+  EXPECT_EQ(decoded->spec.name, "S-3");
+  EXPECT_EQ(decoded->ac.points_per_decade, 24u);
+  EXPECT_FALSE(decoded->ac.check_stability);
+  EXPECT_EQ(decoded->behavioral.gm_hi, request.behavioral.gm_hi);
+  EXPECT_EQ(decoded->sizing.init_points, request.sizing.init_points);
+  // The decoded request builds the same evaluation key — the property the
+  // warm tiers rely on.
+  const core::EvalKeyContext a(request.eval_context(), request.sizing);
+  const core::EvalKeyContext b(decoded->eval_context(), decoded->sizing);
+  EXPECT_EQ(a.prefix(), b.prefix());
+}
+
+TEST(SvcProtocol, DecodersRejectTruncationAndTrailingBytes) {
+  const std::string payload =
+      svc::encode_eval_request(tiny_request(1, 2));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                payload.size() / 2, payload.size() - 1}) {
+    EXPECT_FALSE(
+        svc::decode_eval_request(payload.substr(0, cut)).has_value())
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(svc::decode_eval_request(payload + "x").has_value());
+
+  const std::string busy = svc::encode_busy({9, 250});
+  EXPECT_FALSE(svc::decode_busy(busy + "x").has_value());
+  const std::string error =
+      svc::encode_error({9, svc::ErrorCode::Draining, "drain"});
+  const auto decoded_error = svc::decode_error(error);
+  ASSERT_TRUE(decoded_error.has_value());
+  EXPECT_EQ(decoded_error->code, svc::ErrorCode::Draining);
+  EXPECT_EQ(decoded_error->message, "drain");
+}
+
+TEST(SvcProtocol, FrameEncoderRejectsOversizedPayload) {
+  EXPECT_THROW(svc::encode_frame(svc::MsgType::Error,
+                                 std::string(svc::kMaxFrame + 1, 'x')),
+               std::length_error);
+}
+
+TEST(SvcProtocol, AddressParsing) {
+  const svc::Address unix_addr = svc::Address::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(unix_addr.kind, svc::Address::Kind::Unix);
+  EXPECT_EQ(unix_addr.path, "/tmp/x.sock");
+  const svc::Address tcp = svc::Address::parse("tcp:127.0.0.1:4815");
+  EXPECT_EQ(tcp.kind, svc::Address::Kind::Tcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 4815);
+  EXPECT_EQ(svc::Address::parse("localhost:80").kind,
+            svc::Address::Kind::Tcp);
+  EXPECT_EQ(svc::Address::parse("/tmp/y.sock").kind,
+            svc::Address::Kind::Unix);
+  EXPECT_THROW(svc::Address::parse(""), std::invalid_argument);
+  EXPECT_THROW(svc::Address::parse("tcp:host:99999"), std::invalid_argument);
+}
+
+// ---- end-to-end -----------------------------------------------------------
+
+TEST(SvcServer, RemoteEvaluationIsByteIdenticalToInProcess) {
+  TestServer ts(base_config(fresh_unix("svc-bytes")));
+  svc::Client client;
+  client.connect(ts.server.config().address);
+
+  const svc::EvalRequest request = tiny_request(1, 5);
+  const svc::Reply reply = client.evaluate(request, 30'000);
+  ASSERT_EQ(reply.kind, svc::Reply::Kind::Ok);
+  EXPECT_EQ(reply.response.request_id, 1u);
+  EXPECT_EQ(reply.response.served_from, svc::ServedFrom::Computed);
+  EXPECT_EQ(reply.response.record_payload, evaluate_in_process(request));
+
+  // Same key again: served from the shard memory cache, same bytes.
+  const svc::Reply warm = client.evaluate(tiny_request(2, 5), 30'000);
+  ASSERT_EQ(warm.kind, svc::Reply::Kind::Ok);
+  EXPECT_EQ(warm.response.served_from, svc::ServedFrom::Memory);
+  EXPECT_EQ(warm.response.record_payload, reply.response.record_payload);
+
+  ts.stop();
+  const svc::ServerStats stats = ts.server.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.responses_ok, 2u);
+  EXPECT_EQ(stats.served_computed, 1u);
+  EXPECT_EQ(stats.served_memory, 1u);
+}
+
+TEST(SvcServer, WarmStoreServesAcrossServerRestarts) {
+  const std::string store_path = temp_path("intooa-svc-store-test.bin");
+  std::filesystem::remove(store_path);
+  const svc::Address address = fresh_unix("svc-warm");
+  const svc::EvalRequest request = tiny_request(1, 9, "S-2");
+  std::string cold_bytes;
+  {
+    svc::ServerConfig config = base_config(address);
+    config.store = store::EvalStore::open(store_path);
+    TestServer ts(std::move(config));
+    svc::Client client;
+    client.connect(address);
+    const svc::Reply reply = client.evaluate(request, 30'000);
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::Ok);
+    EXPECT_EQ(reply.response.served_from, svc::ServedFrom::Computed);
+    cold_bytes = reply.response.record_payload;
+  }
+  {
+    // Fresh server process-equivalent: empty memory cache, same store file.
+    svc::ServerConfig config = base_config(address);
+    config.store = store::EvalStore::open(store_path);
+    TestServer ts(std::move(config));
+    svc::Client client;
+    client.connect(address);
+    const svc::Reply reply = client.evaluate(request, 30'000);
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::Ok);
+    EXPECT_EQ(reply.response.served_from, svc::ServedFrom::Store);
+    EXPECT_EQ(reply.response.record_payload, cold_bytes);
+    ts.stop();
+    EXPECT_EQ(ts.server.stats().served_store, 1u);
+  }
+  std::filesystem::remove(store_path);
+}
+
+TEST(SvcServer, RejectsProtocolVersionMismatch) {
+  TestServer ts(base_config(fresh_unix("svc-version")));
+  svc::Fd fd = svc::connect_to(ts.server.config().address);
+  ASSERT_TRUE(svc::write_all(
+      fd.get(),
+      svc::encode_frame(svc::MsgType::Hello, svc::encode_hello(99))));
+  svc::Frame frame;
+  ASSERT_EQ(svc::read_frame(fd.get(), frame, 10'000), svc::ReadStatus::Ok);
+  ASSERT_EQ(frame.type, svc::MsgType::Error);
+  const auto error = svc::decode_error(frame.payload);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, svc::ErrorCode::VersionMismatch);
+  // The server closes the connection after rejecting the handshake.
+  EXPECT_EQ(svc::read_frame(fd.get(), frame, 10'000),
+            svc::ReadStatus::Closed);
+}
+
+TEST(SvcServer, RejectsOversizedFrames) {
+  TestServer ts(base_config(fresh_unix("svc-oversized")));
+  svc::Fd fd = svc::connect_to(ts.server.config().address);
+  // Hand-rolled header announcing a payload over the cap.
+  const std::uint32_t huge = svc::kMaxFrame + 1;
+  std::string header(4, '\0');
+  std::memcpy(header.data(), &huge, 4);
+  header.push_back(static_cast<char>(svc::MsgType::Hello));
+  ASSERT_TRUE(svc::write_all(fd.get(), header));
+  svc::Frame frame;
+  ASSERT_EQ(svc::read_frame(fd.get(), frame, 10'000), svc::ReadStatus::Ok);
+  ASSERT_EQ(frame.type, svc::MsgType::Error);
+  const auto error = svc::decode_error(frame.payload);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, svc::ErrorCode::OversizedFrame);
+  EXPECT_EQ(svc::read_frame(fd.get(), frame, 10'000),
+            svc::ReadStatus::Closed);
+}
+
+TEST(SvcServer, ReassemblesDribbledFramesAndSurvivesTornOnes) {
+  TestServer ts(base_config(fresh_unix("svc-partial")));
+  const svc::Address& address = ts.server.config().address;
+
+  {
+    // A torn frame: half a Ping header, then a hard close. The server must
+    // treat it as a broken peer, not wedge or crash.
+    svc::Fd torn = svc::connect_to(address);
+    ASSERT_TRUE(svc::write_all(torn.get(), std::string("\x03\x00", 2)));
+  }
+
+  // A peer that dribbles the handshake and a Ping a few bytes at a time
+  // still gets served: read_frame reassembles across short reads.
+  svc::Fd fd = svc::connect_to(address);
+  const std::string hello =
+      svc::encode_frame(svc::MsgType::Hello, svc::encode_hello());
+  const std::string ping =
+      svc::encode_frame(svc::MsgType::Ping, svc::encode_ping(0xA11CE));
+  const std::string bytes = hello + ping;
+  for (std::size_t i = 0; i < bytes.size(); i += 3) {
+    ASSERT_TRUE(svc::write_all(fd.get(), bytes.substr(i, 3)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  svc::Frame frame;
+  ASSERT_EQ(svc::read_frame(fd.get(), frame, 10'000), svc::ReadStatus::Ok);
+  EXPECT_EQ(frame.type, svc::MsgType::HelloOk);
+  ASSERT_EQ(svc::read_frame(fd.get(), frame, 10'000), svc::ReadStatus::Ok);
+  EXPECT_EQ(frame.type, svc::MsgType::Pong);
+  EXPECT_EQ(svc::decode_ping(frame.payload), 0xA11CEu);
+}
+
+TEST(SvcServer, BusyUnderSaturation) {
+  svc::ServerConfig config = base_config(fresh_unix("svc-busy"));
+  config.max_inflight = 1;
+  config.test_eval_delay_ms = 700;
+  config.busy_retry_ms = 123;
+  TestServer ts(std::move(config));
+  svc::Client client;
+  client.connect(ts.server.config().address);
+
+  // Two pipelined requests on one connection: the first takes the only
+  // in-flight slot (and holds it for test_eval_delay_ms), so the second is
+  // rejected Busy immediately — explicit backpressure, not buffering.
+  client.send_request(tiny_request(1, 3));
+  client.send_request(tiny_request(2, 4));
+
+  const svc::Reply first = client.read_reply(30'000);
+  ASSERT_EQ(first.kind, svc::Reply::Kind::Busy);
+  EXPECT_EQ(first.busy.request_id, 2u);
+  EXPECT_EQ(first.busy.retry_after_ms, 123u);
+
+  const svc::Reply second = client.read_reply(30'000);
+  ASSERT_EQ(second.kind, svc::Reply::Kind::Ok);
+  EXPECT_EQ(second.response.request_id, 1u);
+
+  // With the slot free again, the retry path succeeds.
+  const svc::Reply retried =
+      client.evaluate_with_retry(tiny_request(3, 4), 8, 30'000);
+  EXPECT_EQ(retried.kind, svc::Reply::Kind::Ok);
+
+  ts.stop();
+  EXPECT_GE(ts.server.stats().busy_rejections, 1u);
+}
+
+TEST(SvcServer, GracefulDrainFinishesInflightAndRefusesNewWork) {
+  svc::ServerConfig config = base_config(fresh_unix("svc-drain"));
+  config.test_eval_delay_ms = 600;
+  TestServer ts(std::move(config));
+  const std::string socket_path = ts.server.config().address.path;
+  svc::Client client;
+  client.connect(ts.server.config().address);
+
+  client.send_request(tiny_request(1, 6));
+  // Let the request get admitted before the drain begins.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ts.server.begin_drain();
+  client.send_request(tiny_request(2, 7));
+
+  // The post-drain request is refused with Error(draining); the admitted
+  // one still completes and flushes before the connection closes.
+  bool saw_ok = false, saw_draining = false;
+  for (int i = 0; i < 2; ++i) {
+    const svc::Reply reply = client.read_reply(30'000);
+    if (reply.kind == svc::Reply::Kind::Ok) {
+      EXPECT_EQ(reply.response.request_id, 1u);
+      saw_ok = true;
+    } else {
+      ASSERT_EQ(reply.kind, svc::Reply::Kind::Error);
+      EXPECT_EQ(reply.error.request_id, 2u);
+      EXPECT_EQ(reply.error.code, svc::ErrorCode::Draining);
+      saw_draining = true;
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_draining);
+
+  // run() returns (the TestServer join would hang otherwise), the stats
+  // show exactly one served evaluation, and the socket file is gone.
+  ts.stop();
+  const svc::ServerStats stats = ts.server.stats();
+  EXPECT_EQ(stats.responses_ok, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(SvcServer, IdleConnectionsAreClosed) {
+  svc::ServerConfig config = base_config(fresh_unix("svc-idle"));
+  config.idle_timeout_ms = 200;
+  TestServer ts(std::move(config));
+  svc::Client client;
+  client.connect(ts.server.config().address);
+  // Say nothing: the server hangs up after the idle timeout.
+  svc::Fd probe = svc::connect_to(ts.server.config().address);
+  ASSERT_TRUE(svc::write_all(
+      probe.get(), svc::encode_frame(svc::MsgType::Hello,
+                                     svc::encode_hello())));
+  svc::Frame frame;
+  ASSERT_EQ(svc::read_frame(probe.get(), frame, 10'000), svc::ReadStatus::Ok);
+  EXPECT_EQ(frame.type, svc::MsgType::HelloOk);
+  EXPECT_EQ(svc::read_frame(probe.get(), frame, 10'000),
+            svc::ReadStatus::Closed);
+}
+
+TEST(SvcServer, ConcurrentClientsDeduplicateIdenticalKeys) {
+  svc::ServerConfig config = base_config(fresh_unix("svc-dedup"));
+  config.threads = 4;
+  TestServer ts(std::move(config));
+
+  // Four connections hammering the same evaluation concurrently: the shard
+  // in-progress set must collapse them to one compute, and every reply must
+  // carry identical bytes.
+  std::vector<std::string> payloads(4);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      svc::Client client;
+      client.connect(ts.server.config().address);
+      const svc::Reply reply = client.evaluate(
+          tiny_request(static_cast<std::uint64_t>(w + 1), 8), 60'000);
+      if (reply.kind == svc::Reply::Kind::Ok) {
+        payloads[static_cast<std::size_t>(w)] = reply.response.record_payload;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const auto& payload : payloads) {
+    ASSERT_FALSE(payload.empty());
+    EXPECT_EQ(payload, payloads[0]);
+  }
+
+  ts.stop();
+  const svc::ServerStats stats = ts.server.stats();
+  EXPECT_EQ(stats.responses_ok, 4u);
+  // Exactly one physical compute; the rest came from dedup + memory cache.
+  EXPECT_EQ(stats.served_computed +
+                stats.served_memory + stats.served_store,
+            4u);
+  EXPECT_EQ(stats.served_computed, 1u);
+}
+
+TEST(SvcServer, TcpLoopbackRoundTrip) {
+  // Port 0 is not supported by Address (explicit ports only), so probe a
+  // high port and skip gracefully if it is taken.
+  svc::ServerConfig config = base_config(
+      svc::Address::parse("tcp:127.0.0.1:38471"));
+  try {
+    TestServer ts(std::move(config));
+    svc::Client client;
+    client.connect(ts.server.config().address);
+    EXPECT_TRUE(client.ping(77, 10'000));
+    const svc::Reply reply = client.evaluate(tiny_request(1, 2), 30'000);
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::Ok);
+    EXPECT_EQ(reply.response.record_payload,
+              evaluate_in_process(tiny_request(1, 2)));
+  } catch (const std::runtime_error& error) {
+    GTEST_SKIP() << "tcp endpoint unavailable: " << error.what();
+  }
+}
+
+}  // namespace

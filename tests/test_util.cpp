@@ -315,6 +315,45 @@ TEST(Cli, BadNumberThrows) {
   EXPECT_THROW(cli.get_int("runs", 0), std::invalid_argument);
 }
 
+TEST(Cli, UnknownFlagsDetectedInParseOrder) {
+  const char* argv[] = {"/usr/bin/prog", "--runs", "5", "--stroe",
+                        "x.bin", "--benchmark_filter=foo", "--quikc"};
+  const Cli cli(7, argv);
+  EXPECT_EQ(cli.program(), "prog");
+  // Exact names plus a '*' prefix wildcard (google-benchmark passthrough).
+  const auto unknown =
+      cli.unknown_flags({"runs", "store", "quick", "benchmark_*"});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "stroe");
+  EXPECT_EQ(unknown[1], "quikc");
+  EXPECT_TRUE(
+      cli.unknown_flags({"runs", "stroe", "quikc", "benchmark_*"}).empty());
+}
+
+TEST(Cli, RejectUnknownAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--runs=5", "--quick"};
+  const Cli cli(3, argv);
+  cli.reject_unknown({"runs", "quick", "seed"});  // must not exit
+}
+
+// The regression this guards: a typo like "--stroe FILE" used to be
+// silently ignored, running a whole campaign without persistence. Now it
+// must terminate with exit code 2 and a did-you-mean diagnostic.
+TEST(CliDeathTest, RejectUnknownExitsTwoWithSuggestion) {
+  const char* argv[] = {"prog", "--stroe", "x.bin"};
+  const Cli cli(3, argv);
+  EXPECT_EXIT(cli.reject_unknown({"store", "runs"}),
+              testing::ExitedWithCode(2),
+              "unknown flag --stroe \\(did you mean --store\\?\\)");
+}
+
+TEST(CliDeathTest, RejectUnknownWithoutCloseMatchListsAccepted) {
+  const char* argv[] = {"prog", "--zzz"};
+  const Cli cli(2, argv);
+  EXPECT_EXIT(cli.reject_unknown({"store", "runs"}),
+              testing::ExitedWithCode(2), "accepted flags: --store, --runs");
+}
+
 TEST(Log, LevelFiltering) {
   set_log_level(LogLevel::Error);
   EXPECT_EQ(log_level(), LogLevel::Error);
