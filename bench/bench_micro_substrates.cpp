@@ -21,6 +21,7 @@
 #include "gp/wlgp.hpp"
 #include "la/cholesky.hpp"
 #include "la/matrix.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/mna.hpp"
@@ -313,6 +314,35 @@ void BM_StoreLookup(benchmark::State& state) {
   std::filesystem::remove(g_store_path);
 }
 BENCHMARK(BM_StoreLookup)->Arg(100)->Arg(1000);
+
+// ---- observability --------------------------------------------------------
+
+// Cost of one full registry snapshot (merging all 16 per-thread shards of
+// every metric) while the other benchmark threads hammer a counter and a
+// histogram — the contention profile of StatsRequest against a loaded
+// server. Thread 0 snapshots; the rest write.
+void BM_ObsSnapshot(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Counter& counter = obs::registry().counter("bench.obs.snap_counter");
+  obs::Histogram& hist =
+      obs::registry().histogram("bench.obs.snap_ns", obs::Unit::Nanoseconds);
+  if (state.thread_index() == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(obs::snapshot());
+    }
+  } else {
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      counter.add(1);
+      hist.record(i++ & 0xFFFF);
+    }
+  }
+}
+BENCHMARK(BM_ObsSnapshot)
+    ->Unit(benchmark::kMicrosecond)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16);
 
 }  // namespace
 

@@ -12,9 +12,58 @@ namespace {
   throw std::logic_error(std::string("Json: value is not ") + want);
 }
 
+// Length (2..4) of a well-formed UTF-8 sequence starting at s[i], or 0 if
+// the bytes there are not valid UTF-8 (bad lead byte, truncated or wrong
+// continuation bytes, overlong encoding, surrogate, > U+10FFFF).
+std::size_t utf8_sequence_length(const std::string& s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t len = 0;
+  unsigned code = 0;
+  if ((lead & 0xE0) == 0xC0) {
+    len = 2;
+    code = lead & 0x1Fu;
+  } else if ((lead & 0xF0) == 0xE0) {
+    len = 3;
+    code = lead & 0x0Fu;
+  } else if ((lead & 0xF8) == 0xF0) {
+    len = 4;
+    code = lead & 0x07u;
+  } else {
+    return 0;  // lone continuation byte or invalid lead (0x80-0xC1, 0xF8+)
+  }
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) return 0;
+    code = (code << 6) | (byte(i + k) & 0x3Fu);
+  }
+  static constexpr unsigned kMinCode[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (code < kMinCode[len]) return 0;                 // overlong
+  if (code >= 0xD800 && code <= 0xDFFF) return 0;     // surrogate
+  if (code > 0x10FFFF) return 0;                      // beyond Unicode
+  return len;
+}
+
 void append_escaped(std::string& out, const std::string& s) {
   out.push_back('"');
-  for (char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x80) {
+      // Pass well-formed UTF-8 through verbatim; replace anything else with
+      // U+FFFD so the output is always valid JSON (and valid UTF-8).
+      if (const std::size_t len = utf8_sequence_length(s, i); len != 0) {
+        out.append(s, i, len);
+        i += len;
+      } else {
+        out += "\xEF\xBF\xBD";
+        ++i;
+      }
+      continue;
+    }
+    ++i;
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -22,9 +71,9 @@ void append_escaped(std::string& out, const std::string& s) {
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        if (u < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
           out += buf;
         } else {
           out.push_back(c);

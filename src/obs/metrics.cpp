@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 
@@ -75,6 +77,33 @@ void Histogram::record_always(std::uint64_t v) {
   while (v > seen &&
          !shard.max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  // Target rank in (0, count]; walk cumulative counts to the bucket that
+  // holds it, then interpolate linearly across that bucket's value range.
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  double estimate = static_cast<double>(max);
+  for (const auto& [bucket, n] : buckets) {
+    const double next = cumulative + static_cast<double>(n);
+    if (rank <= next) {
+      // Bucket b > 0 spans [2^(b-1), 2^b); bucket 0 holds only the value 0.
+      const double lo = bucket == 0 ? 0.0 : std::ldexp(1.0, bucket - 1);
+      const double hi = bucket == 0 ? 0.0 : std::ldexp(1.0, bucket);
+      const double frac = (rank - cumulative) / static_cast<double>(n);
+      estimate = lo + frac * (hi - lo);
+      break;
+    }
+    cumulative = next;
+  }
+  // The exact extremes are tracked; clamping makes single-sample and
+  // single-bucket-tail estimates exact instead of bucket-boundary guesses.
+  return std::clamp(estimate, static_cast<double>(min),
+                    static_cast<double>(max));
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -179,6 +208,8 @@ Registry& registry() {
   static Registry* instance = new Registry();
   return *instance;
 }
+
+MetricsSnapshot snapshot() { return registry().snapshot(); }
 
 Json MetricsSnapshot::to_json() const {
   Json root = Json::object();

@@ -92,6 +92,12 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+  /// Estimates the q-quantile (q in [0, 1]) by walking the cumulative
+  /// bucket counts and interpolating linearly inside the target bucket,
+  /// clamped to the exact [min, max] — so a single-sample histogram is
+  /// exact and the error is bounded by one log2 bucket width. Returns 0
+  /// for an empty histogram.
+  double quantile(double q) const;
   friend bool operator==(const HistogramSnapshot&,
                          const HistogramSnapshot&) = default;
 };
@@ -165,5 +171,10 @@ class Registry {
 
 /// The process-wide registry all instrumentation writes to.
 Registry& registry();
+
+/// Consistent point-in-time view of the process-wide registry (all 16
+/// per-thread shards merged). Shorthand for registry().snapshot(), the
+/// entry point live exposition (StatsResponse, --stats-file) is built on.
+MetricsSnapshot snapshot();
 
 }  // namespace intooa::obs

@@ -1,12 +1,14 @@
 #pragma once
 // Umbrella header for intooa::obs — the observability subsystem: metrics
 // registry (obs/metrics.hpp), RAII spans (obs/span.hpp), Chrome trace
-// output (obs/trace.hpp), telemetry reports (obs/report.hpp) and bench CLI
-// wiring (obs/telemetry.hpp). See docs/OBSERVABILITY.md for the metric
-// name catalogue.
+// output (obs/trace.hpp), Prometheus exposition (obs/prometheus.hpp),
+// telemetry reports (obs/report.hpp) and bench CLI wiring
+// (obs/telemetry.hpp). See docs/OBSERVABILITY.md for the metric name
+// catalogue.
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"

@@ -1,0 +1,101 @@
+#include "obs/prometheus.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace intooa::obs {
+
+namespace {
+
+void append_value(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc()) out.append(buf, ptr);
+}
+
+void append_header(std::string& out, const std::string& series,
+                   std::string_view source, std::string_view type) {
+  out += "# HELP ";
+  out += series;
+  out += " intooa metric ";
+  out += source;
+  out.push_back('\n');
+  out += "# TYPE ";
+  out += series;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+void append_quantile(std::string& out, const std::string& series,
+                     const char* q, double v) {
+  out += series;
+  out += "{quantile=\"";
+  out += q;
+  out += "\"} ";
+  append_value(out, v);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "intooa_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string series = prometheus_name(name) + "_total";
+    append_header(out, series, name, "counter");
+    out += series;
+    out.push_back(' ');
+    append_value(out, static_cast<double>(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string series = prometheus_name(name);
+    append_header(out, series, name, "gauge");
+    out += series;
+    out.push_back(' ');
+    append_value(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string series = prometheus_name(name);
+    append_header(out, series, name, "summary");
+    if (hist.count > 0) {
+      append_quantile(out, series, "0", static_cast<double>(hist.min));
+      append_quantile(out, series, "0.5", hist.quantile(0.5));
+      append_quantile(out, series, "0.9", hist.quantile(0.9));
+      append_quantile(out, series, "0.99", hist.quantile(0.99));
+      append_quantile(out, series, "1", static_cast<double>(hist.max));
+    }
+    out += series;
+    out += "_sum ";
+    append_value(out, static_cast<double>(hist.sum));
+    out.push_back('\n');
+    out += series;
+    out += "_count ";
+    append_value(out, static_cast<double>(hist.count));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace intooa::obs

@@ -1,0 +1,33 @@
+#pragma once
+// Prometheus text-exposition rendering of a MetricsSnapshot, for live
+// scraping of intooa-served (StatsResponse --prometheus view and the
+// --stats-file periodic writer). Dependency-free: emits text format
+// version 0.0.4 directly.
+//
+// Naming scheme: every series is `intooa_` + the metric name with every
+// byte outside [a-zA-Z0-9_:] replaced by '_' (so `svc.request_ns` becomes
+// `intooa_svc_request_ns`). Counters additionally get the conventional
+// `_total` suffix — which also keeps the counter `svc.connections`
+// (accepted over the lifetime) and the gauge `svc.connections` (open right
+// now) as distinct series. Histograms render as summaries: quantile="0.5",
+// "0.9", "0.99" from HistogramSnapshot::quantile plus quantile="0"/"1"
+// (exact min/max), then `_sum` and `_count`; an empty histogram emits only
+// `_sum 0` / `_count 0`.
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace intooa::obs {
+
+/// Maps a registry metric name to its Prometheus series name (sanitized,
+/// `intooa_`-prefixed; no `_total` suffix — the renderer adds that for
+/// counters).
+std::string prometheus_name(std::string_view name);
+
+/// Renders the snapshot in Prometheus text-exposition format, one
+/// `# HELP`/`# TYPE` pair per series, ending with a trailing newline.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace intooa::obs

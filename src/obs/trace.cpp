@@ -48,6 +48,33 @@ void append_escaped_name(std::string& out, const char* name) {
   }
 }
 
+/// Ids are emitted as quoted hex strings: Chrome's "id" field accepts
+/// strings, and doubles cannot hold a full u64.
+void append_hex_id(std::string& out, std::uint64_t id) {
+  char buf[19] = "0x";
+  const auto [ptr, ec] = std::to_chars(buf + 2, buf + sizeof(buf), id, 16);
+  out.append(buf, ec == std::errc() ? static_cast<std::size_t>(ptr - buf) : 3);
+}
+
+/// One flow event ("ph":"s" starts an arrow, "ph":"f" with "bp":"e" ends it
+/// at the enclosing slice). `ts` must fall inside the slice that anchors it.
+void append_flow(std::string& line, char phase, std::uint64_t id, int pid,
+                 int tid, std::uint64_t ts_ns) {
+  line += ",\n{\"name\":\"svc.request\",\"cat\":\"intooa\",\"ph\":\"";
+  line.push_back(phase);
+  line += "\",\"id\":\"";
+  append_hex_id(line, id);
+  line += "\"";
+  if (phase == 'f') line += ",\"bp\":\"e\"";
+  line += ",\"pid\":";
+  line += std::to_string(pid);
+  line += ",\"tid\":";
+  line += std::to_string(tid);
+  line += ",\"ts\":";
+  append_us(line, ts_ns);
+  line += "}";
+}
+
 }  // namespace
 
 bool trace_enabled() {
@@ -70,6 +97,15 @@ void stop_trace() { g_trace_enabled.store(false, std::memory_order_relaxed); }
 
 void trace_record(const char* name, std::uint64_t start_ns,
                   std::uint64_t duration_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.tid = util::thread_ordinal();
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  trace_record_event(event);
+}
+
+void trace_record_event(const TraceEvent& event) {
   if (!trace_enabled()) return;
   TraceBuffer& buf = buffer();
   std::lock_guard<std::mutex> lock(buf.mutex);
@@ -77,8 +113,7 @@ void trace_record(const char* name, std::uint64_t start_ns,
     ++buf.dropped;
     return;
   }
-  buf.events.push_back(
-      TraceEvent{name, util::thread_ordinal(), start_ns, duration_ns});
+  buf.events.push_back(event);
 }
 
 std::size_t trace_event_count() {
@@ -111,16 +146,23 @@ bool write_trace(const std::string& path) {
   out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
       << buf.dropped << "},\n\"traceEvents\":[\n";
   int max_tid = 0;
+  bool has_remote = false;
   for (const TraceEvent& event : buf.events) {
-    if (event.tid > max_tid) max_tid = event.tid;
+    if (event.pid == kLocalPid && event.tid > max_tid) max_tid = event.tid;
+    if (event.pid != kLocalPid) has_remote = true;
   }
   bool first = true;
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kLocalPid
+      << ",\"tid\":0,\"args\":{\"name\":\"intooa\"}}";
+  first = false;
+  if (has_remote) {
+    out << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kRemotePid
+        << ",\"tid\":0,\"args\":{\"name\":\"intooa-served (remote)\"}}";
+  }
   for (int tid = 0; tid <= max_tid; ++tid) {
-    if (!first) out << ",\n";
-    first = false;
-    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-        << ",\"args\":{\"name\":\"" << (tid == 0 ? "main" : "worker")
-        << "\"}}";
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kLocalPid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+        << (tid == 0 ? "main" : "worker") << "\"}}";
   }
   for (const TraceEvent& event : buf.events) {
     line.clear();
@@ -128,13 +170,34 @@ bool write_trace(const std::string& path) {
     first = false;
     line += "{\"name\":\"";
     append_escaped_name(line, event.name);
-    line += "\",\"cat\":\"intooa\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    line += "\",\"cat\":\"intooa\",\"ph\":\"X\",\"pid\":";
+    line += std::to_string(event.pid);
+    line += ",\"tid\":";
     line += std::to_string(event.tid);
     line += ",\"ts\":";
     append_us(line, event.start_ns);
     line += ",\"dur\":";
     append_us(line, event.duration_ns);
+    if (event.trace_id != 0 || event.span_id != 0) {
+      line += ",\"args\":{\"trace_id\":\"";
+      append_hex_id(line, event.trace_id);
+      line += "\",\"span_id\":\"";
+      append_hex_id(line, event.span_id);
+      line += "\"}";
+    }
     line += "}";
+    // Flow arrows bind to the slice just emitted: the start anchors at the
+    // slice end (request leaves here), the finish at the slice start.
+    if (event.flow_out != 0) {
+      append_flow(line, 's', event.flow_out, event.pid, event.tid,
+                  event.start_ns + event.duration_ns > 0
+                      ? event.start_ns + event.duration_ns - 1
+                      : event.start_ns);
+    }
+    if (event.flow_in != 0) {
+      append_flow(line, 'f', event.flow_in, event.pid, event.tid,
+                  event.start_ns);
+    }
     out << line;
   }
   out << "\n]}\n";

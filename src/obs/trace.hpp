@@ -15,13 +15,25 @@
 
 namespace intooa::obs {
 
+/// Process row the event renders under. Local spans live on kLocalPid;
+/// spans reconstructed from a server's response trailer (svc::Client with
+/// tracing on) land on kRemotePid so the merged view shows two process
+/// lanes linked by flow arrows.
+inline constexpr int kLocalPid = 1;
+inline constexpr int kRemotePid = 2;
+
 /// One buffered span occurrence. `name` must point at storage that outlives
 /// the trace session; INTOOA_SPAN sites pass string literals.
 struct TraceEvent {
   const char* name = nullptr;
+  int pid = kLocalPid;
   int tid = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
+  std::uint64_t flow_in = 0;   ///< nonzero: a flow with this id ends here
+  std::uint64_t flow_out = 0;  ///< nonzero: a flow with this id starts here
+  std::uint64_t trace_id = 0;  ///< cross-process trace id (args; 0 = none)
+  std::uint64_t span_id = 0;   ///< this span's id (args; 0 = none)
 };
 
 inline constexpr std::size_t kDefaultEventCapacity = 1u << 20;
@@ -40,6 +52,11 @@ void stop_trace();
 /// Appends one event if collection is on and capacity remains.
 void trace_record(const char* name, std::uint64_t start_ns,
                   std::uint64_t duration_ns);
+
+/// Same, with every TraceEvent field caller-controlled (pid, flow links,
+/// propagated trace/span ids). `event.tid` is used as given — pass
+/// util::thread_ordinal() for local spans.
+void trace_record_event(const TraceEvent& event);
 
 /// Number of buffered events / events dropped after the buffer filled.
 std::size_t trace_event_count();

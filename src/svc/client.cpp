@@ -1,11 +1,29 @@
 #include "svc/client.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
 namespace intooa::svc {
+
+namespace {
+
+/// Per-request trace and span ids: a relaxed atomic counter, never
+/// util::Rng (ids must not perturb any random stream). Each traced request
+/// gets a fresh trace id, which doubles as the flow id linking the client
+/// request span to the server's evaluate span.
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 void Client::connect(const Address& address) {
   fd_ = connect_to(address);
@@ -28,18 +46,33 @@ void Client::connect(const Address& address) {
         std::string(error ? error_code_name(error->code) : "malformed") +
         "): " + (error ? error->message : ""));
   }
-  if (frame.type != MsgType::HelloOk ||
-      decode_hello_ok(frame.payload) != kProtocolVersion) {
+  const auto hello =
+      frame.type == MsgType::HelloOk ? decode_hello_ok(frame.payload)
+                                     : std::nullopt;
+  if (!hello || hello->version != kProtocolVersion) {
     fd_.reset();
     throw std::runtime_error("svc: malformed handshake reply");
   }
+  server_minor_ = hello->minor;
 }
 
 void Client::send_request(const EvalRequest& request) {
   if (!connected()) throw std::runtime_error("svc: client not connected");
+  const EvalRequest* to_send = &request;
+  EvalRequest traced_request;
+  if (obs::trace_enabled() && server_minor_ >= 1 && !request.trace) {
+    traced_request = request;
+    TracedRequest traced;
+    traced.sent_ns = obs::detail::monotonic_ns();
+    traced.trace_id = next_trace_id();
+    traced.span_id = next_trace_id();
+    traced_request.trace = TraceContext{traced.trace_id, traced.span_id};
+    traced_[request.request_id] = traced;
+    to_send = &traced_request;
+  }
   if (!write_all(fd_.get(),
                  encode_frame(MsgType::EvalRequest,
-                              encode_eval_request(request)))) {
+                              encode_eval_request(*to_send)))) {
     throw std::runtime_error("svc: connection lost while sending request");
   }
 }
@@ -57,9 +90,17 @@ Reply Client::read_reply(int timeout_ms) {
   Reply reply;
   switch (frame.type) {
     case MsgType::EvalResponse: {
-      const auto response = decode_eval_response(frame.payload);
+      auto response = decode_eval_response(frame.payload);
       if (!response) {
         throw std::runtime_error("svc: malformed EvalResponse");
+      }
+      const auto traced = traced_.find(response->request_id);
+      if (traced != traced_.end()) {
+        if (response->timings) {
+          record_merged_spans(traced->second, *response->timings,
+                              obs::detail::monotonic_ns());
+        }
+        traced_.erase(traced);
       }
       reply.kind = Reply::Kind::Ok;
       reply.response = std::move(*response);
@@ -68,6 +109,7 @@ Reply Client::read_reply(int timeout_ms) {
     case MsgType::Busy: {
       const auto busy = decode_busy(frame.payload);
       if (!busy) throw std::runtime_error("svc: malformed Busy reply");
+      traced_.erase(busy->request_id);
       reply.kind = Reply::Kind::Busy;
       reply.busy = *busy;
       return reply;
@@ -75,6 +117,7 @@ Reply Client::read_reply(int timeout_ms) {
     case MsgType::Error: {
       const auto error = decode_error(frame.payload);
       if (!error) throw std::runtime_error("svc: malformed Error reply");
+      traced_.erase(error->request_id);
       reply.kind = Reply::Kind::Error;
       reply.error = std::move(*error);
       return reply;
@@ -115,6 +158,91 @@ bool Client::ping(std::uint64_t nonce, int timeout_ms) {
     return false;
   }
   return decode_ping(frame.payload) == nonce;
+}
+
+void Client::record_merged_spans(const TracedRequest& traced,
+                                 const ServerTimings& timings,
+                                 std::uint64_t received_ns) {
+  if (!obs::trace_enabled()) return;
+  // The client request span, on the local process row. Its flow arrow
+  // (id = trace id) lands on the server's evaluate span.
+  obs::TraceEvent request_span;
+  request_span.name = "svc.client.request";
+  request_span.tid = util::thread_ordinal();
+  request_span.start_ns = traced.sent_ns;
+  request_span.duration_ns =
+      received_ns > traced.sent_ns ? received_ns - traced.sent_ns : 0;
+  request_span.trace_id = traced.trace_id;
+  request_span.span_id = traced.span_id;
+  request_span.flow_out = traced.trace_id;
+  obs::trace_record_event(request_span);
+
+  // The server's stage spans, reconstructed from the response trailer on
+  // the remote-process row. The two clocks are unrelated, so the stages
+  // are laid back-to-back and centered inside the client span (the
+  // remaining slack is symmetric transport time) — an approximation that
+  // preserves every duration exactly.
+  const std::uint64_t server_total = timings.decode_ns + timings.queue_ns +
+                                     timings.eval_ns + timings.encode_ns;
+  std::uint64_t offset = 0;
+  if (request_span.duration_ns > server_total) {
+    offset = (request_span.duration_ns - server_total) / 2;
+  }
+  std::uint64_t cursor = traced.sent_ns + offset;
+  const auto stage = [&](const char* name, std::uint64_t duration_ns,
+                         bool is_evaluate) {
+    obs::TraceEvent event;
+    event.name = name;
+    event.pid = obs::kRemotePid;
+    event.tid = 0;
+    event.start_ns = cursor;
+    event.duration_ns = duration_ns;
+    event.trace_id = timings.trace_id;
+    event.span_id = timings.server_span_id;
+    if (is_evaluate) event.flow_in = traced.trace_id;
+    obs::trace_record_event(event);
+    cursor += duration_ns;
+  };
+  stage("svc.server.decode", timings.decode_ns, false);
+  stage("svc.server.queue", timings.queue_ns, false);
+  stage("svc.server.evaluate", timings.eval_ns, true);
+  stage("svc.server.encode", timings.encode_ns, false);
+}
+
+std::string Client::stats_json(bool include_flight, int timeout_ms) {
+  if (!connected()) throw std::runtime_error("svc: client not connected");
+  if (server_minor_ < 1) {
+    throw std::runtime_error(
+        "svc: server is a protocol-1.0 build without stats support");
+  }
+  StatsRequest request;
+  request.request_id = next_stats_id_++;
+  request.include_flight = include_flight;
+  if (!write_all(fd_.get(), encode_frame(MsgType::StatsRequest,
+                                         encode_stats_request(request)))) {
+    throw std::runtime_error("svc: connection lost while requesting stats");
+  }
+  Frame frame;
+  const ReadStatus status = read_frame(fd_.get(), frame, timeout_ms);
+  if (status != ReadStatus::Ok) {
+    throw std::runtime_error("svc: no stats reply");
+  }
+  if (frame.type == MsgType::Error) {
+    const auto error = decode_error(frame.payload);
+    throw std::runtime_error(
+        "svc: stats request rejected (" +
+        std::string(error ? error_code_name(error->code) : "malformed") +
+        "): " + (error ? error->message : ""));
+  }
+  if (frame.type != MsgType::StatsResponse) {
+    throw std::runtime_error("svc: unexpected stats reply frame type " +
+                             std::to_string(static_cast<unsigned>(frame.type)));
+  }
+  auto response = decode_stats_response(frame.payload);
+  if (!response || response->request_id != request.request_id) {
+    throw std::runtime_error("svc: malformed StatsResponse");
+  }
+  return std::move(response->stats_json);
 }
 
 store::StoredRecord decode_response_record(const EvalResponse& response) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "store/record_io.hpp"
 #include "svc/protocol.hpp"
@@ -41,7 +42,15 @@ class Client {
   bool connected() const { return fd_.valid(); }
   void close() { fd_.reset(); }
 
-  /// Sends one EvalRequest frame (does not wait for the reply).
+  /// Minor protocol revision the server announced in HelloOk (0 for a
+  /// version-1.0 server, which supports neither stats nor trace context).
+  std::uint32_t server_minor() const { return server_minor_; }
+
+  /// Sends one EvalRequest frame (does not wait for the reply). When span
+  /// collection is on (obs::trace_enabled()) and the server announced
+  /// minor >= 1, a fresh trace context is attached so read_reply() can
+  /// merge the server's stage spans into the local Chrome trace — the
+  /// evaluation result is byte-identical either way.
   void send_request(const EvalRequest& request);
 
   /// Blocks for the next reply frame addressed to any outstanding request.
@@ -62,8 +71,30 @@ class Client {
   /// Round-trips a Ping; returns false on nonce mismatch.
   bool ping(std::uint64_t nonce, int timeout_ms = -1);
 
+  /// Round-trips a StatsRequest and returns the server's stats document
+  /// (JSON text; parse with obs::Json). Throws std::runtime_error when the
+  /// server is a 1.0 build (server_minor() == 0) or on transport failure.
+  std::string stats_json(bool include_flight = false, int timeout_ms = -1);
+
  private:
+  /// Client-side bookkeeping for one traced in-flight request.
+  struct TracedRequest {
+    std::uint64_t sent_ns = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;  ///< the client request span's id
+  };
+
+  /// Records the merged client+server spans for one Ok reply carrying
+  /// server timings.
+  void record_merged_spans(const TracedRequest& traced,
+                           const ServerTimings& timings,
+                           std::uint64_t received_ns);
+
   Fd fd_;
+  std::uint32_t server_minor_ = 0;
+  std::uint64_t next_stats_id_ = 1;
+  /// request id -> trace bookkeeping; entries only exist while tracing.
+  std::unordered_map<std::uint64_t, TracedRequest> traced_;
 };
 
 /// Decodes the record bytes of an Ok reply. Throws std::runtime_error when

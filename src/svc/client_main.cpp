@@ -14,6 +14,15 @@
 // end-to-end determinism check used by the CI smoke. Exit status: 0 when
 // every request was served Ok (and verified, when asked), 1 otherwise.
 //
+// A fourth mode queries a live server's telemetry instead of evaluating:
+//
+//   stats [--watch N] [--prometheus | --json] [--flight]
+//
+// prints the server's metrics snapshot (human table by default, Prometheus
+// text exposition with --prometheus, the raw StatsResponse JSON with
+// --json; --flight appends the request flight recorder; --watch N repeats
+// every N seconds until interrupted). Requires a minor >= 1 server.
+//
 // Options: --connect ADDR --spec S-1 --topology N --count N --batch FILE
 //          --hammer N --retries N --timeout-ms MS --verify
 //          --sizing-init N --sizing-iters N --candidates N --refit-every N
@@ -21,6 +30,7 @@
 //          --log-level).
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -31,6 +41,9 @@
 #include <vector>
 
 #include "core/eval_key.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/telemetry.hpp"
 #include "sizing/sizer.hpp"
 #include "store/record_io.hpp"
@@ -98,15 +111,6 @@ bool verify_reply(const svc::EvalRequest& request,
   return store::encode_record(key, record) == response.record_payload;
 }
 
-const char* served_from_name(svc::ServedFrom from) {
-  switch (from) {
-    case svc::ServedFrom::Computed: return "computed";
-    case svc::ServedFrom::Memory: return "memory";
-    case svc::ServedFrom::Store: return "store";
-  }
-  return "?";
-}
-
 struct Tally {
   std::mutex mutex;
   std::size_t ok = 0, failed = 0, verified = 0, mismatched = 0;
@@ -147,7 +151,7 @@ void run_jobs(const svc::Address& address, const std::vector<Job>& jobs,
           std::printf("%s topo %llu: served=%s feasible=%d fom=%.4f sims=%zu%s\n",
                       jobs[i].spec.c_str(),
                       (unsigned long long)jobs[i].topology_index,
-                      served_from_name(reply.response.served_from),
+                      svc::served_from_name(reply.response.served_from).data(),
                       record.record.sized.best.feasible ? 1 : 0,
                       record.record.sized.best.fom,
                       record.record.sized.simulations,
@@ -164,6 +168,76 @@ void run_jobs(const svc::Address& address, const std::vector<Job>& jobs,
   }
 }
 
+/// Human rendering of one StatsResponse document: uptime header, counter
+/// and gauge tables, then per-histogram quantiles.
+void print_stats_human(const obs::Json& root) {
+  std::printf("uptime=%.1fs protocol=%d.%d\n",
+              root.at("uptime_seconds").as_number(),
+              static_cast<int>(root.at("protocol_version").as_number()),
+              static_cast<int>(root.at("protocol_minor").as_number()));
+  const obs::Json& metrics = root.at("metrics");
+  if (metrics.contains("counters")) {
+    for (const auto& [name, value] : metrics.at("counters").members()) {
+      std::printf("  %-28s %.0f\n", name.c_str(), value.as_number());
+    }
+  }
+  if (metrics.contains("gauges")) {
+    for (const auto& [name, value] : metrics.at("gauges").members()) {
+      std::printf("  %-28s %g\n", name.c_str(), value.as_number());
+    }
+  }
+  if (root.contains("quantiles")) {
+    for (const auto& [name, q] : root.at("quantiles").members()) {
+      std::printf("  %-28s count=%.0f p50=%.0f p90=%.0f p99=%.0f\n",
+                  name.c_str(), q.at("count").as_number(),
+                  q.at("p50").as_number(), q.at("p90").as_number(),
+                  q.at("p99").as_number());
+    }
+  }
+  if (root.contains("flight")) {
+    std::printf("flight (%zu of %.0f recorded):\n", root.at("flight").size(),
+                root.at("flight_total").as_number());
+    for (const auto& record : root.at("flight").items()) {
+      std::printf("  id=%.0f served=%s total_ns=%.0f peer=%s\n",
+                  record.at("request_id").as_number(),
+                  record.at("served_from").as_string().c_str(),
+                  record.at("total_ns").as_number(),
+                  record.at("peer").as_string().c_str());
+    }
+  }
+}
+
+/// The `stats` subcommand: query a live server's telemetry over the
+/// protocol, optionally repeating with --watch.
+int run_stats(const util::Cli& cli, const svc::Address& address,
+              int timeout_ms) {
+  const bool prometheus = cli.has("prometheus");
+  const bool raw_json = cli.has("json");
+  const bool flight = cli.has("flight");
+  const std::size_t watch_s = cli.get_size("watch", 0);
+  svc::Client client;
+  client.connect(address);
+  for (;;) {
+    const std::string text = client.stats_json(flight, timeout_ms);
+    if (raw_json) {
+      std::printf("%s\n", text.c_str());
+    } else {
+      const obs::Json root = obs::Json::parse(text);
+      if (prometheus) {
+        const auto snapshot =
+            obs::MetricsSnapshot::from_json(root.at("metrics"));
+        std::fputs(obs::render_prometheus(snapshot).c_str(), stdout);
+      } else {
+        print_stats_human(root);
+      }
+    }
+    std::fflush(stdout);
+    if (watch_s == 0) break;
+    std::this_thread::sleep_for(std::chrono::seconds(watch_s));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,12 +246,23 @@ int main(int argc, char** argv) {
     cli.reject_unknown({"connect", "spec", "topology", "count", "batch",
                         "hammer", "retries", "timeout-ms", "verify",
                         "sizing-init", "sizing-iters", "candidates",
-                        "refit-every", "trace", "metrics", "log-level"});
+                        "refit-every", "watch", "prometheus", "json",
+                        "flight", "trace", "metrics", "log-level"});
     obs::BenchTelemetry telemetry(
         obs::TelemetryOptions::from_cli(cli, util::LogLevel::Warn));
 
     const svc::Address address =
         svc::Address::parse(cli.get("connect", "unix:intooa-svc.sock"));
+    if (!cli.positional().empty()) {
+      const std::string& mode = cli.positional().front();
+      if (mode != "stats") {
+        std::fprintf(stderr, "intooa-svc-client: unknown subcommand '%s'\n",
+                     mode.c_str());
+        return 2;
+      }
+      return run_stats(cli, address,
+                       static_cast<int>(cli.get_int("timeout-ms", -1)));
+    }
     sizing::SizingConfig cfg;
     cfg.init_points = cli.get_size("sizing-init", cfg.init_points);
     cfg.iterations = cli.get_size("sizing-iters", cfg.iterations);

@@ -1,0 +1,99 @@
+#include "svc/flight_recorder.hpp"
+
+#include <cstdio>
+
+namespace intooa::svc {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(FlightRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, next_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+namespace {
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace
+
+obs::Json flight_record_json(const FlightRecord& record) {
+  obs::Json out = obs::Json::object();
+  out["request_id"] = obs::Json(static_cast<double>(record.request_id));
+  out["key_digest"] = obs::Json(hex_digest(record.key_digest));
+  out["served_from"] = obs::Json(std::string(
+      record.ok ? served_from_name(record.served_from) : "error"));
+  out["ok"] = obs::Json(record.ok);
+  out["queue_ns"] = obs::Json(static_cast<double>(record.queue_ns));
+  out["decode_ns"] = obs::Json(static_cast<double>(record.decode_ns));
+  out["eval_ns"] = obs::Json(static_cast<double>(record.eval_ns));
+  out["encode_ns"] = obs::Json(static_cast<double>(record.encode_ns));
+  out["total_ns"] = obs::Json(static_cast<double>(record.total_ns));
+  out["bytes_in"] = obs::Json(static_cast<double>(record.bytes_in));
+  out["bytes_out"] = obs::Json(static_cast<double>(record.bytes_out));
+  out["trace_id"] = obs::Json(static_cast<double>(record.trace_id));
+  out["completed_at_ns"] =
+      obs::Json(static_cast<double>(record.completed_at_ns));
+  out["peer"] = obs::Json(record.peer);
+  return out;
+}
+
+std::string flight_record_line(const FlightRecord& record) {
+  std::string out;
+  out.reserve(192);
+  const auto field = [&](const char* key, std::uint64_t v) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += std::to_string(v);
+  };
+  out += "id=";
+  out += std::to_string(record.request_id);
+  out += " peer=";
+  out += record.peer;
+  out += " key=";
+  out += hex_digest(record.key_digest);
+  out += " served=";
+  out += record.ok ? served_from_name(record.served_from) : "error";
+  field("queue_ns", record.queue_ns);
+  field("decode_ns", record.decode_ns);
+  field("eval_ns", record.eval_ns);
+  field("encode_ns", record.encode_ns);
+  field("total_ns", record.total_ns);
+  field("bytes_in", record.bytes_in);
+  field("bytes_out", record.bytes_out);
+  if (record.trace_id != 0) field("trace", record.trace_id);
+  return out;
+}
+
+}  // namespace intooa::svc

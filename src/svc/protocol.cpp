@@ -64,40 +64,54 @@ std::string_view error_code_name(ErrorCode code) {
   return "unknown";
 }
 
+std::string_view served_from_name(ServedFrom served) {
+  switch (served) {
+    case ServedFrom::Computed: return "computed";
+    case ServedFrom::Memory: return "memory";
+    case ServedFrom::Store: return "store";
+  }
+  return "unknown";
+}
+
 sizing::EvalContext EvalRequest::eval_context() const {
   return sizing::EvalContext(spec, behavioral, ac);
 }
 
-std::string encode_hello(std::uint32_t version) {
+std::string encode_hello(std::uint32_t version, std::uint32_t minor) {
   std::string out;
   WireWriter w(out);
   w.str(kHelloMagic);
   w.u32(version);
-  w.u32(0);  // flags, reserved
+  w.u32(minor);  // version-1.0 peers wrote 0 here (reserved flags)
   return out;
 }
 
-std::optional<std::uint32_t> decode_hello(std::string_view payload) {
+std::optional<HelloInfo> decode_hello(std::string_view payload) {
   WireReader r(payload);
   std::string magic;
-  std::uint32_t version = 0, flags = 0;
+  HelloInfo hello;
   if (!r.str(magic) || magic != kHelloMagic) return std::nullopt;
-  if (!r.u32(version) || !r.u32(flags) || !r.done()) return std::nullopt;
-  return version;
+  if (!r.u32(hello.version) || !r.u32(hello.minor) || !r.done()) {
+    return std::nullopt;
+  }
+  return hello;
 }
 
-std::string encode_hello_ok(std::uint32_t version) {
+std::string encode_hello_ok(std::uint32_t version,
+                            std::optional<std::uint32_t> minor) {
   std::string out;
   WireWriter w(out);
   w.u32(version);
+  if (minor) w.u32(*minor);
   return out;
 }
 
-std::optional<std::uint32_t> decode_hello_ok(std::string_view payload) {
+std::optional<HelloInfo> decode_hello_ok(std::string_view payload) {
   WireReader r(payload);
-  std::uint32_t version = 0;
-  if (!r.u32(version) || !r.done()) return std::nullopt;
-  return version;
+  HelloInfo hello;
+  if (!r.u32(hello.version)) return std::nullopt;
+  if (!r.done() && (!r.u32(hello.minor) || !r.done())) return std::nullopt;
+  return hello;
 }
 
 std::string encode_eval_request(const EvalRequest& request) {
@@ -115,6 +129,15 @@ std::string encode_eval_request(const EvalRequest& request) {
   w.u32(static_cast<std::uint32_t>(request.sizing.candidates));
   w.u32(static_cast<std::uint32_t>(request.sizing.refit_hyper_every));
   w.u64(request.topology_index);
+  if (request.trace) {
+    // Optional tail (minor revision 1): absent requests are byte-identical
+    // to version 1.0, and 1.0 decoders reject the tail as trailing bytes —
+    // which is why tracing clients must only attach it to a server that
+    // announced minor >= 1.
+    w.u8(1);
+    w.u64(request.trace->trace_id);
+    w.u64(request.trace->parent_span_id);
+  }
   return out;
 }
 
@@ -141,7 +164,16 @@ std::optional<EvalRequest> decode_eval_request(std::string_view payload) {
   request.sizing.candidates = u;
   if (!r.u32(u) || u > 1u << 20) return std::nullopt;
   request.sizing.refit_hyper_every = static_cast<int>(u);
-  if (!r.u64(request.topology_index) || !r.done()) return std::nullopt;
+  if (!r.u64(request.topology_index)) return std::nullopt;
+  if (!r.done()) {
+    // Optional trace-context tail; anything else trailing is corruption.
+    TraceContext trace;
+    if (!r.u8(flag) || flag != 1) return std::nullopt;
+    if (!r.u64(trace.trace_id) || !r.u64(trace.parent_span_id) || !r.done()) {
+      return std::nullopt;
+    }
+    request.trace = trace;
+  }
   return request;
 }
 
@@ -152,6 +184,17 @@ std::string encode_eval_response(const EvalResponse& response) {
   w.u64(response.request_id);
   w.u8(static_cast<std::uint8_t>(response.served_from));
   w.str(response.record_payload);
+  if (response.timings) {
+    // Optional trailer (minor revision 1), attached only when the request
+    // carried a trace context — replies to 1.0 clients stay byte-identical.
+    w.u8(1);
+    w.u64(response.timings->trace_id);
+    w.u64(response.timings->server_span_id);
+    w.u64(response.timings->queue_ns);
+    w.u64(response.timings->decode_ns);
+    w.u64(response.timings->eval_ns);
+    w.u64(response.timings->encode_ns);
+  }
   return out;
 }
 
@@ -162,7 +205,18 @@ std::optional<EvalResponse> decode_eval_response(std::string_view payload) {
   if (!r.u64(response.request_id)) return std::nullopt;
   if (!r.u8(from) || from > 2) return std::nullopt;
   response.served_from = static_cast<ServedFrom>(from);
-  if (!r.str(response.record_payload) || !r.done()) return std::nullopt;
+  if (!r.str(response.record_payload)) return std::nullopt;
+  if (!r.done()) {
+    ServerTimings timings;
+    std::uint8_t flag = 0;
+    if (!r.u8(flag) || flag != 1) return std::nullopt;
+    if (!r.u64(timings.trace_id) || !r.u64(timings.server_span_id) ||
+        !r.u64(timings.queue_ns) || !r.u64(timings.decode_ns) ||
+        !r.u64(timings.eval_ns) || !r.u64(timings.encode_ns) || !r.done()) {
+      return std::nullopt;
+    }
+    response.timings = timings;
+  }
   return response;
 }
 
@@ -215,6 +269,44 @@ std::optional<std::uint64_t> decode_ping(std::string_view payload) {
   std::uint64_t nonce = 0;
   if (!r.u64(nonce) || !r.done()) return std::nullopt;
   return nonce;
+}
+
+std::string encode_stats_request(const StatsRequest& request) {
+  std::string out;
+  WireWriter w(out);
+  w.u64(request.request_id);
+  w.u32(request.include_flight ? 1 : 0);  // bit 0; higher bits reserved
+  return out;
+}
+
+std::optional<StatsRequest> decode_stats_request(std::string_view payload) {
+  WireReader r(payload);
+  StatsRequest request;
+  std::uint32_t flags = 0;
+  if (!r.u64(request.request_id) || !r.u32(flags) || !r.done()) {
+    return std::nullopt;
+  }
+  request.include_flight = (flags & 1u) != 0;
+  return request;
+}
+
+std::string encode_stats_response(const StatsResponse& response) {
+  std::string out;
+  out.reserve(16 + response.stats_json.size());
+  WireWriter w(out);
+  w.u64(response.request_id);
+  w.str(response.stats_json);
+  return out;
+}
+
+std::optional<StatsResponse> decode_stats_response(std::string_view payload) {
+  WireReader r(payload);
+  StatsResponse response;
+  if (!r.u64(response.request_id) || !r.str(response.stats_json) ||
+      !r.done()) {
+    return std::nullopt;
+  }
+  return response;
 }
 
 std::string encode_frame(MsgType type, std::string_view payload) {

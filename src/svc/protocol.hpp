@@ -35,6 +35,17 @@ namespace intooa::svc {
 /// server builds must agree, like the store log version).
 inline constexpr std::uint32_t kProtocolVersion = 1;
 
+/// Minor protocol revision, carried in the Hello field that version-1.0
+/// peers wrote as all-zero "reserved flags" — so the bump is invisible to
+/// old binaries in both directions. Minor revisions are strictly additive
+/// (optional payload tails, new message types the peer only sees when it
+/// asks for them) and are never rejected; each side simply ignores
+/// capabilities the other did not announce.
+///
+/// History: 1 adds StatsRequest/StatsResponse, the optional EvalRequest
+/// trace-context tail and the EvalResponse server-timings trailer.
+inline constexpr std::uint32_t kProtocolMinorVersion = 1;
+
 /// Handshake magic inside the Hello payload.
 inline constexpr std::string_view kHelloMagic = "intooa-svc";
 
@@ -55,6 +66,8 @@ enum class MsgType : std::uint8_t {
   Error = 6,         ///< server -> client: request- or connection-level error
   Ping = 7,          ///< client -> server: liveness probe
   Pong = 8,          ///< server -> client: echo of Ping
+  StatsRequest = 9,  ///< client -> server: live stats snapshot (minor >= 1)
+  StatsResponse = 10,  ///< server -> client: stats document (JSON text)
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -69,9 +82,23 @@ enum class ErrorCode : std::uint32_t {
 /// Name of an error code ("version_mismatch", ...) for logs and CLIs.
 std::string_view error_code_name(ErrorCode code);
 
+/// Cross-process trace context, the optional tail of an EvalRequest
+/// (minor revision 1). A tracing client stamps its trace id and the span
+/// that issued the request; the server tags its decode/evaluate/encode
+/// spans with the propagated ids and echoes its timings in the response
+/// trailer so the client can merge both sides into one Chrome trace.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
 /// One evaluation over the wire: the complete input of core::EvalKeyContext
 /// plus the topology. Identical configuration fields produce an identical
-/// EvalKey on the server, hence identical warm-store addressing.
+/// EvalKey on the server, hence identical warm-store addressing. The trace
+/// context never feeds the evaluation — responses stay byte-identical with
+/// or without it.
 struct EvalRequest {
   std::uint64_t request_id = 0;
   circuit::Spec spec;
@@ -79,6 +106,7 @@ struct EvalRequest {
   sim::AcOptions ac;
   sizing::SizingConfig sizing;
   std::uint64_t topology_index = 0;
+  std::optional<TraceContext> trace;  ///< absent on the wire when nullopt
 
   /// The (context, config) pair this request evaluates under.
   sizing::EvalContext eval_context() const;
@@ -88,6 +116,24 @@ struct EvalRequest {
 /// asserted by the warm-serving tests).
 enum class ServedFrom : std::uint8_t { Computed = 0, Memory = 1, Store = 2 };
 
+/// Name of a serving tier ("computed", "memory", "store") for logs/CLIs.
+std::string_view served_from_name(ServedFrom served);
+
+/// Server-side stage timings, the optional trailer of an EvalResponse
+/// (minor revision 1). Present exactly when the request carried a
+/// TraceContext, so replies to non-tracing (and old) clients are
+/// byte-identical to version 1.0.
+struct ServerTimings {
+  std::uint64_t trace_id = 0;        ///< echoed from the request
+  std::uint64_t server_span_id = 0;  ///< id of the server's evaluate span
+  std::uint64_t queue_ns = 0;        ///< admission -> pool pickup
+  std::uint64_t decode_ns = 0;
+  std::uint64_t eval_ns = 0;
+  std::uint64_t encode_ns = 0;
+
+  friend bool operator==(const ServerTimings&, const ServerTimings&) = default;
+};
+
 /// Decoded EvalResponse.
 struct EvalResponse {
   std::uint64_t request_id = 0;
@@ -95,6 +141,7 @@ struct EvalResponse {
   /// store::encode_record(key, record) bytes, verbatim. Decode with
   /// store::decode_record when the caller wants the structured result.
   std::string record_payload;
+  std::optional<ServerTimings> timings;  ///< absent on the wire when nullopt
 };
 
 /// Decoded Busy reply.
@@ -111,6 +158,21 @@ struct ErrorReply {
   std::string message;
 };
 
+/// Live-stats query (minor revision 1). Answered on the connection thread,
+/// outside admission control, so stats stay reachable under saturation.
+struct StatsRequest {
+  std::uint64_t request_id = 0;
+  bool include_flight = false;  ///< also return the request flight recorder
+};
+
+/// Stats reply: a JSON document (uptime, metrics snapshot, quantiles,
+/// optional flight records — see docs/OBSERVABILITY.md). JSON keeps the
+/// payload extensible without further protocol revisions.
+struct StatsResponse {
+  std::uint64_t request_id = 0;
+  std::string stats_json;
+};
+
 /// One parsed frame: the type tag plus the raw payload bytes.
 struct Frame {
   MsgType type = MsgType::Error;
@@ -122,12 +184,25 @@ struct Frame {
 // bounds-checked and return nullopt on any structural defect, trailing
 // bytes included.
 
-std::string encode_hello(std::uint32_t version = kProtocolVersion);
-/// Returns the announced version, or nullopt when magic/shape is wrong.
-std::optional<std::uint32_t> decode_hello(std::string_view payload);
+/// Hello announcement: major version plus the peer's minor revision (0 for
+/// version-1.0 binaries, which wrote the field as reserved zero flags).
+struct HelloInfo {
+  std::uint32_t version = 0;
+  std::uint32_t minor = 0;
+};
 
-std::string encode_hello_ok(std::uint32_t version = kProtocolVersion);
-std::optional<std::uint32_t> decode_hello_ok(std::string_view payload);
+std::string encode_hello(std::uint32_t version = kProtocolVersion,
+                         std::uint32_t minor = kProtocolMinorVersion);
+/// Returns the announced versions, or nullopt when magic/shape is wrong.
+std::optional<HelloInfo> decode_hello(std::string_view payload);
+
+/// HelloOk carries the server's minor revision only when the client's Hello
+/// announced minor >= 1: version-1.0 clients reject trailing bytes, so
+/// they keep receiving the original 4-byte payload. A missing tail decodes
+/// as minor 0 (old server).
+std::string encode_hello_ok(std::uint32_t version = kProtocolVersion,
+                            std::optional<std::uint32_t> minor = std::nullopt);
+std::optional<HelloInfo> decode_hello_ok(std::string_view payload);
 
 std::string encode_eval_request(const EvalRequest& request);
 std::optional<EvalRequest> decode_eval_request(std::string_view payload);
@@ -143,6 +218,12 @@ std::optional<ErrorReply> decode_error(std::string_view payload);
 
 std::string encode_ping(std::uint64_t nonce);
 std::optional<std::uint64_t> decode_ping(std::string_view payload);
+
+std::string encode_stats_request(const StatsRequest& request);
+std::optional<StatsRequest> decode_stats_request(std::string_view payload);
+
+std::string encode_stats_response(const StatsResponse& response);
+std::optional<StatsResponse> decode_stats_response(std::string_view payload);
 
 /// Serializes a complete frame (header + payload) ready for the socket.
 /// Throws std::length_error when payload exceeds kMaxFrame.

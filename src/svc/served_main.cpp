@@ -12,8 +12,12 @@
 // Options: --listen ADDR (unix:PATH | tcp:HOST:PORT, default
 //          unix:intooa-svc.sock) --threads N --max-inflight N
 //          --max-connections N --idle-timeout-ms MS --busy-retry-ms MS
-//          --store FILE   plus the standard telemetry flags
-//          (--trace FILE --metrics FILE --log-level LEVEL).
+//          --store FILE --flight-recorder N --access-log FILE
+//          --stats-file FILE --stats-interval SEC   plus the standard
+//          telemetry flags (--trace FILE --metrics FILE --log-level LEVEL).
+//
+// SIGUSR1 dumps the request flight recorder (the last N completed
+// requests) to the log without disturbing service; SIGTERM/SIGINT drain.
 
 #include <csignal>
 #include <cstdio>
@@ -49,6 +53,17 @@ void on_signal(int sig) {
   }
 }
 
+// Async-signal-safe: byte 2 asks the accept loop to dump the flight
+// recorder and keep serving. Deliberately does not touch g_signal_count —
+// SIGUSR1 must never escalate to a force-exit.
+void on_usr1(int) {
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 2;
+    [[maybe_unused]] const ssize_t n = write(fd, &byte, 1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,8 +72,9 @@ int main(int argc, char** argv) {
     const util::Cli cli(argc, argv);
     cli.reject_unknown({"listen", "threads", "max-inflight",
                         "max-connections", "idle-timeout-ms", "busy-retry-ms",
-                        "store", "test-eval-delay-ms", "trace", "metrics",
-                        "log-level"});
+                        "store", "test-eval-delay-ms", "flight-recorder",
+                        "access-log", "stats-file", "stats-interval", "trace",
+                        "metrics", "log-level"});
     obs::BenchTelemetry telemetry(
         obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
 
@@ -75,6 +91,11 @@ int main(int argc, char** argv) {
     // Undocumented test hook used by the CI backpressure smoke.
     config.test_eval_delay_ms =
         static_cast<int>(cli.get_int("test-eval-delay-ms", 0));
+    config.flight_recorder_capacity = cli.get_size("flight-recorder", 256);
+    config.access_log = cli.get("access-log", "");
+    config.stats_file = cli.get("stats-file", "");
+    config.stats_interval_s =
+        cli.get_double("stats-interval", config.stats_interval_s);
     const std::string store_path = cli.get("store", "");
     if (!store_path.empty()) config.store = store::EvalStore::open(store_path);
 
@@ -87,6 +108,10 @@ int main(int argc, char** argv) {
     sigemptyset(&action.sa_mask);
     sigaction(SIGTERM, &action, nullptr);
     sigaction(SIGINT, &action, nullptr);
+    struct sigaction usr1 {};
+    usr1.sa_handler = on_usr1;
+    sigemptyset(&usr1.sa_mask);
+    sigaction(SIGUSR1, &usr1, nullptr);
 
     if (!store_path.empty()) {
       util::log_info("intooa-served: warm store attached",

@@ -12,9 +12,11 @@
 
 #include "core/eval_key.hpp"
 #include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "sizing/sizer.hpp"
 #include "store/record_io.hpp"
+#include "util/fs.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -42,18 +44,69 @@ obs::Counter& connections_counter() {
   static obs::Counter& c = obs::registry().counter("svc.connections");
   return c;
 }
+obs::Counter& stats_requests_counter() {
+  static obs::Counter& c = obs::registry().counter("svc.stats_requests");
+  return c;
+}
 obs::Gauge& inflight_gauge() {
   static obs::Gauge& g = obs::registry().gauge("svc.inflight");
   return g;
 }
-obs::Gauge& open_connections_gauge() {
-  static obs::Gauge& g = obs::registry().gauge("svc.open_connections");
+obs::Gauge& connections_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("svc.connections");
+  return g;
+}
+obs::Gauge& uptime_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("svc.uptime_seconds");
   return g;
 }
 obs::Histogram& request_latency() {
   static obs::Histogram& h =
       obs::registry().histogram("svc.request_ns", obs::Unit::Nanoseconds);
   return h;
+}
+obs::Histogram& decode_histogram() {
+  static obs::Histogram& h =
+      obs::registry().histogram("svc.decode", obs::Unit::Nanoseconds);
+  return h;
+}
+obs::Histogram& evaluate_histogram() {
+  static obs::Histogram& h =
+      obs::registry().histogram("svc.evaluate", obs::Unit::Nanoseconds);
+  return h;
+}
+obs::Histogram& encode_histogram() {
+  static obs::Histogram& h =
+      obs::registry().histogram("svc.encode", obs::Unit::Nanoseconds);
+  return h;
+}
+
+/// Server-side span ids for propagated traces. A relaxed atomic counter,
+/// never util::Rng: span ids must not perturb any random stream
+/// (RNG-neutrality) and only need uniqueness within one merged trace.
+std::uint64_t next_server_span_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Records one server-stage span, tagged with the propagated trace context
+/// when present (trace_id != 0) so a merged client+server trace can
+/// correlate the rows.
+void record_server_span(const char* name, std::uint64_t start_ns,
+                        std::uint64_t duration_ns, std::uint64_t trace_id,
+                        std::uint64_t span_id) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.tid = util::thread_ordinal();
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  if (trace_id != 0 && std::string_view(name) == "svc.evaluate") {
+    event.flow_in = trace_id;
+  }
+  obs::trace_record_event(event);
 }
 
 obs::Counter& served_counter(ServedFrom from) {
@@ -98,6 +151,10 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
         1, std::thread::hardware_concurrency());
   }
   if (config_.max_inflight == 0) config_.max_inflight = 1;
+  if (config_.flight_recorder_capacity > 0) {
+    flight_ =
+        std::make_unique<FlightRecorder>(config_.flight_recorder_capacity);
+  }
 }
 
 Server::~Server() {
@@ -121,29 +178,61 @@ void Server::bind() {
   wake_tx_ = Fd(pipe_fds[1]);
   listen_fd_ = listen_on(config_.address);
   pool_ = std::make_unique<runtime::ThreadPool>(config_.threads);
+  start_ns_ = obs::detail::monotonic_ns();
+  if (!config_.access_log.empty()) {
+    access_log_.open(config_.access_log, std::ios::app);
+    if (!access_log_) {
+      util::log_warn("svc: cannot open access log; access logging disabled",
+                     {{"path", config_.access_log}});
+    }
+  }
   util::log_info("intooa-served listening on " + config_.address.to_string(),
                  {{"threads", config_.threads},
                   {"max_inflight", config_.max_inflight},
                   {"store", config_.store ? config_.store->path() : "(none)"},
-                  {"protocol_version", kProtocolVersion}});
+                  {"protocol_version", kProtocolVersion},
+                  {"protocol_minor", kProtocolMinorVersion}});
 }
 
 void Server::run() {
   bind();
+  if (!config_.stats_file.empty() && config_.stats_interval_s > 0) {
+    stats_thread_ = std::thread([this] { stats_file_loop(); });
+  }
+  update_loop_gauges();
   while (!draining()) {
     struct pollfd fds[2];
     fds[0] = {listen_fd_.get(), POLLIN, 0};
     fds[1] = {wake_rx_.get(), POLLIN, 0};
-    const int got = ::poll(fds, 2, -1);
+    // A ~1 s tick (instead of blocking forever) keeps the liveness gauges
+    // fresh between requests, so a stats snapshot of an idle server still
+    // shows true uptime/inflight/connections.
+    const int got = ::poll(fds, 2, 1000);
     if (got < 0) {
       if (errno == EINTR) continue;
       util::log_error(std::string("svc: accept poll: ") +
                       std::strerror(errno));
       break;
     }
+    update_loop_gauges();
+    if (got == 0) continue;
     if (fds[1].revents != 0) {
-      begin_drain();
-      break;
+      // Classify the wake bytes: 2 = flight-recorder dump (SIGUSR1, keep
+      // serving), anything else = drain.
+      char bytes[16];
+      const ssize_t n = ::read(wake_rx_.get(), bytes, sizeof bytes);
+      bool drain = n <= 0;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (bytes[i] == 2) {
+          dump_flight_recorder();
+        } else {
+          drain = true;
+        }
+      }
+      if (drain) {
+        begin_drain();
+        break;
+      }
     }
     if (fds[0].revents == 0) continue;
     Fd client(::accept(listen_fd_.get(), nullptr, nullptr));
@@ -166,9 +255,10 @@ void Server::run() {
       continue;
     }
     auto conn = std::make_shared<Connection>();
+    conn->peer = peer_name(client.get());
     conn->fd = std::move(client);
     open_connections_.fetch_add(1, std::memory_order_relaxed);
-    open_connections_gauge().set(
+    connections_gauge().set(
         static_cast<double>(open_connections_.load()));
     connections_counter().add();
     {
@@ -195,9 +285,14 @@ void Server::run() {
     connection_threads_.clear();
   }
   pool_.reset();  // queue is empty; joins the workers
+  if (stats_thread_.joinable()) stats_thread_.join();
+  if (!config_.stats_file.empty()) {
+    write_stats_file();  // final snapshot: the fully drained counters
+  }
   if (config_.address.kind == Address::Kind::Unix) {
     ::unlink(config_.address.path.c_str());
   }
+  dump_flight_recorder();
   const ServerStats final = stats();
   util::log_info("intooa-served drained",
                  {{"requests", final.requests},
@@ -218,6 +313,9 @@ void Server::begin_drain() {
   }
   // Wake any run() blocked on inflight (in case nothing is in flight).
   inflight_cv_.notify_all();
+  // Wake the stats-file writer so the drain is not delayed by its interval.
+  { std::lock_guard<std::mutex> lock(stats_cv_mutex_); }
+  stats_cv_.notify_all();
 }
 
 ServerStats Server::stats() const {
@@ -263,14 +361,20 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
   }
   bool ok = false;
   if (hello_status == ReadStatus::Ok && frame.type == MsgType::Hello) {
-    if (const auto version = decode_hello(frame.payload)) {
-      if (*version == kProtocolVersion) {
-        ok = send_frame(conn, MsgType::HelloOk, encode_hello_ok());
+    if (const auto hello = decode_hello(frame.payload)) {
+      if (hello->version == kProtocolVersion) {
+        // Echo our minor revision only to clients that announced one:
+        // version-1.0 clients reject a HelloOk with trailing bytes.
+        ok = send_frame(conn, MsgType::HelloOk,
+                        hello->minor >= 1
+                            ? encode_hello_ok(kProtocolVersion,
+                                              kProtocolMinorVersion)
+                            : encode_hello_ok());
       } else {
         send_error(conn, 0, ErrorCode::VersionMismatch,
                    "server speaks protocol version " +
                        std::to_string(kProtocolVersion) + ", client sent " +
-                       std::to_string(*version));
+                       std::to_string(hello->version));
       }
     } else {
       send_error(conn, 0, ErrorCode::VersionMismatch,
@@ -284,6 +388,7 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
   }
 
   int idle_ms = 0;
+  bool drain_exit = false;
   while (ok && !conn->broken.load(std::memory_order_relaxed)) {
     const ReadStatus status =
         read_frame(conn->fd.get(), frame, kPollSliceMs);
@@ -291,7 +396,10 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
       // The drain check rides the timeout so frames already buffered when
       // the drain began are still read and answered (with Error(draining))
       // instead of silently dropped.
-      if (draining()) break;  // pending responses are flushed below
+      if (draining()) {  // pending responses are flushed below
+        drain_exit = true;
+        break;
+      }
       idle_ms += kPollSliceMs;
       if (config_.idle_timeout_ms >= 0 && idle_ms >= config_.idle_timeout_ms) {
         util::log_debug("svc: closing idle connection");
@@ -312,8 +420,20 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
   // Never close the socket while admitted evaluations still owe this
   // connection a response (the drain guarantee).
   finish_pending(conn);
+  if (drain_exit && !conn->broken.load(std::memory_order_relaxed)) {
+    // A request can race the drain onto the wire: the client wrote it just
+    // before learning of the shutdown, while this thread's poll slice timed
+    // out in the gap before those bytes arrived. The in-flight flush above
+    // gave them time to land, so answer what is buffered (Error(draining)
+    // closes after the first one) instead of silently hanging up. Bounded
+    // and non-blocking: a silent peer still never delays the drain.
+    for (int swept = 0; swept < 16; ++swept) {
+      if (read_frame(conn->fd.get(), frame, 0) != ReadStatus::Ok) break;
+      if (!dispatch(conn, frame)) break;
+    }
+  }
   open_connections_.fetch_sub(1, std::memory_order_relaxed);
-  open_connections_gauge().set(static_cast<double>(open_connections_.load()));
+  connections_gauge().set(static_cast<double>(open_connections_.load()));
 }
 
 void Server::finish_pending(const std::shared_ptr<Connection>& conn) {
@@ -332,17 +452,41 @@ bool Server::dispatch(const std::shared_ptr<Connection>& conn,
       send_error(conn, 0, ErrorCode::BadFrame, "malformed Ping");
       return false;
     }
+    case MsgType::StatsRequest: {
+      const auto stats_request = decode_stats_request(frame.payload);
+      if (!stats_request) {
+        send_error(conn, 0, ErrorCode::BadFrame, "malformed StatsRequest");
+        return false;
+      }
+      // Answered on the connection thread, outside admission control, so a
+      // saturated (or draining) server still answers "what are you doing".
+      stats_requests_counter().add();
+      send_frame(conn, MsgType::StatsResponse,
+                 encode_stats_response(
+                     {stats_request->request_id,
+                      stats_json_text(stats_request->include_flight)}));
+      return true;
+    }
     case MsgType::EvalRequest: {
       requests_counter().add();
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.requests;
       }
-      std::optional<EvalRequest> request;
-      {
-        INTOOA_SPAN("svc.decode");
-        request = decode_eval_request(frame.payload);
-      }
+      // Timed by hand instead of INTOOA_SPAN: the decode duration feeds the
+      // response trailer and flight recorder, and the span's trace tags are
+      // only known after decoding.
+      const std::uint64_t decode_start = obs::detail::monotonic_ns();
+      std::optional<EvalRequest> request = decode_eval_request(frame.payload);
+      const std::uint64_t decode_ns =
+          obs::detail::monotonic_ns() - decode_start;
+      decode_histogram().record(decode_ns);
+      const std::uint64_t trace_id =
+          request && request->trace ? request->trace->trace_id : 0;
+      const std::uint64_t server_span_id =
+          trace_id != 0 ? next_server_span_id() : 0;
+      record_server_span("svc.decode", decode_start, decode_ns, trace_id,
+                         server_span_id);
       if (!request) {
         send_error(conn, 0, ErrorCode::BadFrame, "malformed EvalRequest");
         return false;
@@ -376,9 +520,11 @@ bool Server::dispatch(const std::shared_ptr<Connection>& conn,
         ++conn->pending;
       }
       const std::uint64_t admitted_at = obs::detail::monotonic_ns();
-      pool_->submit([this, conn, request = std::move(*request),
-                     admitted_at]() mutable {
-        process_request(std::move(conn), std::move(request), admitted_at);
+      const std::uint64_t bytes_in = kFrameHeaderSize + frame.payload.size();
+      pool_->submit([this, conn, request = std::move(*request), admitted_at,
+                     decode_ns, bytes_in, server_span_id]() mutable {
+        process_request(std::move(conn), std::move(request), admitted_at,
+                        decode_ns, bytes_in, server_span_id);
       });
       return true;
     }
@@ -392,16 +538,60 @@ bool Server::dispatch(const std::shared_ptr<Connection>& conn,
 
 void Server::process_request(std::shared_ptr<Connection> conn,
                              EvalRequest request,
-                             std::uint64_t admitted_at_ns) {
+                             std::uint64_t admitted_at_ns,
+                             std::uint64_t decode_ns, std::uint64_t bytes_in,
+                             std::uint64_t server_span_id) {
+  FlightRecord flight;
+  flight.request_id = request.request_id;
+  flight.decode_ns = decode_ns;
+  flight.bytes_in = bytes_in;
+  flight.peer = conn->peer;
+  if (request.trace) flight.trace_id = request.trace->trace_id;
+  const std::uint64_t eval_start = obs::detail::monotonic_ns();
+  flight.queue_ns = eval_start - admitted_at_ns;
+  // Publishes the flight record and the latency sample. Called BEFORE the
+  // response hits the wire so a client that requests stats right after its
+  // reply is guaranteed to see this request already recorded.
+  bool recorded = false;
+  const auto record_flight = [&] {
+    if (recorded) return;
+    recorded = true;
+    const std::uint64_t completed_at = obs::detail::monotonic_ns();
+    flight.total_ns = completed_at - admitted_at_ns;
+    flight.completed_at_ns = completed_at;
+    request_latency().record(flight.total_ns);
+    if (flight_) flight_->record(flight);
+    write_access_log(flight);
+  };
   try {
-    EvalResponse response = serve_request(request);
+    EvalResponse response = serve_request(request, flight.key_digest);
+    flight.eval_ns = obs::detail::monotonic_ns() - eval_start;
+    evaluate_histogram().record(flight.eval_ns);
+    record_server_span("svc.evaluate", eval_start, flight.eval_ns,
+                       flight.trace_id, server_span_id);
     response.request_id = request.request_id;
+    flight.served_from = response.served_from;
     served_counter(response.served_from).add();
-    std::string payload;
-    {
-      INTOOA_SPAN("svc.encode");
+    if (request.trace) {
+      // Trailer for the client's merged trace; encode_ns is back-filled by
+      // re-encoding, so the histogram sees the real (first) encode cost.
+      response.timings =
+          ServerTimings{request.trace->trace_id, server_span_id,
+                        flight.queue_ns, decode_ns, flight.eval_ns, 0};
+    }
+    const std::uint64_t encode_start = obs::detail::monotonic_ns();
+    std::string payload = encode_eval_response(response);
+    flight.encode_ns = obs::detail::monotonic_ns() - encode_start;
+    encode_histogram().record(flight.encode_ns);
+    record_server_span("svc.encode", encode_start, flight.encode_ns,
+                       flight.trace_id, server_span_id);
+    if (response.timings) {
+      response.timings->encode_ns = flight.encode_ns;
       payload = encode_eval_response(response);
     }
+    flight.bytes_out = kFrameHeaderSize + payload.size();
+    flight.ok = true;  // served; delivery failures surface via conn->broken
+    record_flight();
     if (send_frame(conn, MsgType::EvalResponse, payload)) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.responses_ok;
@@ -412,12 +602,14 @@ void Server::process_request(std::shared_ptr<Connection> conn,
       }
     }
   } catch (const std::invalid_argument& e) {
+    flight.eval_ns = obs::detail::monotonic_ns() - eval_start;
     send_error(conn, request.request_id, ErrorCode::MalformedRequest,
                e.what());
   } catch (const std::exception& e) {
+    flight.eval_ns = obs::detail::monotonic_ns() - eval_start;
     send_error(conn, request.request_id, ErrorCode::Internal, e.what());
   }
-  request_latency().record(obs::detail::monotonic_ns() - admitted_at_ns);
+  record_flight();  // error paths record too (with ok still false)
 
   // Release the in-flight slot and this connection's pending count; both
   // the drain loop and the connection closer may be waiting on them.
@@ -454,14 +646,17 @@ Server::Shard& Server::shard_for(const EvalRequest& request) {
   return *it->second;
 }
 
-EvalResponse Server::serve_request(const EvalRequest& request) {
-  INTOOA_SPAN("svc.evaluate");
+EvalResponse Server::serve_request(const EvalRequest& request,
+                                   std::uint64_t& key_digest) {
+  // Timed by the caller (process_request), which owns the svc.evaluate
+  // histogram sample and trace span so it can tag propagated trace ids.
   // Validates the topology index (throws std::invalid_argument -> the
   // MalformedRequest reply).
   const circuit::Topology topology = circuit::Topology::from_index(
       static_cast<std::size_t>(request.topology_index));
   Shard& shard = shard_for(request);
   const core::EvalKey key = shard.keys.key_for(topology);
+  key_digest = key.digest;
 
   EvalResponse response;
   {
@@ -534,6 +729,91 @@ EvalResponse Server::serve_request(const EvalRequest& request) {
   }
   shard.cv.notify_all();
   return response;
+}
+
+void Server::update_loop_gauges() {
+  uptime_gauge().set(
+      static_cast<double>(obs::detail::monotonic_ns() - start_ns_) / 1e9);
+  inflight_gauge().set(static_cast<double>(inflight_.load()));
+  connections_gauge().set(static_cast<double>(open_connections_.load()));
+}
+
+std::string Server::stats_json_text(bool include_flight) const {
+  obs::Json root = obs::Json::object();
+  root["uptime_seconds"] = obs::Json(
+      static_cast<double>(obs::detail::monotonic_ns() - start_ns_) / 1e9);
+  root["protocol_version"] =
+      obs::Json(static_cast<double>(kProtocolVersion));
+  root["protocol_minor"] =
+      obs::Json(static_cast<double>(kProtocolMinorVersion));
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  obs::Json quantiles = obs::Json::object();
+  for (const auto& [name, hist] : snap.histograms) {
+    obs::Json one = obs::Json::object();
+    one["count"] = obs::Json(static_cast<double>(hist.count));
+    one["p50"] = obs::Json(hist.quantile(0.5));
+    one["p90"] = obs::Json(hist.quantile(0.9));
+    one["p99"] = obs::Json(hist.quantile(0.99));
+    quantiles[name] = std::move(one);
+  }
+  root["metrics"] = snap.to_json();
+  root["quantiles"] = std::move(quantiles);
+  if (include_flight && flight_) {
+    obs::Json records = obs::Json::array();
+    for (const FlightRecord& record : flight_->snapshot()) {
+      records.push_back(flight_record_json(record));
+    }
+    root["flight"] = std::move(records);
+    root["flight_total"] =
+        obs::Json(static_cast<double>(flight_->total_recorded()));
+    root["flight_capacity"] =
+        obs::Json(static_cast<double>(flight_->capacity()));
+  }
+  return root.dump();
+}
+
+void Server::dump_flight_recorder() {
+  if (!flight_) return;
+  const std::vector<FlightRecord> records = flight_->snapshot();
+  if (records.empty()) return;
+  util::log_info("svc: flight recorder (oldest first)",
+                 {{"records", records.size()},
+                  {"total", flight_->total_recorded()}});
+  for (const FlightRecord& record : records) {
+    util::log_info("svc: flight " + flight_record_line(record));
+  }
+}
+
+void Server::write_access_log(const FlightRecord& record) {
+  if (!access_log_.is_open()) return;
+  std::lock_guard<std::mutex> lock(access_log_mutex_);
+  access_log_ << "ts_ns=" << record.completed_at_ns << ' '
+              << flight_record_line(record) << '\n';
+  access_log_.flush();  // one line per request; losing lines to a crash
+                        // would defeat the log's post-mortem purpose
+}
+
+void Server::write_stats_file() {
+  try {
+    util::atomic_write_file(config_.stats_file,
+                            obs::render_prometheus(obs::snapshot()));
+  } catch (const std::exception& e) {
+    util::log_warn(std::string("svc: stats-file write failed: ") + e.what(),
+                   {{"path", config_.stats_file}});
+  }
+}
+
+void Server::stats_file_loop() {
+  std::unique_lock<std::mutex> lock(stats_cv_mutex_);
+  for (;;) {
+    const bool drained = stats_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.stats_interval_s),
+        [this] { return draining(); });
+    if (drained) break;  // run() writes the final post-drain snapshot
+    lock.unlock();
+    write_stats_file();
+    lock.lock();
+  }
 }
 
 }  // namespace intooa::svc

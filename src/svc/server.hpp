@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,6 +41,7 @@
 
 #include "runtime/thread_pool.hpp"
 #include "store/store.hpp"
+#include "svc/flight_recorder.hpp"
 #include "svc/protocol.hpp"
 #include "svc/socket.hpp"
 
@@ -58,6 +60,17 @@ struct ServerConfig {
   /// backpressure/drain tests to hold the queue in a known state. 0 in
   /// production.
   int test_eval_delay_ms = 0;
+  /// Ring size of the request flight recorder (last N completed requests,
+  /// exposed via StatsResponse, dumped on SIGUSR1 and drain). 0 disables.
+  std::size_t flight_recorder_capacity = 256;
+  /// Opt-in structured access log: one key=value line per completed
+  /// request, appended to this file. "" disables.
+  std::string access_log;
+  /// Periodic Prometheus snapshot for scrape-by-file deployments: every
+  /// stats_interval_s the full registry is rendered and atomically
+  /// published to stats_file. "" disables.
+  std::string stats_file;
+  double stats_interval_s = 10.0;
 };
 
 /// Point-in-time server counters (process-local mirror of the svc.*
@@ -96,14 +109,21 @@ class Server {
   /// wake_fd() instead.
   void begin_drain();
 
-  /// Write end of the self-pipe that triggers begin_drain(); write() to it
-  /// is async-signal-safe. Valid after bind().
+  /// Write end of the self-pipe the accept loop watches; write() to it is
+  /// async-signal-safe. Byte value 2 dumps the flight recorder to the log
+  /// and keeps serving (SIGUSR1); any other byte triggers begin_drain()
+  /// (SIGTERM/SIGINT). Valid after bind().
   int wake_fd() const { return wake_tx_.get(); }
 
   /// True once begin_drain() (or a wake-pipe byte) has been observed.
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   ServerStats stats() const;
+
+  /// The StatsResponse document: uptime, metrics snapshot, per-histogram
+  /// p50/p90/p99 and (optionally) the flight-recorder contents, as compact
+  /// JSON text. Thread-safe; also callable directly (examples, tests).
+  std::string stats_json_text(bool include_flight) const;
 
   const ServerConfig& config() const { return config_; }
 
@@ -112,6 +132,7 @@ class Server {
   /// tasks writing responses.
   struct Connection {
     Fd fd;
+    std::string peer;                ///< "unix" or "ip:port", for telemetry
     std::mutex write_mutex;          ///< one frame at a time on the wire
     std::mutex pending_mutex;
     std::condition_variable pending_cv;
@@ -129,10 +150,13 @@ class Server {
   /// close (protocol violation).
   bool dispatch(const std::shared_ptr<Connection>& conn, const Frame& frame);
   void process_request(std::shared_ptr<Connection> conn, EvalRequest request,
-                       std::uint64_t admitted_at_ns);
+                       std::uint64_t admitted_at_ns, std::uint64_t decode_ns,
+                       std::uint64_t bytes_in, std::uint64_t server_span_id);
   /// Serves one evaluation through the cache tiers; returns the encoded
-  /// EvalResponse payload. Throws on internal failure.
-  EvalResponse serve_request(const EvalRequest& request);
+  /// EvalResponse payload and reports the evaluation key digest (for the
+  /// flight recorder). Throws on internal failure.
+  EvalResponse serve_request(const EvalRequest& request,
+                             std::uint64_t& key_digest);
   Shard& shard_for(const EvalRequest& request);
 
   bool send_frame(const std::shared_ptr<Connection>& conn, MsgType type,
@@ -143,6 +167,20 @@ class Server {
 
   void finish_pending(const std::shared_ptr<Connection>& conn);
 
+  /// Refreshes the liveness gauges (svc.uptime_seconds, svc.inflight,
+  /// svc.connections) — called on every accept-loop tick so a snapshot is
+  /// meaningful even between requests.
+  void update_loop_gauges();
+  /// Logs every buffered flight record (SIGUSR1 and graceful drain).
+  void dump_flight_recorder();
+  /// Appends one access-log line for a completed request (no-op when
+  /// --access-log is off).
+  void write_access_log(const FlightRecord& record);
+  /// Atomically publishes the Prometheus rendering to config_.stats_file.
+  void write_stats_file();
+  /// Body of the periodic stats-file writer thread.
+  void stats_file_loop();
+
   ServerConfig config_;
   Fd listen_fd_;
   Fd wake_rx_, wake_tx_;
@@ -152,6 +190,14 @@ class Server {
   std::atomic<std::size_t> open_connections_{0};
   std::mutex inflight_mutex_;
   std::condition_variable inflight_cv_;
+
+  std::uint64_t start_ns_ = 0;  ///< bind() time, for svc.uptime_seconds
+  std::unique_ptr<FlightRecorder> flight_;  ///< null when capacity == 0
+  std::mutex access_log_mutex_;
+  std::ofstream access_log_;
+  std::thread stats_thread_;
+  std::mutex stats_cv_mutex_;
+  std::condition_variable stats_cv_;
 
   std::mutex shards_mutex_;
   std::unordered_map<std::string, std::unique_ptr<Shard>> shards_;

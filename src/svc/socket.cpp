@@ -232,4 +232,32 @@ bool write_all(int fd, std::string_view data) {
   return true;
 }
 
+std::string peer_name(int fd) {
+  sockaddr_storage storage{};
+  socklen_t len = sizeof storage;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&storage), &len) != 0) {
+    return "?";
+  }
+  switch (storage.ss_family) {
+    case AF_UNIX:
+      return "unix";  // client sockets are unnamed; the path would be empty
+    case AF_INET: {
+      const auto* in4 = reinterpret_cast<const sockaddr_in*>(&storage);
+      char host[INET_ADDRSTRLEN] = {};
+      if (!::inet_ntop(AF_INET, &in4->sin_addr, host, sizeof host)) return "?";
+      return std::string(host) + ":" + std::to_string(ntohs(in4->sin_port));
+    }
+    case AF_INET6: {
+      const auto* in6 = reinterpret_cast<const sockaddr_in6*>(&storage);
+      char host[INET6_ADDRSTRLEN] = {};
+      if (!::inet_ntop(AF_INET6, &in6->sin6_addr, host, sizeof host)) {
+        return "?";
+      }
+      return std::string(host) + ":" + std::to_string(ntohs(in6->sin6_port));
+    }
+    default:
+      return "?";
+  }
+}
+
 }  // namespace intooa::svc

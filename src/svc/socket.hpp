@@ -94,4 +94,9 @@ bool write_all(int fd, std::string_view data);
 /// Grace period for a peer to finish a frame it started sending.
 inline constexpr int kMidFrameGraceMs = 10'000;
 
+/// Human-readable peer of a connected socket: "ip:port" for TCP,
+/// "unix" for Unix-domain peers (unnamed client sockets carry no path),
+/// "?" when getpeername fails. Used by the access log and flight recorder.
+std::string peer_name(int fd);
+
 }  // namespace intooa::svc

@@ -7,12 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +25,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -87,6 +91,46 @@ TEST(Json, PrettyDumpParsesBack) {
   const std::string pretty = doc.dump(2);
   EXPECT_NE(pretty.find('\n'), std::string::npos);
   EXPECT_EQ(obs::Json::parse(pretty), doc);
+}
+
+// Exhaustive single-byte fuzz of the string escaper: for every byte value,
+// dump() must produce output our own parser accepts. ASCII bytes must
+// round-trip exactly; bytes >= 0x80 are not valid single-byte UTF-8 and
+// must come back as U+FFFD instead of leaking raw bytes into the output
+// (which used to produce invalid JSON).
+TEST(Json, EscapingIsValidForAll256SingleByteStrings) {
+  const std::string replacement = "\xEF\xBF\xBD";
+  for (int byte = 0; byte < 256; ++byte) {
+    const std::string input(1, static_cast<char>(byte));
+    const std::string text = obs::Json(input).dump();
+    obs::Json back;
+    ASSERT_NO_THROW(back = obs::Json::parse(text)) << "byte " << byte;
+    if (byte < 0x80) {
+      EXPECT_EQ(back.as_string(), input) << "byte " << byte;
+    } else {
+      EXPECT_EQ(back.as_string(), replacement) << "byte " << byte;
+    }
+  }
+}
+
+TEST(Json, EscapingPassesValidUtf8AndReplacesMalformed) {
+  // Well-formed 2-, 3- and 4-byte sequences survive verbatim.
+  const std::string valid = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x99\x82";
+  EXPECT_EQ(obs::Json::parse(obs::Json(valid).dump()).as_string(), valid);
+  // Overlong encoding of '/', a bare continuation byte, a UTF-16 surrogate
+  // and a truncated lead are each replaced with U+FFFD per bad byte run.
+  const std::string replacement = "\xEF\xBF\xBD";
+  for (const std::string bad :
+       {std::string("\xC0\xAF"), std::string("\x80"),
+        std::string("\xED\xA0\x80"), std::string("\xF0\x9F")}) {
+    const std::string out = obs::Json::parse(obs::Json(bad).dump()).as_string();
+    // Nothing of the malformed input survives: the output is nothing but
+    // whole replacement characters (one per rejected byte).
+    ASSERT_EQ(out.size() % replacement.size(), 0u);
+    for (std::size_t i = 0; i < out.size(); i += replacement.size()) {
+      EXPECT_EQ(out.substr(i, replacement.size()), replacement);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -162,6 +206,76 @@ TEST(Metrics, HistogramBucketSemantics) {
   EXPECT_EQ(snap.min, 0u);
   EXPECT_EQ(snap.max, 1024u);
   EXPECT_DOUBLE_EQ(snap.mean(), (0.0 + 1 + 2 + 3 + 1024) / 5.0);
+}
+
+TEST(Metrics, QuantileOfEmptyAndSingleSampleHistograms) {
+  obs::set_enabled(true);
+  obs::Histogram& hist = obs::registry().histogram("test.obs.quantile_edge");
+  hist.reset();
+  // Empty histogram: every quantile is 0.
+  EXPECT_DOUBLE_EQ(hist.snapshot().quantile(0.5), 0.0);
+  // Single sample: every quantile is exactly that sample (the min==max
+  // clamp overrides the bucket interpolation).
+  hist.record(777);
+  const obs::HistogramSnapshot one = hist.snapshot();
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 777.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 777.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 777.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 777.0);
+}
+
+TEST(Metrics, QuantileExactBoundaries) {
+  obs::set_enabled(true);
+  obs::Histogram& hist = obs::registry().histogram("test.obs.quantile_bound");
+  hist.reset();
+  hist.record(1);
+  hist.record(64);
+  hist.record(4096);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  // q <= 0 pins to the exact minimum, q >= 1 to the exact maximum,
+  // regardless of bucket geometry.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 4096.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(2.0), 4096.0);
+  // Interior quantiles are monotone and stay within [min, max].
+  double prev = snap.quantile(0.0);
+  for (double q = 0.1; q < 1.0; q += 0.1) {
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 4096.0);
+    prev = v;
+  }
+}
+
+TEST(Metrics, QuantileTracksTrueQuantilesWithinOneBucket) {
+  obs::set_enabled(true);
+  obs::Histogram& hist = obs::registry().histogram("test.obs.quantile_rand");
+  hist.reset();
+  util::Rng rng(20260809);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v =
+        1 + static_cast<std::uint64_t>(rng.uniform(0.0, 1048576.0));
+    samples.push_back(v);
+    hist.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double rank = q * static_cast<double>(samples.size());
+    const std::size_t index = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(std::max(0.0, std::ceil(rank) - 1.0)));
+    const double truth = static_cast<double>(samples[index]);
+    const double estimate = snap.quantile(q);
+    // The estimate may land anywhere inside the log2 bucket holding the
+    // true value, so the error bound is that bucket's width.
+    const double hi = std::pow(2.0, std::ceil(std::log2(truth + 0.5)));
+    EXPECT_NEAR(estimate, truth, hi / 2.0) << "q=" << q;
+  }
 }
 
 TEST(Metrics, GaugeSetMaxIsHighWaterMark) {
@@ -247,6 +361,67 @@ TEST(Metrics, DisabledPathIsCheap) {
   // Generous bound (sanitizer builds are slow): the disabled path is a
   // relaxed load + branch, three orders of magnitude below this.
   EXPECT_LT(ns_per_op, 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Prometheus, NameSanitizationAndPrefix) {
+  EXPECT_EQ(obs::prometheus_name("svc.request_ns"), "intooa_svc_request_ns");
+  EXPECT_EQ(obs::prometheus_name("gp.fit-time"), "intooa_gp_fit_time");
+  EXPECT_EQ(obs::prometheus_name("a:b"), "intooa_a:b");
+}
+
+TEST(Prometheus, RenderHasHelpTypePairsAndNoDuplicateSeries) {
+  obs::MetricsSnapshot snap;
+  snap.counters["svc.requests"] = 7;
+  snap.counters["svc.connections"] = 3;  // counter...
+  snap.gauges["svc.connections"] = 1.0;  // ...and gauge of the same name
+  obs::HistogramSnapshot hist;
+  hist.unit = "ns";
+  hist.count = 2;
+  hist.sum = 1030;
+  hist.min = 6;
+  hist.max = 1024;
+  hist.buckets = {{3, 1}, {11, 1}};
+  snap.histograms["svc.request_ns"] = hist;
+  snap.histograms["svc.empty_ns"] = obs::HistogramSnapshot{};
+
+  const std::string text = obs::render_prometheus(snap);
+  // Counters get the _total suffix, which also keeps the counter/gauge
+  // name collision above from producing duplicate series.
+  EXPECT_NE(text.find("# TYPE intooa_svc_connections_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE intooa_svc_connections gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("intooa_svc_requests_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE intooa_svc_request_ns summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("intooa_svc_request_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("intooa_svc_request_ns_count 2\n"), std::string::npos);
+  // An empty histogram still exposes _sum/_count but no quantile samples.
+  EXPECT_NE(text.find("intooa_svc_empty_ns_count 0\n"), std::string::npos);
+  EXPECT_EQ(text.find("intooa_svc_empty_ns{"), std::string::npos);
+
+  // Structural sweep: every # HELP is followed by a # TYPE for the same
+  // series, and no series name is declared twice.
+  std::set<std::string> declared;
+  std::istringstream lines(text);
+  std::string line, pending_help;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      pending_help = line.substr(7, line.find(' ', 7) - 7);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string series = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(series, pending_help) << "TYPE without matching HELP";
+      EXPECT_TRUE(declared.insert(series).second)
+          << "duplicate series " << series;
+    }
+  }
+  EXPECT_EQ(declared.size(), 5u);
 }
 
 // ---------------------------------------------------------------------------

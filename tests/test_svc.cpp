@@ -12,11 +12,16 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/eval_key.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sizing/sizer.hpp"
 #include "store/record_io.hpp"
 #include "store/store.hpp"
@@ -32,6 +37,13 @@ using namespace intooa;
 
 std::string temp_path(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
 }
 
 /// Fresh unix-socket address for one test (unlinked up front; kept short —
@@ -107,8 +119,11 @@ svc::ServerConfig base_config(const svc::Address& address) {
 // ---- protocol codec -------------------------------------------------------
 
 TEST(SvcProtocol, HelloRoundTripAndMagicCheck) {
-  const std::string payload = svc::encode_hello(7);
-  EXPECT_EQ(svc::decode_hello(payload), 7u);
+  const std::string payload = svc::encode_hello(7, 3);
+  const auto hello = svc::decode_hello(payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->version, 7u);
+  EXPECT_EQ(hello->minor, 3u);
   // A corrupted magic is rejected, not misparsed.
   std::string bad = payload;
   bad[0] ^= 0x5a;
@@ -456,6 +471,273 @@ TEST(SvcServer, TcpLoopbackRoundTrip) {
   } catch (const std::runtime_error& error) {
     GTEST_SKIP() << "tcp endpoint unavailable: " << error.what();
   }
+}
+
+// ---- protocol minor revision 1: stats, trace context, timings -------------
+
+TEST(SvcProtocol, HelloOkMinorEchoStaysCompatible) {
+  // A 1.0-shaped HelloOk (no trailing minor) decodes with minor 0 — and a
+  // 1.1 HelloOk round-trips the minor. Anything beyond is rejected.
+  const auto legacy = svc::decode_hello_ok(svc::encode_hello_ok(1));
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->version, 1u);
+  EXPECT_EQ(legacy->minor, 0u);
+  const auto modern = svc::decode_hello_ok(svc::encode_hello_ok(1, 4));
+  ASSERT_TRUE(modern.has_value());
+  EXPECT_EQ(modern->minor, 4u);
+  EXPECT_FALSE(svc::decode_hello_ok(svc::encode_hello_ok(1, 4) + "x"));
+}
+
+TEST(SvcProtocol, StatsCodecRoundTrip) {
+  const std::string request_payload =
+      svc::encode_stats_request({77, /*include_flight=*/true});
+  const auto request = svc::decode_stats_request(request_payload);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->request_id, 77u);
+  EXPECT_TRUE(request->include_flight);
+  EXPECT_FALSE(svc::decode_stats_request(request_payload + "x").has_value());
+  EXPECT_FALSE(svc::decode_stats_request("").has_value());
+
+  svc::StatsResponse response;
+  response.request_id = 77;
+  response.stats_json = R"({"uptime_seconds":1.5})";
+  const std::string response_payload = svc::encode_stats_response(response);
+  const auto decoded = svc::decode_stats_response(response_payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request_id, 77u);
+  EXPECT_EQ(decoded->stats_json, response.stats_json);
+  EXPECT_FALSE(svc::decode_stats_response(response_payload + "x").has_value());
+}
+
+TEST(SvcProtocol, EvalRequestTraceTailIsAdditiveAndValidated) {
+  svc::EvalRequest request = tiny_request(5, 7);
+  const std::string legacy = svc::encode_eval_request(request);
+  request.trace = svc::TraceContext{0xABCu, 0xDEFu};
+  const std::string traced = svc::encode_eval_request(request);
+  // The trace tail is strictly appended: untraced requests are
+  // byte-identical to the 1.0 encoding.
+  EXPECT_EQ(traced.size(), legacy.size() + 17);
+  EXPECT_EQ(traced.substr(0, legacy.size()), legacy);
+
+  const auto decoded = svc::decode_eval_request(traced);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->trace.has_value());
+  EXPECT_EQ(decoded->trace->trace_id, 0xABCu);
+  EXPECT_EQ(decoded->trace->parent_span_id, 0xDEFu);
+  const auto plain = svc::decode_eval_request(legacy);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->trace.has_value());
+
+  std::string bad_flag = traced;
+  bad_flag[legacy.size()] = 2;
+  EXPECT_FALSE(svc::decode_eval_request(bad_flag).has_value());
+  EXPECT_FALSE(
+      svc::decode_eval_request(traced.substr(0, traced.size() - 1))
+          .has_value());
+}
+
+TEST(SvcProtocol, EvalResponseTimingsTrailerIsAdditiveAndValidated) {
+  svc::EvalResponse response;
+  response.request_id = 9;
+  response.served_from = svc::ServedFrom::Memory;
+  response.record_payload = "record-bytes";
+  const std::string legacy = svc::encode_eval_response(response);
+  response.timings = svc::ServerTimings{1, 2, 3, 4, 5, 6};
+  const std::string traced = svc::encode_eval_response(response);
+  EXPECT_EQ(traced.size(), legacy.size() + 49);
+  EXPECT_EQ(traced.substr(0, legacy.size()), legacy);
+
+  const auto decoded = svc::decode_eval_response(traced);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->timings.has_value());
+  EXPECT_EQ(*decoded->timings, (svc::ServerTimings{1, 2, 3, 4, 5, 6}));
+  const auto plain = svc::decode_eval_response(legacy);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->timings.has_value());
+  EXPECT_FALSE(
+      svc::decode_eval_response(traced.substr(0, traced.size() - 1))
+          .has_value());
+  EXPECT_FALSE(svc::decode_eval_response(traced + "x").has_value());
+}
+
+// ---- live stats, tracing and the flight recorder --------------------------
+
+TEST(SvcServer, StatsOverProtocolReportsCountsQuantilesAndFlight) {
+  obs::set_enabled(true);
+  TestServer ts(base_config(fresh_unix("svc-stats")));
+  svc::Client client;
+  client.connect(ts.server.config().address);
+  EXPECT_EQ(client.server_minor(), svc::kProtocolMinorVersion);
+
+  ASSERT_EQ(client.evaluate(tiny_request(1, 3), 30'000).kind,
+            svc::Reply::Kind::Ok);
+  ASSERT_EQ(client.evaluate(tiny_request(2, 4), 30'000).kind,
+            svc::Reply::Kind::Ok);
+  ASSERT_EQ(client.evaluate(tiny_request(3, 3), 30'000).kind,
+            svc::Reply::Kind::Ok);
+
+  const obs::Json root =
+      obs::Json::parse(client.stats_json(/*include_flight=*/true, 30'000));
+  EXPECT_EQ(root.at("protocol_minor").as_number(),
+            static_cast<double>(svc::kProtocolMinorVersion));
+  EXPECT_GE(root.at("uptime_seconds").as_number(), 0.0);
+  const obs::Json& counters = root.at("metrics").at("counters");
+  EXPECT_GE(counters.at("svc.requests").as_number(), 3.0);
+  EXPECT_GE(counters.at("svc.stats_requests").as_number(), 1.0);
+  const obs::Json& gauges = root.at("metrics").at("gauges");
+  EXPECT_GE(gauges.at("svc.connections").as_number(), 1.0);
+
+  const obs::Json& latency = root.at("quantiles").at("svc.request_ns");
+  EXPECT_GE(latency.at("count").as_number(), 3.0);
+  EXPECT_GT(latency.at("p50").as_number(), 0.0);
+  EXPECT_GE(latency.at("p99").as_number(), latency.at("p50").as_number());
+
+  const obs::Json& flight = root.at("flight");
+  ASSERT_EQ(flight.items().size(), 3u);
+  EXPECT_EQ(root.at("flight_total").as_number(), 3.0);
+  // Oldest-first: request ids in completion order for a serial client.
+  EXPECT_EQ(flight.items().front().at("request_id").as_number(), 1.0);
+  EXPECT_EQ(flight.items().back().at("request_id").as_number(), 3.0);
+  for (const obs::Json& record : flight.items()) {
+    EXPECT_GT(record.at("total_ns").as_number(), 0.0);
+    EXPECT_GT(record.at("bytes_in").as_number(), 0.0);
+    EXPECT_GT(record.at("bytes_out").as_number(), 0.0);
+    EXPECT_EQ(record.at("peer").as_string(), "unix");
+    EXPECT_TRUE(record.at("ok").as_bool());
+  }
+  // The repeat of topology 3 was served from memory.
+  EXPECT_EQ(flight.items().back().at("served_from").as_string(), "memory");
+}
+
+TEST(SvcServer, TraceContextMergesClientAndServerSpans) {
+  obs::set_enabled(true);
+  obs::start_trace();
+  const std::string trace_path = temp_path("intooa-svc-trace-test.json");
+  std::filesystem::remove(trace_path);
+  {
+    TestServer ts(base_config(fresh_unix("svc-trace")));
+    svc::Client client;
+    client.connect(ts.server.config().address);
+    const svc::Reply reply = client.evaluate(tiny_request(1, 6), 30'000);
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::Ok);
+    // Tracing was on and the server speaks minor >= 1, so the reply must
+    // carry the stage-timing trailer with a real span id.
+    ASSERT_TRUE(reply.response.timings.has_value());
+    EXPECT_NE(reply.response.timings->trace_id, 0u);
+    EXPECT_NE(reply.response.timings->server_span_id, 0u);
+    EXPECT_GT(reply.response.timings->eval_ns, 0u);
+  }
+  ASSERT_TRUE(obs::write_trace(trace_path));
+  const obs::Json trace = obs::Json::parse(slurp(trace_path));
+  std::filesystem::remove(trace_path);
+
+  bool saw_client_span = false, saw_remote_evaluate = false;
+  bool saw_flow_start = false, saw_flow_end = false;
+  for (const obs::Json& event : trace.at("traceEvents").items()) {
+    const std::string& ph = event.at("ph").as_string();
+    const std::string& name = event.at("name").as_string();
+    if (ph == "X" && name == "svc.client.request") {
+      saw_client_span = true;
+      EXPECT_EQ(event.at("pid").as_number(), obs::kLocalPid);
+    }
+    if (ph == "X" && name == "svc.server.evaluate") {
+      saw_remote_evaluate = true;
+      EXPECT_EQ(event.at("pid").as_number(), obs::kRemotePid);
+    }
+    if (ph == "s") saw_flow_start = true;
+    if (ph == "f") {
+      saw_flow_end = true;
+      EXPECT_EQ(event.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_TRUE(saw_client_span);
+  EXPECT_TRUE(saw_remote_evaluate);
+  EXPECT_TRUE(saw_flow_start);
+  EXPECT_TRUE(saw_flow_end);
+}
+
+TEST(SvcServer, WakeByteTwoDumpsFlightWithoutDraining) {
+  TestServer ts(base_config(fresh_unix("svc-usr1")));
+  svc::Client client;
+  client.connect(ts.server.config().address);
+  ASSERT_EQ(client.evaluate(tiny_request(1, 2), 30'000).kind,
+            svc::Reply::Kind::Ok);
+  // Byte 2 on the self-pipe (the SIGUSR1 spelling) dumps the flight
+  // recorder but must not start a drain.
+  const char byte = 2;
+  ASSERT_EQ(::write(ts.server.wake_fd(), &byte, 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(ts.server.draining());
+  EXPECT_TRUE(client.ping(42, 10'000));
+}
+
+TEST(SvcServer, AccessLogAndStatsFileAreWritten) {
+  const std::string access_path = temp_path("intooa-svc-access-test.log");
+  const std::string stats_path = temp_path("intooa-svc-stats-test.prom");
+  std::filesystem::remove(access_path);
+  std::filesystem::remove(stats_path);
+  {
+    svc::ServerConfig config = base_config(fresh_unix("svc-files"));
+    config.access_log = access_path;
+    config.stats_file = stats_path;
+    config.stats_interval_s = 0.05;
+    TestServer ts(std::move(config));
+    svc::Client client;
+    client.connect(ts.server.config().address);
+    ASSERT_EQ(client.evaluate(tiny_request(1, 8), 30'000).kind,
+              svc::Reply::Kind::Ok);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  const std::string access = slurp(access_path);
+  EXPECT_NE(access.find("id=1 "), std::string::npos);
+  EXPECT_NE(access.find("key="), std::string::npos);
+  EXPECT_NE(access.find("served=computed"), std::string::npos);
+  // The drain wrote a final snapshot even if the timer never fired.
+  const std::string prom = slurp(stats_path);
+  EXPECT_NE(prom.find("# TYPE intooa_svc_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("intooa_svc_request_ns_count"), std::string::npos);
+  std::filesystem::remove(access_path);
+  std::filesystem::remove(stats_path);
+}
+
+TEST(Determinism, ServedResponsesIdenticalWithTelemetryOnAndOff) {
+  const svc::EvalRequest request = tiny_request(1, 11, "S-2");
+  const std::string baseline = evaluate_in_process(request);
+
+  // Fully instrumented: metrics on, span collection on (so the client
+  // attaches trace context and the server returns a timings trailer).
+  obs::set_enabled(true);
+  obs::start_trace();
+  std::string instrumented;
+  {
+    TestServer ts(base_config(fresh_unix("svc-det-on")));
+    svc::Client client;
+    client.connect(ts.server.config().address);
+    const svc::Reply reply = client.evaluate(request, 30'000);
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::Ok);
+    EXPECT_TRUE(reply.response.timings.has_value());
+    instrumented = reply.response.record_payload;
+  }
+  obs::stop_trace();
+
+  // Telemetry fully off: the request carries no trace context and the
+  // reply no trailer — and the record bytes are identical.
+  obs::set_enabled(false);
+  std::string dark;
+  {
+    TestServer ts(base_config(fresh_unix("svc-det-off")));
+    svc::Client client;
+    client.connect(ts.server.config().address);
+    const svc::Reply reply = client.evaluate(request, 30'000);
+    EXPECT_EQ(reply.kind, svc::Reply::Kind::Ok);
+    EXPECT_FALSE(reply.response.timings.has_value());
+    dark = reply.response.record_payload;
+  }
+  obs::set_enabled(true);
+
+  EXPECT_EQ(instrumented, baseline);
+  EXPECT_EQ(dark, baseline);
 }
 
 }  // namespace
