@@ -13,6 +13,7 @@
 #include "common/drain.hpp"
 #include "core/optimizer.hpp"
 #include "obs/telemetry.hpp"
+#include "svc/remote_backend.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
 
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
   const auto eval_store = open_store_from_cli(cli);
+  const auto eval_pool = open_pool_from_cli(cli);
   sizing::SizingConfig sizing_config;  // paper protocol 10+30
 
   std::printf(
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
           core::TopologyEvaluator evaluator(sizing::EvalContext(spec),
                                             sizing_config);
           store::attach(evaluator, eval_store);
+          if (eval_pool) svc::attach(evaluator, eval_pool);
           core::OptimizerConfig config;
           config.iterations = iters;
           config.candidates.pool_size = pool;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   const CampaignSet set =
       run_or_load(spec_name, Method::IntoOa, options.params, options.cache_dir,
-                  options.store);
+                  options.store, options.remote);
   const auto best = set.best_run();
   if (!best) {
     std::printf("No feasible %s design found; rerun with more iterations.\n",

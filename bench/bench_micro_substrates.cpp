@@ -353,8 +353,12 @@ BENCHMARK(BM_ObsSnapshot)
 // else still fails loudly.
 int main(int argc, char** argv) {
   const intooa::util::Cli cli(argc, argv);
-  cli.reject_unknown(
-      {"store", "trace", "metrics", "log-level", "benchmark_*"});
+  // --remote/--remote-inflight are accepted for command-line uniformity
+  // with the campaign benches (sweep scripts pass one flag set to every
+  // bench); the substrate benches never evaluate topologies, so they are
+  // ignored here.
+  cli.reject_unknown({"store", "remote", "remote-inflight", "trace",
+                      "metrics", "log-level", "benchmark_*"});
   intooa::obs::BenchTelemetry telemetry(intooa::obs::TelemetryOptions::from_cli(
       cli, intooa::util::LogLevel::Warn));
   g_store_path = cli.get("store", g_store_path);

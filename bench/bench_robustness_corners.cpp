@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     if (!only_spec.empty() && spec.name != only_spec) continue;
     const CampaignSet set =
         run_or_load(spec.name, Method::IntoOa, options.params,
-                    options.cache_dir, options.store);
+                    options.cache_dir, options.store, options.remote);
     const auto best = set.best_run();
     if (!best) {
       table.add_row({spec.name, "-", "-", "-", "-", "-", "-",

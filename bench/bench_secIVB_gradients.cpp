@@ -17,6 +17,7 @@
 #include "core/optimizer.hpp"
 #include "obs/telemetry.hpp"
 #include "util/log.hpp"
+#include "svc/remote_backend.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   sizing_config.iterations = options.params.sizing_iterations;
   core::TopologyEvaluator evaluator(ctx, sizing_config);
   store::attach(evaluator, options.store);
+  if (options.remote) svc::attach(evaluator, options.remote);
   core::OptimizerConfig opt_config;
   opt_config.init_topologies = options.params.init_topologies;
   opt_config.iterations = options.params.iterations;

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     for (Method method : all_methods()) {
       sets.push_back(
           run_or_load(spec.name, method, options.params, options.cache_dir,
-                      options.store));
+                      options.store, options.remote));
     }
 
     const double ref = reference_fom(sets);

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     for (Method method : methods) {
       const CampaignSet set =
           run_or_load(spec.name, method, options.params, options.cache_dir,
-                      options.store);
+                      options.store, options.remote);
       const auto best = set.best_run();
       if (!best) {
         table.add_row({spec.name, method_name(method), "-", "-", "-", "-",

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const BenchOptions options = BenchOptions::from_cli(cli);
 
   const RefinementFlow flow =
-      run_refinement_flow(options.params, options.store);
+      run_refinement_flow(options.params, options.store, options.remote);
 
   std::printf(
       "\nTABLE IV: Behavior-level Op-amp Performance before and after "

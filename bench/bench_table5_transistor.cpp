@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     for (Method method : methods) {
       const CampaignSet set =
           run_or_load(spec.name, method, options.params, options.cache_dir,
-                      options.store);
+                      options.store, options.remote);
       const auto best = set.best_run();
       if (!best) {
         table.add_row({spec.name, method_name(method), "-", "-", "-", "-",
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   // Refined designs (S-5 rows at the bottom of the paper's Table V).
   if (!cli.has("skip-refined") && (only_spec.empty() || only_spec == "S-5")) {
     const RefinementFlow flow =
-        run_refinement_flow(options.params, options.store);
+        run_refinement_flow(options.params, options.store, options.remote);
     sizing::EvalContext ctx(circuit::spec_by_name("S-5"));
     for (const auto& [name, result] :
          {std::pair<const char*, const core::RefineResult*>{"R1", &flow.c1},

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <span>
 #include <sstream>
+#include <stdexcept>
 
 #include "baselines/fega.hpp"
 #include "baselines/vgae_bo.hpp"
@@ -16,6 +17,7 @@
 #include "runtime/campaign_runner.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/executor.hpp"
+#include "svc/remote_backend.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -240,7 +242,8 @@ RunResult execute_run(const std::string& spec_name, Method method,
                       const CampaignParams& params, std::uint64_t seed,
                       const std::string& checkpoint_path,
                       const std::string& checkpoint_token,
-                      const std::shared_ptr<store::EvalStore>& store) {
+                      const std::shared_ptr<store::EvalStore>& store,
+                      const std::shared_ptr<svc::ClientPool>& remote) {
   INTOOA_SPAN("campaign.run");
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
   sizing::SizingConfig sizing_config;
@@ -251,6 +254,9 @@ RunResult execute_run(const std::string& spec_name, Method method,
   // any concurrent process on the same file) share one store. Attached
   // before checkpoint restore so restored records also populate the store.
   store::attach(evaluator, store);
+  // Distributed tier below the store: store misses are sharded across the
+  // --remote endpoints, with local sizing as the byte-identical fallback.
+  if (remote) svc::attach(evaluator, remote);
 
   if (!checkpoint_path.empty() &&
       runtime::load_evaluator_checkpoint(checkpoint_path, checkpoint_token,
@@ -336,7 +342,8 @@ RunResult run_result_from_evaluator(const core::TopologyEvaluator& evaluator,
 CampaignSet run_or_load(const std::string& spec_name, Method method,
                         const CampaignParams& params,
                         const std::string& cache_dir,
-                        std::shared_ptr<store::EvalStore> store) {
+                        std::shared_ptr<store::EvalStore> store,
+                        std::shared_ptr<svc::ClientPool> remote) {
   install_drain_handler();
   const std::string path =
       cache_dir.empty() ? ""
@@ -385,7 +392,7 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
     return execute_run(spec_name, method, params, job.seed, ckpt_path,
                        run_token(spec_name, method, params, job.index,
                                  job.seed),
-                       store);
+                       store, remote);
   });
   // A drained campaign exits 128+signal here — after every in-flight run
   // has published its checkpoint, but before the campaign CSV is written
@@ -399,6 +406,14 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
        {"successes", set.successes()},
        {"cache_hits", hit_counter.value() - hits_before},
        {"cache_misses", miss_counter.value() - misses_before}});
+  if (remote) {
+    const svc::ClientPoolStats pool_stats = remote->stats();
+    util::log_info("remote pool totals",
+                   {{"endpoints", pool_stats.endpoints.size()},
+                    {"requests", pool_stats.requests()},
+                    {"reconnects", pool_stats.reconnects()},
+                    {"replays", pool_stats.replays()}});
+  }
   return set;
 }
 
@@ -408,12 +423,38 @@ std::shared_ptr<store::EvalStore> open_store_from_cli(const util::Cli& cli) {
   return store::EvalStore::open(path);
 }
 
+std::shared_ptr<svc::ClientPool> open_pool_from_cli(const util::Cli& cli) {
+  const std::string spec = cli.get("remote", "");
+  if (spec.empty()) return nullptr;
+  std::vector<svc::Address> endpoints;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    if (!token.empty()) endpoints.push_back(svc::Address::parse(token));
+    begin = end + 1;
+  }
+  if (endpoints.empty()) {
+    throw std::invalid_argument("--remote: no endpoints in \"" + spec + "\"");
+  }
+  svc::ClientPoolConfig config;
+  config.max_inflight = cli.get_size("remote-inflight", config.max_inflight);
+  auto pool =
+      std::make_shared<svc::ClientPool>(std::move(endpoints), config);
+  util::log_info("remote evaluation pool",
+                 {{"endpoints", pool->endpoint_count()},
+                  {"inflight", config.max_inflight}});
+  return pool;
+}
+
 void reject_unknown_flags(const util::Cli& cli,
                           std::initializer_list<std::string_view> extra) {
   std::vector<std::string_view> known = {
-      "quick",     "runs",     "iters", "init",    "pool",
-      "seed",      "cache-dir", "no-cache", "store", "threads",
-      "trace",     "metrics",  "log-level"};
+      "quick",     "runs",     "iters",    "init",   "pool",
+      "seed",      "cache-dir", "no-cache", "store",  "threads",
+      "remote",    "remote-inflight",       "trace",  "metrics",
+      "log-level"};
   known.insert(known.end(), extra.begin(), extra.end());
   cli.reject_unknown(std::span<const std::string_view>(known));
 }
@@ -440,6 +481,7 @@ BenchOptions BenchOptions::from_cli(const util::Cli& cli) {
   options.cache_dir = cli.get("cache-dir", options.cache_dir);
   if (cli.has("no-cache")) options.cache_dir.clear();
   options.store = open_store_from_cli(cli);
+  options.remote = open_pool_from_cli(cli);
   options.threads = cli.get_size("threads", 0);  // 0 = hardware concurrency
   runtime::set_thread_count(options.threads);
   options.threads = runtime::thread_count();

@@ -18,6 +18,7 @@
 #include "circuit/spec.hpp"
 #include "core/evaluator.hpp"
 #include "store/store.hpp"
+#include "svc/client_pool.hpp"
 #include "util/cli.hpp"
 
 namespace intooa::bench {
@@ -108,24 +109,34 @@ RunResult run_result_from_evaluator(const core::TopologyEvaluator& evaluator,
 /// identical (spec, sizing protocol, topology) evaluations. Warm runs are
 /// byte-identical to cold ones at any thread count; only where the results
 /// come from changes.
+///
+/// With a non-null `remote`, every run's evaluator additionally consults
+/// the distributed evaluation tier (--remote endpoints via
+/// svc::ClientPool) on store misses, falling back to its local sizer when
+/// no endpoint is reachable. Distributed campaigns are byte-identical to
+/// in-process ones at any inflight depth and shard count.
 CampaignSet run_or_load(const std::string& spec_name, Method method,
                         const CampaignParams& params,
                         const std::string& cache_dir,
-                        std::shared_ptr<store::EvalStore> store = nullptr);
+                        std::shared_ptr<store::EvalStore> store = nullptr,
+                        std::shared_ptr<svc::ClientPool> remote = nullptr);
 
 /// Shared CLI handling for the campaign benches: reads --runs, --iters,
 /// --init, --pool, --seed, --quick (3 runs, 20 iterations, pool 100,
 /// sizing 5+15), --cache-dir (default "bench-cache"), --no-cache,
 /// --store FILE (persistent cross-campaign evaluation store, opened once
-/// per process and shared by every run), and --threads N (worker threads
-/// for campaign runs and candidate scoring; default = hardware
-/// concurrency, 1 = fully serial). from_cli applies the thread count to
-/// the global runtime executor and opens the store (throwing on an
-/// unusable store file).
+/// per process and shared by every run), --remote ADDR[,ADDR...] (shard
+/// evaluations across intooa-served endpoints; one shared pool per
+/// process), --remote-inflight N (pipelined requests per connection,
+/// default 4), and --threads N (worker threads for campaign runs and
+/// candidate scoring; default = hardware concurrency, 1 = fully serial).
+/// from_cli applies the thread count to the global runtime executor and
+/// opens the store (throwing on an unusable store file).
 struct BenchOptions {
   CampaignParams params;
   std::string cache_dir = "bench-cache";
   std::shared_ptr<store::EvalStore> store;  ///< from --store ("" = null)
+  std::shared_ptr<svc::ClientPool> remote;  ///< from --remote ("" = null)
   std::size_t threads = 0;  ///< resolved count (>= 1) after from_cli
 
   static BenchOptions from_cli(const util::Cli& cli);
@@ -135,12 +146,20 @@ struct BenchOptions {
 /// absent). For benches that do not go through BenchOptions.
 std::shared_ptr<store::EvalStore> open_store_from_cli(const util::Cli& cli);
 
+/// Builds the --remote client pool from the command line (null when the
+/// flag is absent): a comma-separated endpoint list, each in
+/// svc::Address::parse syntax, with --remote-inflight pipelined requests
+/// per connection. Throws std::invalid_argument on an unparseable
+/// endpoint. For benches that do not go through BenchOptions.
+std::shared_ptr<svc::ClientPool> open_pool_from_cli(const util::Cli& cli);
+
 /// Validates the command line against the shared campaign flags (--quick,
 /// --runs, --iters, --init, --pool, --seed, --cache-dir, --no-cache,
-/// --store, --threads), the telemetry flags (--trace, --metrics,
-/// --log-level), and any bench-specific `extra` flags; exits 2 with a
-/// did-you-mean diagnostic on anything else (util::Cli::reject_unknown).
-/// Call it right after parsing, before any flag is read.
+/// --store, --remote, --remote-inflight, --threads), the telemetry flags
+/// (--trace, --metrics, --log-level), and any bench-specific `extra`
+/// flags; exits 2 with a did-you-mean diagnostic on anything else
+/// (util::Cli::reject_unknown). Call it right after parsing, before any
+/// flag is read.
 void reject_unknown_flags(const util::Cli& cli,
                           std::initializer_list<std::string_view> extra = {});
 

@@ -2,12 +2,14 @@
 
 #include "circuit/library.hpp"
 #include "core/optimizer.hpp"
+#include "svc/remote_backend.hpp"
 #include "util/log.hpp"
 
 namespace intooa::bench {
 
 RefinementFlow run_refinement_flow(const CampaignParams& params,
-                                   std::shared_ptr<store::EvalStore> store) {
+                                   std::shared_ptr<store::EvalStore> store,
+                                   std::shared_ptr<svc::ClientPool> remote) {
   const circuit::Spec& spec = circuit::spec_by_name("S-5");
   sizing::EvalContext ctx(spec);
   sizing::SizingConfig sizing_config;
@@ -19,6 +21,7 @@ RefinementFlow run_refinement_flow(const CampaignParams& params,
   util::log_info("refinement flow: training WL-GP models on S-5...");
   core::TopologyEvaluator evaluator(ctx, sizing_config);
   store::attach(evaluator, std::move(store));
+  if (remote) svc::attach(evaluator, std::move(remote));
   core::OptimizerConfig opt_config;
   opt_config.init_topologies = params.init_topologies;
   opt_config.iterations = params.iterations;

@@ -21,9 +21,11 @@ struct RefinementFlow {
 /// (one model-training campaign run; refinement budget 40 simulations per
 /// attempt as in the paper). A non-null `store` serves the model-training
 /// campaign's topology evaluations from / persists them to the shared
-/// evaluation store.
+/// evaluation store; a non-null `remote` additionally shards store misses
+/// across the --remote service endpoints.
 RefinementFlow run_refinement_flow(
     const CampaignParams& params,
-    std::shared_ptr<store::EvalStore> store = nullptr);
+    std::shared_ptr<store::EvalStore> store = nullptr,
+    std::shared_ptr<svc::ClientPool> remote = nullptr);
 
 }  // namespace intooa::bench

@@ -13,6 +13,10 @@ void TopologyEvaluator::attach_store(std::shared_ptr<ResultStore> store) {
   store_ = std::move(store);
 }
 
+void TopologyEvaluator::attach_remote(std::shared_ptr<RemoteBackend> remote) {
+  remote_ = std::move(remote);
+}
+
 const sizing::SizedResult& TopologyEvaluator::insert(EvalRecord record) {
   const std::size_t key = record.topology.index();
   record.sims_before = total_simulations_;
@@ -31,6 +35,8 @@ const sizing::SizedResult& TopologyEvaluator::evaluate(
       obs::registry().counter("evaluator.cache_miss");
   static obs::Counter& store_hit_counter =
       obs::registry().counter("evaluator.store_hit");
+  static obs::Counter& remote_hit_counter =
+      obs::registry().counter("evaluator.remote_hit");
   static obs::Counter& sizer_counter =
       obs::registry().counter("evaluator.sizer_runs");
   static obs::Counter& sim_counter =
@@ -53,6 +59,20 @@ const sizing::SizedResult& TopologyEvaluator::evaluate(
       ++store_hits_;
       store_hit_counter.add();
       return insert(std::move(*stored));
+    }
+  }
+
+  // Remote tier: the networked evaluation service produces exactly the
+  // bytes local sizing would (deterministic key-seeded sizing), so a served
+  // record joins the history like a store hit and back-fills the store. An
+  // unreachable service degrades to the local sizer, never to a failure.
+  if (remote_) {
+    if (auto served = remote_->evaluate(topology)) {
+      ++remote_hits_;
+      remote_hit_counter.add();
+      const sizing::SizedResult& sized = insert(std::move(*served));
+      if (store_) store_->save(history_.back());  // write-behind
+      return sized;
     }
   }
 

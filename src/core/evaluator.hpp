@@ -16,9 +16,13 @@
 //
 // Cache hierarchy on evaluate(): in-memory record cache -> attached
 // ResultStore tier (read-through on miss, write-behind on fresh results)
-// -> the sizing loop itself. A store hit joins the history with full
-// simulation-cost accounting, exactly as if the sizer had produced it, but
-// performs zero simulator work.
+// -> attached RemoteBackend tier (networked evaluation service) -> the
+// sizing loop itself as the always-available fallback. A store or remote
+// hit joins the history with full simulation-cost accounting, exactly as
+// if the sizer had produced it, but performs zero local simulator work;
+// by the deterministic key-seeded sizing discipline every tier returns
+// byte-identical results, so campaigns are reproducible regardless of
+// which tier answered.
 
 #include <cstdint>
 #include <memory>
@@ -59,6 +63,25 @@ class ResultStore {
   virtual void save(const EvalRecord& record) = 0;
 };
 
+/// Remote serving tier below the persistent store: delegates the sizing
+/// work to a networked evaluation service (svc::RemoteBackend over a
+/// svc::ClientPool). Implementations must honor the deterministic-sizing
+/// contract — a returned record carries exactly the bytes local sizing
+/// would have produced for the same EvalKey — and return nullopt (never
+/// throw) when no endpoint is reachable, in which case the evaluator
+/// falls back to its local sizer with an identical result. Must be safe
+/// to call from concurrent evaluators.
+class RemoteBackend {
+ public:
+  virtual ~RemoteBackend() = default;
+
+  /// Evaluates `topology` remotely under this backend's bound evaluation
+  /// context, or nullopt when the service could not serve it. The returned
+  /// record's sims_before is meaningless; the evaluator re-derives it.
+  virtual std::optional<EvalRecord> evaluate(
+      const circuit::Topology& topology) = 0;
+};
+
 /// Caching, counting wrapper around the sizing loop.
 class TopologyEvaluator {
  public:
@@ -75,6 +98,13 @@ class TopologyEvaluator {
   /// Attaches a persistence tier consulted on in-memory cache misses and
   /// fed every new history record (write-behind). Pass nullptr to detach.
   void attach_store(std::shared_ptr<ResultStore> store);
+
+  /// Attaches a remote serving tier consulted after the store and before
+  /// the local sizer. A remote result joins the history exactly like a
+  /// store hit (full logical simulation cost, zero local simulator work)
+  /// and is written behind to the attached store, if any. Pass nullptr to
+  /// detach.
+  void attach_remote(std::shared_ptr<RemoteBackend> remote);
 
   /// True when the topology has been evaluated already.
   bool visited(const circuit::Topology& topology) const;
@@ -102,6 +132,10 @@ class TopologyEvaluator {
 
   /// Memory-tier misses answered by the attached store without simulation.
   std::size_t store_hits() const { return store_hits_; }
+
+  /// Store-tier misses answered by the attached remote backend without
+  /// local simulation.
+  std::size_t remote_hits() const { return remote_hits_; }
 
   /// The canonical evaluation-identity context of this evaluator.
   const EvalKeyContext& key_context() const { return keys_; }
@@ -134,12 +168,14 @@ class TopologyEvaluator {
   sizing::Sizer sizer_;
   EvalKeyContext keys_;
   std::shared_ptr<ResultStore> store_;
+  std::shared_ptr<RemoteBackend> remote_;
   std::unordered_map<std::size_t, std::size_t> cache_;  // topo index -> record
   std::vector<EvalRecord> history_;
   std::size_t total_simulations_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
   std::size_t store_hits_ = 0;
+  std::size_t remote_hits_ = 0;
 };
 
 }  // namespace intooa::core

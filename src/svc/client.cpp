@@ -25,6 +25,24 @@ std::uint64_t next_trace_id() {
 
 }  // namespace
 
+std::uint32_t retry_backoff_ms(std::uint32_t hint_ms,
+                               std::uint64_t request_id, int attempt) {
+  const std::uint32_t base = std::clamp<std::uint32_t>(hint_ms, 10u, 2000u);
+  // splitmix64 finalizer over (id, attempt): cheap, deterministic, and
+  // well-spread — and never util::Rng, which would perturb result streams.
+  std::uint64_t z = request_id +
+                    0x9E3779B97F4A7C15ull *
+                        (static_cast<std::uint64_t>(attempt) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const auto pct = static_cast<std::int64_t>(z % 51) - 25;  // [-25, +25]
+  const std::int64_t jittered =
+      static_cast<std::int64_t>(base) +
+      static_cast<std::int64_t>(base) * pct / 100;
+  return static_cast<std::uint32_t>(std::max<std::int64_t>(jittered, 1));
+}
+
 void Client::connect(const Address& address) {
   fd_ = connect_to(address);
   if (!write_all(fd_.get(), encode_frame(MsgType::Hello, encode_hello()))) {
@@ -84,6 +102,10 @@ Reply Client::read_reply(int timeout_ms) {
   if (status == ReadStatus::Timeout) {
     throw std::runtime_error("svc: timed out waiting for a reply");
   }
+  if (status == ReadStatus::BadType) {
+    throw std::runtime_error(
+        "svc: reply frame carries an unknown message type (corrupt stream)");
+  }
   if (status != ReadStatus::Ok) {
     throw std::runtime_error("svc: connection lost while awaiting a reply");
   }
@@ -139,8 +161,8 @@ Reply Client::evaluate_with_retry(const EvalRequest& request,
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     Reply reply = evaluate(request, timeout_ms);
     if (reply.kind != Reply::Kind::Busy) return reply;
-    const int backoff = std::clamp<int>(
-        static_cast<int>(reply.busy.retry_after_ms), 10, 2000);
+    const std::uint32_t backoff = retry_backoff_ms(
+        reply.busy.retry_after_ms, request.request_id, attempt);
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
   }
   throw std::runtime_error("svc: server still busy after " +

@@ -22,6 +22,16 @@
 
 namespace intooa::svc {
 
+/// Sleep before retrying a Busy-rejected request: the server's hint
+/// clamped to [10 ms, 2 s] — in uint32 space, so a hint above INT_MAX
+/// clamps to the ceiling instead of overflowing negative and hitting the
+/// floor — with deterministic ±25% jitter derived from the request id (and
+/// the attempt ordinal), so a fleet of saturated clients spreads its
+/// retries instead of re-arriving in lockstep. Pure function: the same
+/// (id, attempt) always backs off the same amount.
+std::uint32_t retry_backoff_ms(std::uint32_t hint_ms,
+                               std::uint64_t request_id, int attempt = 0);
+
 /// One reply to an EvalRequest, whichever of the three shapes it took.
 struct Reply {
   enum class Kind { Ok, Busy, Error } kind = Kind::Error;
@@ -61,8 +71,9 @@ class Client {
   /// send_request + read_reply for the single-request case.
   Reply evaluate(const EvalRequest& request, int timeout_ms = -1);
 
-  /// evaluate() with Busy-backoff: sleeps the server's retry hint (bounded
-  /// to [10ms, 2s]) and retries, up to `max_attempts`. Returns the first
+  /// evaluate() with Busy-backoff: sleeps retry_backoff_ms(hint, id,
+  /// attempt) — the server's hint bounded to [10ms, 2s] with deterministic
+  /// ±25% jitter — and retries, up to `max_attempts`. Returns the first
   /// non-Busy reply; throws std::runtime_error when every attempt was
   /// rejected Busy.
   Reply evaluate_with_retry(const EvalRequest& request, int max_attempts = 8,

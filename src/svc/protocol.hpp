@@ -70,6 +70,15 @@ enum class MsgType : std::uint8_t {
   StatsResponse = 10,  ///< server -> client: stats document (JSON text)
 };
 
+/// True when a raw frame-header type byte names a known MsgType. The frame
+/// reader rejects anything else up front (ReadStatus::BadType): a bogus
+/// byte cast straight into the enum would otherwise carry an out-of-range
+/// value through every switch over it.
+constexpr bool msg_type_known(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MsgType::Hello) &&
+         raw <= static_cast<std::uint8_t>(MsgType::StatsResponse);
+}
+
 enum class ErrorCode : std::uint32_t {
   BadFrame = 1,         ///< unparseable frame or unknown message type
   VersionMismatch = 2,  ///< Hello magic/version not accepted

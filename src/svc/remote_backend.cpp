@@ -1,0 +1,57 @@
+#include "svc/remote_backend.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "store/record_io.hpp"
+#include "util/log.hpp"
+
+namespace intooa::svc {
+
+RemoteBackend::RemoteBackend(std::shared_ptr<ClientPool> pool,
+                             sizing::EvalContext context,
+                             sizing::SizingConfig config)
+    : pool_(std::move(pool)),
+      context_(std::move(context)),
+      config_(config),
+      keys_(context_, config_) {}
+
+std::optional<core::EvalRecord> RemoteBackend::evaluate(
+    const circuit::Topology& topology) {
+  static obs::Counter& bad_record_counter =
+      obs::registry().counter("svc.pool.bad_records");
+  const core::EvalKey key = keys_.key_for(topology);
+  EvalRequest request;
+  request.spec = context_.spec;
+  request.behavioral = context_.behavioral;
+  request.ac = context_.ac;
+  request.sizing = config_;
+  request.topology_index = topology.index();
+  const auto response = pool_->evaluate(request, key.digest);
+  if (!response) return std::nullopt;
+  auto decoded = store::decode_record(response->record_payload);
+  if (!decoded || decoded->key.fingerprint != key.fingerprint) {
+    // A served record that does not decode, or answers a different key, is
+    // a server bug or transport corruption: count it and degrade to a
+    // miss — the local sizer produces the correct bytes regardless.
+    bad_record_counter.add();
+    util::log_warn("svc: discarding served record for topology " +
+                   std::to_string(topology.index()) +
+                   (decoded ? " (key fingerprint mismatch)"
+                            : " (payload does not decode)"));
+    return std::nullopt;
+  }
+  return std::move(decoded->record);
+}
+
+void attach(core::TopologyEvaluator& evaluator,
+            std::shared_ptr<ClientPool> pool) {
+  if (!pool) {
+    evaluator.attach_remote(nullptr);
+    return;
+  }
+  evaluator.attach_remote(std::make_shared<RemoteBackend>(
+      std::move(pool), evaluator.context(), evaluator.sizer().config()));
+}
+
+}  // namespace intooa::svc

@@ -1,0 +1,50 @@
+#pragma once
+// svc::RemoteBackend — the core::RemoteBackend implementation over a
+// ClientPool: translates a topology into the full evaluation identity of
+// an EvalRequest (spec, behavioral model, AC options, sizing protocol,
+// topology index), routes it by EvalKey digest so one key always lands on
+// the same server's warm store, and decodes the returned
+// store::encode_record bytes back into an EvalRecord.
+//
+// Every failure mode — endpoint down, request failed server-side, record
+// bytes that do not decode or whose key fingerprint does not match —
+// degrades to nullopt, which the evaluator treats as a miss and answers
+// with its local sizer. The deterministic key-seeded sizing discipline
+// makes that substitution byte-exact, so campaigns driven through this
+// backend are byte-identical to in-process ones.
+
+#include <memory>
+#include <optional>
+
+#include "core/eval_key.hpp"
+#include "core/evaluator.hpp"
+#include "svc/client_pool.hpp"
+
+namespace intooa::svc {
+
+class RemoteBackend final : public core::RemoteBackend {
+ public:
+  /// Binds the pool to one evaluation configuration — the same
+  /// (context, config) pair the owning evaluator sizes under, so requests
+  /// carry the exact EvalKey identity.
+  RemoteBackend(std::shared_ptr<ClientPool> pool, sizing::EvalContext context,
+                sizing::SizingConfig config = {});
+
+  /// Evaluates remotely; nullopt on any service failure (never throws).
+  std::optional<core::EvalRecord> evaluate(
+      const circuit::Topology& topology) override;
+
+ private:
+  std::shared_ptr<ClientPool> pool_;
+  sizing::EvalContext context_;
+  sizing::SizingConfig config_;
+  core::EvalKeyContext keys_;
+};
+
+/// Convenience mirroring store::attach: attaches `pool` to `evaluator` as
+/// a RemoteBackend bound to the evaluator's own evaluation configuration.
+/// A null pool detaches.
+void attach(core::TopologyEvaluator& evaluator,
+            std::shared_ptr<ClientPool> pool);
+
+}  // namespace intooa::svc

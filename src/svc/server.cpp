@@ -383,6 +383,8 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
   } else if (hello_status == ReadStatus::Oversized) {
     send_error(conn, 0, ErrorCode::OversizedFrame,
                "frame exceeds " + std::to_string(kMaxFrame) + " bytes");
+  } else if (hello_status == ReadStatus::BadType) {
+    send_error(conn, 0, ErrorCode::BadFrame, "unknown message type");
   } else if (hello_status == ReadStatus::Ok) {
     send_error(conn, 0, ErrorCode::BadFrame, "expected Hello");
   }
@@ -410,6 +412,12 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
     if (status == ReadStatus::Oversized) {
       send_error(conn, 0, ErrorCode::OversizedFrame,
                  "frame exceeds " + std::to_string(kMaxFrame) + " bytes");
+      break;
+    }
+    if (status == ReadStatus::BadType) {
+      // The stream is corrupt past the header, so the connection must
+      // close — but the peer is told why instead of seeing a silent EOF.
+      send_error(conn, 0, ErrorCode::BadFrame, "unknown message type");
       break;
     }
     if (status != ReadStatus::Ok) break;  // Closed or Error

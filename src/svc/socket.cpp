@@ -11,6 +11,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -32,17 +33,41 @@ obs::Counter& tx_counter() {
   return c;
 }
 
+std::int64_t monotonic_now_ns() {
+  timespec now{};
+  ::clock_gettime(CLOCK_MONOTONIC, &now);
+  return static_cast<std::int64_t>(now.tv_sec) * 1'000'000'000 + now.tv_nsec;
+}
+
 /// poll() for readability, riding out EINTR. timeout_ms < 0 = forever.
-/// Returns false on timeout.
+/// Returns false on timeout. The deadline is computed once up front and
+/// each re-poll after EINTR uses only the remaining time — a stream of
+/// signals must never extend the timeout (a signal-heavy process would
+/// otherwise keep a dead-idle connection open without bound).
 bool wait_readable(int fd, int timeout_ms) {
   struct pollfd p{};
   p.fd = fd;
   p.events = POLLIN;
+  if (timeout_ms < 0) {
+    for (;;) {
+      const int got = ::poll(&p, 1, -1);
+      if (got > 0) return true;
+      if (got < 0 && errno != EINTR) return false;
+    }
+  }
+  const std::int64_t deadline_ns =
+      monotonic_now_ns() + static_cast<std::int64_t>(timeout_ms) * 1'000'000;
+  int remaining_ms = timeout_ms;
   for (;;) {
-    const int got = ::poll(&p, 1, timeout_ms);
+    const int got = ::poll(&p, 1, remaining_ms);
     if (got > 0) return true;
     if (got == 0) return false;
     if (errno != EINTR) return false;
+    const std::int64_t left_ns = deadline_ns - monotonic_now_ns();
+    if (left_ns <= 0) return false;
+    // Round up so a sub-millisecond remainder still polls once more
+    // instead of spinning with a zero timeout.
+    remaining_ms = static_cast<int>((left_ns + 999'999) / 1'000'000);
   }
 }
 
@@ -183,14 +208,27 @@ Fd connect_to(const Address& address) {
     throw std::runtime_error("svc: cannot resolve " + address.host + ": " +
                              ::gai_strerror(rc));
   }
-  Fd fd(::socket(info->ai_family, info->ai_socktype, info->ai_protocol));
-  if (!fd.valid()) {
-    ::freeaddrinfo(info);
-    fail("svc: socket(AF_INET)");
+  // A name can resolve to several addresses; try each in resolver order and
+  // only fail — with the last errno — once every candidate was refused.
+  Fd fd;
+  int last_errno = ECONNREFUSED;
+  for (const struct addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    Fd candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd = std::move(candidate);
+      break;
+    }
+    last_errno = errno;
   }
-  const int connected = ::connect(fd.get(), info->ai_addr, info->ai_addrlen);
   ::freeaddrinfo(info);
-  if (connected != 0) fail("svc: connect " + address.to_string());
+  if (!fd.valid()) {
+    errno = last_errno;
+    fail("svc: connect " + address.to_string());
+  }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return fd;
@@ -206,8 +244,10 @@ ReadStatus read_frame(int fd, Frame& frame, int idle_timeout_ms) {
 
   std::uint32_t length = 0;
   std::memcpy(&length, header, sizeof length);
-  frame.type = static_cast<MsgType>(static_cast<std::uint8_t>(header[4]));
   if (length > kMaxFrame) return ReadStatus::Oversized;
+  const auto raw_type = static_cast<std::uint8_t>(header[4]);
+  if (!msg_type_known(raw_type)) return ReadStatus::BadType;
+  frame.type = static_cast<MsgType>(raw_type);
   frame.payload.resize(length);
   if (length > 0 &&
       read_exact(fd, frame.payload.data(), length, kMidFrameGraceMs) !=

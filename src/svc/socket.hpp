@@ -74,6 +74,7 @@ enum class ReadStatus {
   Closed,     ///< orderly EOF at a frame boundary
   Timeout,    ///< idle longer than the timeout at a frame boundary
   Oversized,  ///< announced payload length exceeds kMaxFrame
+  BadType,    ///< header type byte is not a known MsgType
   Error,      ///< I/O error or EOF mid-frame
 };
 
@@ -81,9 +82,10 @@ enum class ReadStatus {
 /// `idle_timeout_ms` < 0 waits forever; the timeout applies only while
 /// waiting for the *first* byte of a frame — once a frame has started, the
 /// peer gets kMidFrameGraceMs to finish it (a stalled mid-frame peer is an
-/// error, not an idle connection). On Oversized the announced length is NOT
-/// consumed; callers must treat the stream as corrupt and close. Counts
-/// received bytes into "svc.bytes_rx".
+/// error, not an idle connection). On Oversized and BadType the announced
+/// payload is NOT consumed; callers must treat the stream as corrupt and
+/// close (the server replies Error(bad-frame) first). Counts received
+/// bytes into "svc.bytes_rx".
 ReadStatus read_frame(int fd, Frame& frame, int idle_timeout_ms = -1);
 
 /// Writes all of `data`, riding out short writes and EINTR; returns false

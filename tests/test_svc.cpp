@@ -7,12 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <climits>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -23,10 +31,13 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sizing/sizer.hpp"
+#include "core/evaluator.hpp"
 #include "store/record_io.hpp"
 #include "store/store.hpp"
 #include "svc/client.hpp"
+#include "svc/client_pool.hpp"
 #include "svc/protocol.hpp"
+#include "svc/remote_backend.hpp"
 #include "svc/server.hpp"
 #include "svc/socket.hpp"
 #include "util/rng.hpp"
@@ -738,6 +749,333 @@ TEST(Determinism, ServedResponsesIdenticalWithTelemetryOnAndOff) {
 
   EXPECT_EQ(instrumented, baseline);
   EXPECT_EQ(dark, baseline);
+}
+
+// ---- socket deadline + frame-type validation ------------------------------
+
+// A signal storm delivering EINTR every couple of milliseconds must not
+// extend read_frame's idle timeout: the deadline is computed once and each
+// re-poll waits only the remaining time. The pre-fix behavior re-armed the
+// full timeout on every EINTR, so the read would only time out after the
+// storm subsided.
+TEST(SvcSocket, EintrStormDoesNotExtendReadDeadline) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  struct sigaction action {};
+  struct sigaction old_action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: poll must observe EINTR
+  ASSERT_EQ(::sigaction(SIGUSR2, &action, &old_action), 0);
+
+  std::atomic<bool> storming{true};
+  const pthread_t reader = ::pthread_self();
+  // Bounded storm (1.5 s max) so even a regression terminates: the buggy
+  // deadline would then show up as elapsed > storm duration.
+  std::thread storm([&] {
+    const auto storm_end =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(1500);
+    while (storming.load() && std::chrono::steady_clock::now() < storm_end) {
+      ::pthread_kill(reader, SIGUSR2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  svc::Frame frame;
+  const auto start = std::chrono::steady_clock::now();
+  const svc::ReadStatus status = svc::read_frame(sv[0], frame, 300);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  storming.store(false);
+  storm.join();
+  ::sigaction(SIGUSR2, &old_action, nullptr);
+  ::close(sv[0]);
+  ::close(sv[1]);
+
+  EXPECT_EQ(status, svc::ReadStatus::Timeout);
+  EXPECT_GE(elapsed_ms, 290);
+  EXPECT_LT(elapsed_ms, 1200);  // well inside the storm window
+}
+
+// A frame whose header type byte names no MsgType is rejected up front
+// (BadType), never cast into the enum.
+TEST(SvcSocket, UnknownFrameTypeIsRejectedBeforeDecode) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::string bogus(svc::kFrameHeaderSize, '\0');  // payload_len 0 ...
+  bogus[4] = static_cast<char>(0xEE);              // ... unknown type
+  ASSERT_TRUE(svc::write_all(sv[1], bogus));
+  svc::Frame frame;
+  EXPECT_EQ(svc::read_frame(sv[0], frame, 2000), svc::ReadStatus::BadType);
+  // Type 0 (below the enum range) is equally rejected.
+  bogus[4] = 0;
+  ASSERT_TRUE(svc::write_all(sv[1], bogus));
+  EXPECT_EQ(svc::read_frame(sv[0], frame, 2000), svc::ReadStatus::BadType);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// Server side of the same defect: an unknown frame type after the
+// handshake earns an Error(bad-frame) reply, then the connection closes.
+TEST(SvcServer, UnknownFrameTypeGetsBadFrameError) {
+  TestServer ts(base_config(fresh_unix("svc-badtype")));
+  svc::Fd fd = svc::connect_to(ts.server.config().address);
+  ASSERT_TRUE(svc::write_all(
+      fd.get(), svc::encode_frame(svc::MsgType::Hello, svc::encode_hello())));
+  svc::Frame frame;
+  ASSERT_EQ(svc::read_frame(fd.get(), frame, 5000), svc::ReadStatus::Ok);
+  ASSERT_EQ(frame.type, svc::MsgType::HelloOk);
+
+  std::string bogus(svc::kFrameHeaderSize, '\0');
+  bogus[4] = 0x7F;
+  ASSERT_TRUE(svc::write_all(fd.get(), bogus));
+  ASSERT_EQ(svc::read_frame(fd.get(), frame, 5000), svc::ReadStatus::Ok);
+  ASSERT_EQ(frame.type, svc::MsgType::Error);
+  const auto error = svc::decode_error(frame.payload);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, svc::ErrorCode::BadFrame);
+  EXPECT_EQ(svc::read_frame(fd.get(), frame, 5000), svc::ReadStatus::Closed);
+}
+
+// ---- Busy retry backoff ---------------------------------------------------
+
+// The Busy backoff clamps the server hint in uint32 space: a hint above
+// INT_MAX lands at the 2 s ceiling (the pre-fix int cast overflowed
+// negative and hit the 10 ms floor instead), jittered ±25%.
+TEST(SvcClient, RetryBackoffClampsHugeHintsToCeiling) {
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::uint32_t backoff =
+        svc::retry_backoff_ms(UINT32_MAX, id);
+    EXPECT_GE(backoff, 1500u) << "id " << id;
+    EXPECT_LE(backoff, 2500u) << "id " << id;
+  }
+  // INT_MAX + 1 is the exact boundary the int cast used to overflow at.
+  const std::uint32_t boundary = svc::retry_backoff_ms(
+      static_cast<std::uint32_t>(INT_MAX) + 1u, 7);
+  EXPECT_GE(boundary, 1500u);
+  EXPECT_LE(boundary, 2500u);
+}
+
+TEST(SvcClient, RetryBackoffIsDeterministicAndJittered) {
+  // Pure function of (hint, id, attempt)...
+  EXPECT_EQ(svc::retry_backoff_ms(100, 42, 1), svc::retry_backoff_ms(100, 42, 1));
+  // ...honors the floor...
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::uint32_t backoff = svc::retry_backoff_ms(0, id);
+    EXPECT_GE(backoff, 7u);
+    EXPECT_LE(backoff, 13u);
+  }
+  // ...and actually spreads: a fleet of ids must not back off in lockstep.
+  std::vector<std::uint32_t> seen;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    seen.push_back(svc::retry_backoff_ms(1000, id));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_GT(std::unique(seen.begin(), seen.end()) - seen.begin(), 8);
+}
+
+// ---- client pool ----------------------------------------------------------
+
+TEST(SvcClientPool, PipelinedRequestsAreByteIdentical) {
+  TestServer ts(base_config(fresh_unix("pool-pipe")));
+  svc::ClientPoolConfig config;
+  config.max_inflight = 4;
+  svc::ClientPool pool({ts.server.config().address}, config);
+
+  constexpr int kRequests = 8;
+  std::vector<std::optional<svc::EvalResponse>> responses(kRequests);
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kRequests; ++i) {
+    callers.emplace_back([&pool, &responses, i] {
+      responses[static_cast<std::size_t>(i)] = pool.evaluate(
+          tiny_request(0, static_cast<std::uint64_t>(100 + i)),
+          static_cast<std::uint64_t>(i));
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(responses[static_cast<std::size_t>(i)].has_value()) << i;
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)]->record_payload,
+              evaluate_in_process(
+                  tiny_request(0, static_cast<std::uint64_t>(100 + i))))
+        << i;
+  }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.requests(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.replays(), 0u);
+}
+
+TEST(SvcClientPool, ShardsAcrossEndpointsByDigest) {
+  TestServer a(base_config(fresh_unix("pool-shard-a")));
+  TestServer b(base_config(fresh_unix("pool-shard-b")));
+  svc::ClientPool pool(
+      {a.server.config().address, b.server.config().address});
+  ASSERT_EQ(pool.endpoint_count(), 2u);
+  EXPECT_EQ(pool.shard_of(4), 0u);
+  EXPECT_EQ(pool.shard_of(7), 1u);
+
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto request = tiny_request(0, static_cast<std::uint64_t>(120 + i));
+    const auto response =
+        pool.evaluate(request, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(response.has_value()) << i;
+    EXPECT_EQ(response->record_payload, evaluate_in_process(request)) << i;
+  }
+  const auto stats = pool.stats();
+  ASSERT_EQ(stats.endpoints.size(), 2u);
+  EXPECT_EQ(stats.endpoints[0].requests, 3u);  // digests 0, 2, 4
+  EXPECT_EQ(stats.endpoints[1].requests, 3u);  // digests 1, 3, 5
+}
+
+TEST(SvcClientPool, AbsorbsBusyBackpressure) {
+  svc::ServerConfig server_config = base_config(fresh_unix("pool-busy"));
+  server_config.max_inflight = 1;  // everything beyond one eval gets Busy
+  server_config.test_eval_delay_ms = 30;
+  server_config.busy_retry_ms = 10;
+  TestServer ts(std::move(server_config));
+  svc::ClientPoolConfig config;
+  config.max_inflight = 4;
+  svc::ClientPool pool({ts.server.config().address}, config);
+
+  constexpr int kRequests = 6;
+  std::vector<std::optional<svc::EvalResponse>> responses(kRequests);
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kRequests; ++i) {
+    callers.emplace_back([&pool, &responses, i] {
+      responses[static_cast<std::size_t>(i)] = pool.evaluate(
+          tiny_request(0, static_cast<std::uint64_t>(140 + i)), 0);
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  std::uint64_t busy = 0;
+  for (const auto& ep : pool.stats().endpoints) busy += ep.busy;
+  EXPECT_GE(busy, 1u);  // the saturated server must have pushed back
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(responses[static_cast<std::size_t>(i)].has_value()) << i;
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)]->record_payload,
+              evaluate_in_process(
+                  tiny_request(0, static_cast<std::uint64_t>(140 + i))))
+        << i;
+  }
+}
+
+// Kill the server mid-flight, restart it on the same address: the pool
+// reconnects and replays what was outstanding, and every caller still gets
+// the byte-exact result.
+TEST(SvcClientPool, ReconnectsAndReplaysAcrossServerRestart) {
+  const svc::Address address = fresh_unix("pool-restart");
+  svc::ClientPoolConfig config;
+  config.max_inflight = 4;
+  config.max_connect_attempts = 200;  // keep probing through the restart
+  svc::ClientPool pool({address}, config);
+
+  svc::ServerConfig slow = base_config(address);
+  slow.test_eval_delay_ms = 200;
+  auto first = std::make_unique<TestServer>(std::move(slow));
+  const auto warmup = pool.evaluate(tiny_request(0, 160), 0);
+  ASSERT_TRUE(warmup.has_value());
+
+  // r1 is admitted and evaluating (200 ms) when the drain begins; r2
+  // arrives after it and is refused with Error(draining). Both replay.
+  std::optional<svc::EvalResponse> r1, r2;
+  std::thread t1([&] { r1 = pool.evaluate(tiny_request(0, 161), 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  first->server.begin_drain();
+  std::thread t2([&] { r2 = pool.evaluate(tiny_request(0, 162), 0); });
+  first->stop();
+  first.reset();
+
+  TestServer second(base_config(address));
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->record_payload, evaluate_in_process(tiny_request(0, 161)));
+  EXPECT_EQ(r2->record_payload, evaluate_in_process(tiny_request(0, 162)));
+
+  const auto stats = pool.stats();
+  EXPECT_GE(stats.reconnects(), 1u);
+  EXPECT_GE(stats.replays(), 1u);
+  EXPECT_FALSE(stats.endpoints[0].down);
+}
+
+TEST(SvcClientPool, UnreachableEndpointFailsSoftAndFast) {
+  const svc::Address address = fresh_unix("pool-dead");  // nobody listens
+  svc::ClientPoolConfig config;
+  config.max_connect_attempts = 2;
+  config.reconnect_base_ms = 10;
+  svc::ClientPool pool({address}, config);
+
+  EXPECT_FALSE(pool.evaluate(tiny_request(0, 170), 0).has_value());
+  EXPECT_TRUE(pool.stats().endpoints[0].down);
+  // Once down, callers fail fast instead of queueing behind the probe.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pool.evaluate(tiny_request(0, 171), 0).has_value());
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_LT(elapsed_ms, 500);
+}
+
+// ---- evaluator remote tier ------------------------------------------------
+
+TEST(SvcRemoteBackend, EvaluatorRemoteTierMatchesLocalByteForByte) {
+  TestServer ts(base_config(fresh_unix("remote-tier")));
+  const circuit::Spec& spec = circuit::spec_by_name("S-1");
+  core::TopologyEvaluator remote_eval(sizing::EvalContext(spec),
+                                      tiny_sizing());
+  core::TopologyEvaluator local_eval(sizing::EvalContext(spec), tiny_sizing());
+  auto pool = std::make_shared<svc::ClientPool>(
+      std::vector<svc::Address>{ts.server.config().address});
+  svc::attach(remote_eval, pool);
+
+  const std::size_t indices[] = {180, 181, 182};
+  for (const std::size_t index : indices) {
+    const circuit::Topology topology = circuit::Topology::from_index(index);
+    remote_eval.evaluate(topology);
+    local_eval.evaluate(topology);
+  }
+  EXPECT_EQ(remote_eval.remote_hits(), 3u);
+  EXPECT_EQ(remote_eval.total_simulations(), local_eval.total_simulations());
+  ASSERT_EQ(remote_eval.history().size(), local_eval.history().size());
+  for (std::size_t i = 0; i < remote_eval.history().size(); ++i) {
+    const core::EvalRecord& served = remote_eval.history()[i];
+    const core::EvalRecord& sized = local_eval.history()[i];
+    EXPECT_EQ(store::encode_record(
+                  remote_eval.key_context().key_for(served.topology), served),
+              store::encode_record(
+                  local_eval.key_context().key_for(sized.topology), sized))
+        << i;
+  }
+}
+
+TEST(SvcRemoteBackend, FallsBackToLocalSizerWhenNoEndpointReachable) {
+  const svc::Address address = fresh_unix("remote-dead");
+  svc::ClientPoolConfig config;
+  config.max_connect_attempts = 2;
+  config.reconnect_base_ms = 10;
+  const circuit::Spec& spec = circuit::spec_by_name("S-1");
+  core::TopologyEvaluator fallback_eval(sizing::EvalContext(spec),
+                                        tiny_sizing());
+  core::TopologyEvaluator local_eval(sizing::EvalContext(spec), tiny_sizing());
+  svc::attach(fallback_eval,
+              std::make_shared<svc::ClientPool>(
+                  std::vector<svc::Address>{address}, config));
+
+  const circuit::Topology topology = circuit::Topology::from_index(190);
+  fallback_eval.evaluate(topology);
+  local_eval.evaluate(topology);
+  EXPECT_EQ(fallback_eval.remote_hits(), 0u);
+  ASSERT_EQ(fallback_eval.history().size(), 1u);
+  EXPECT_EQ(
+      store::encode_record(fallback_eval.key_context().key_for(topology),
+                           fallback_eval.history()[0]),
+      store::encode_record(local_eval.key_context().key_for(topology),
+                           local_eval.history()[0]));
 }
 
 }  // namespace
