@@ -1,4 +1,4 @@
-#include "common/campaign.hpp"
+#include "campaign/campaign.hpp"
 
 #include <filesystem>
 #include <fstream>
@@ -10,7 +10,7 @@
 
 #include "baselines/fega.hpp"
 #include "baselines/vgae_bo.hpp"
-#include "common/drain.hpp"
+#include "campaign/drain.hpp"
 #include "core/optimizer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -21,7 +21,7 @@
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
-namespace intooa::bench {
+namespace intooa::campaign {
 
 const std::vector<Method>& all_methods() {
   static const std::vector<Method> methods = {
@@ -39,6 +39,13 @@ std::string method_name(Method method) {
     case Method::IntoOa: return "INTO-OA";
   }
   return "?";
+}
+
+std::optional<Method> method_from_name(std::string_view name) {
+  for (Method method : all_methods()) {
+    if (method_name(method) == name) return method;
+  }
+  return std::nullopt;
 }
 
 std::string CampaignParams::cache_token() const {
@@ -104,15 +111,14 @@ std::optional<std::size_t> CampaignSet::best_run() const {
   return best;
 }
 
-namespace {
-
-std::string cache_path(const std::string& cache_dir, const std::string& spec,
-                       Method method, const CampaignParams& params) {
+std::string campaign_csv_path(const std::string& cache_dir,
+                              const std::string& spec, Method method,
+                              const CampaignParams& params) {
   return cache_dir + "/campaign_" + spec + "_" + method_name(method) + "_" +
          params.cache_token() + ".csv";
 }
 
-void save_cache(const std::string& path, const CampaignSet& set) {
+void save_campaign_csv(const std::string& path, const CampaignSet& set) {
   std::filesystem::create_directories(
       std::filesystem::path(path).parent_path());
   std::ofstream out(path);
@@ -134,9 +140,10 @@ void save_cache(const std::string& path, const CampaignSet& set) {
   }
 }
 
-std::optional<CampaignSet> load_cache(const std::string& path,
-                                      const std::string& spec, Method method,
-                                      const CampaignParams& params) {
+std::optional<CampaignSet> load_campaign_csv(const std::string& path,
+                                             const std::string& spec,
+                                             Method method,
+                                             const CampaignParams& params) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   CampaignSet set;
@@ -196,10 +203,12 @@ std::optional<CampaignSet> load_cache(const std::string& path,
   return set;
 }
 
+namespace {
+
 /// One trained VAE per process, shared by every VGAE-BO campaign (the
 /// autoencoder is trained offline on unlabeled topologies, independent of
 /// spec and run). The first caller trains under the mutex; parallel
-/// campaign runs then copy the trained instance (see execute_run).
+/// campaign runs then copy the trained instance (see run_single).
 baselines::Vae& shared_vae(const baselines::VaeConfig& config) {
   static std::mutex vae_mutex;
   static std::unique_ptr<baselines::Vae> vae;
@@ -215,8 +224,15 @@ baselines::Vae& shared_vae(const baselines::VaeConfig& config) {
   return *vae;
 }
 
-/// Identity stamp of one run: a checkpoint is only reusable for the exact
-/// (spec, method, protocol, run, seed) it was written under.
+}  // namespace
+
+std::uint64_t run_seed(const CampaignParams& params, Method method,
+                       const std::string& spec_name, std::size_t run_index) {
+  return params.seed * 1000003ULL +
+         static_cast<std::uint64_t>(method) * 7919ULL +
+         std::hash<std::string>{}(spec_name) % 104729ULL + run_index * 31ULL;
+}
+
 std::string run_token(const std::string& spec, Method method,
                       const CampaignParams& params, std::size_t run_index,
                       std::uint64_t seed) {
@@ -235,15 +251,12 @@ std::string run_checkpoint_path(const std::string& cache_dir,
          std::to_string(run_index) + ".ckpt";
 }
 
-/// Executes one campaign run, checkpointing the evaluator afterwards (or
-/// restoring it up front when a matching checkpoint exists, skipping all
-/// simulation work).
-RunResult execute_run(const std::string& spec_name, Method method,
-                      const CampaignParams& params, std::uint64_t seed,
-                      const std::string& checkpoint_path,
-                      const std::string& checkpoint_token,
-                      const std::shared_ptr<store::EvalStore>& store,
-                      const std::shared_ptr<svc::ClientPool>& remote) {
+RunResult run_single(const std::string& spec_name, Method method,
+                     const CampaignParams& params, std::uint64_t seed,
+                     const std::string& checkpoint_path,
+                     const std::string& checkpoint_token,
+                     const std::shared_ptr<store::EvalStore>& store,
+                     const std::shared_ptr<svc::ClientPool>& remote) {
   INTOOA_SPAN("campaign.run");
   const circuit::Spec& spec = circuit::spec_by_name(spec_name);
   sizing::SizingConfig sizing_config;
@@ -311,8 +324,6 @@ RunResult execute_run(const std::string& spec_name, Method method,
   return run_result_from_evaluator(evaluator, params);
 }
 
-}  // namespace
-
 RunResult run_result_from_evaluator(const core::TopologyEvaluator& evaluator,
                                     const CampaignParams& params) {
   // Mirrors how every method builds its OptimizationOutcome: feasible-first
@@ -346,10 +357,11 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
                         std::shared_ptr<svc::ClientPool> remote) {
   install_drain_handler();
   const std::string path =
-      cache_dir.empty() ? ""
-                        : cache_path(cache_dir, spec_name, method, params);
+      cache_dir.empty()
+          ? ""
+          : campaign_csv_path(cache_dir, spec_name, method, params);
   if (!path.empty()) {
-    if (auto cached = load_cache(path, spec_name, method, params)) {
+    if (auto cached = load_campaign_csv(path, spec_name, method, params)) {
       util::log_info("loaded cached campaign " + path);
       return *cached;
     }
@@ -367,9 +379,7 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
   for (std::size_t r = 0; r < params.runs; ++r) {
     jobs[r].name = method_name(method) + " on " + spec_name + ": run " +
                    std::to_string(r + 1) + "/" + std::to_string(params.runs);
-    jobs[r].seed = params.seed * 1000003ULL +
-                   static_cast<std::uint64_t>(method) * 7919ULL +
-                   std::hash<std::string>{}(spec_name) % 104729ULL + r * 31ULL;
+    jobs[r].seed = run_seed(params, method, spec_name, r);
     jobs[r].index = r;
   }
   // Campaign-level cache accounting: the sets of one bench run sequentially,
@@ -381,24 +391,24 @@ CampaignSet run_or_load(const std::string& spec_name, Method method,
 
   const runtime::CampaignRunner runner(runtime::global_pool());
   set.runs = runner.run<RunResult>(jobs, [&](const runtime::CampaignJob& job) {
-    // Drain discipline (see common/drain.hpp): runs not yet started when a
-    // SIGINT/SIGTERM arrives are skipped; runs already in flight finish
+    // Drain discipline (see campaign/drain.hpp): runs not yet started when
+    // a SIGINT/SIGTERM arrives are skipped; runs already in flight finish
     // and checkpoint below.
     if (draining()) return RunResult{};
     const std::string ckpt_path =
         cache_dir.empty() ? ""
                           : run_checkpoint_path(cache_dir, spec_name, method,
                                                 params, job.index);
-    return execute_run(spec_name, method, params, job.seed, ckpt_path,
-                       run_token(spec_name, method, params, job.index,
-                                 job.seed),
-                       store, remote);
+    return run_single(spec_name, method, params, job.seed, ckpt_path,
+                      run_token(spec_name, method, params, job.index,
+                                job.seed),
+                      store, remote);
   });
   // A drained campaign exits 128+signal here — after every in-flight run
   // has published its checkpoint, but before the campaign CSV is written
   // (a partial set must not be mistaken for a finished one).
   exit_if_draining();
-  if (!path.empty()) save_cache(path, set);
+  if (!path.empty()) save_campaign_csv(path, set);
 
   util::log_info(
       "campaign " + method_name(method) + " on " + spec_name + " done",
@@ -502,4 +512,4 @@ double reference_fom(const std::vector<CampaignSet>& sets_for_spec) {
   return any ? 0.9 * weakest : 0.0;
 }
 
-}  // namespace intooa::bench
+}  // namespace intooa::campaign

@@ -1,4 +1,4 @@
-#include "common/drain.hpp"
+#include "campaign/drain.hpp"
 
 #include <csignal>
 #include <unistd.h>
@@ -8,7 +8,9 @@
 #include <cstdlib>
 #include <mutex>
 
-namespace intooa::bench {
+#include "obs/telemetry.hpp"
+
+namespace intooa::campaign {
 
 namespace {
 
@@ -49,6 +51,11 @@ int drain_signal() { return g_drain_signal.load(std::memory_order_relaxed); }
 void exit_if_draining() {
   const int sig = drain_signal();
   if (sig == 0) return;
+  // std::exit runs no stack unwinding, so the bench's BenchTelemetry
+  // destructor would never fire: flush the trace/metrics sidecars here,
+  // after the in-flight runs checkpointed, so an interrupted scheduled job
+  // still leaves usable telemetry.
+  obs::finalize_active_telemetry();
   std::fprintf(stderr,
                "campaign drained after signal %d: finished runs are "
                "checkpointed; re-run the same command to resume\n",
@@ -56,4 +63,4 @@ void exit_if_draining() {
   std::exit(128 + sig);
 }
 
-}  // namespace intooa::bench
+}  // namespace intooa::campaign

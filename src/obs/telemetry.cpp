@@ -1,12 +1,24 @@
 #include "obs/telemetry.hpp"
 
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace intooa::obs {
+
+namespace {
+
+// The most recently constructed live session. Guarded by a mutex: the
+// drain path (exit_if_draining on the main thread) and the destructor can
+// race only in pathological teardown orders, but the lock makes the
+// registration protocol unconditionally safe.
+std::mutex g_active_mutex;
+BenchTelemetry* g_active = nullptr;
+
+}  // namespace
 
 TelemetryOptions TelemetryOptions::from_cli(const util::Cli& cli,
                                             util::LogLevel default_level) {
@@ -30,9 +42,17 @@ TelemetryOptions TelemetryOptions::from_cli(const util::Cli& cli,
 BenchTelemetry::BenchTelemetry(TelemetryOptions options)
     : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
   if (!options_.trace_path.empty()) start_trace();
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  g_active = this;
 }
 
-BenchTelemetry::~BenchTelemetry() { finalize(); }
+BenchTelemetry::~BenchTelemetry() {
+  {
+    std::lock_guard<std::mutex> lock(g_active_mutex);
+    if (g_active == this) g_active = nullptr;
+  }
+  finalize();
+}
 
 double BenchTelemetry::elapsed_seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -58,6 +78,16 @@ void BenchTelemetry::finalize() {
       (!snapshot.counters.empty() || !snapshot.histograms.empty())) {
     std::fputs((render_report(snapshot, elapsed) + "\n").c_str(), stderr);
   }
+}
+
+void finalize_active_telemetry() {
+  BenchTelemetry* active = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_active_mutex);
+    active = g_active;
+    g_active = nullptr;  // at most one flush through this path
+  }
+  if (active != nullptr) active->finalize();
 }
 
 }  // namespace intooa::obs

@@ -32,7 +32,10 @@ struct TelemetryOptions {
                                    util::LogLevel default_level);
 };
 
-/// RAII bench telemetry session (see header comment).
+/// RAII bench telemetry session (see header comment). The most recently
+/// constructed live instance is the process's "active" session, reachable
+/// through finalize_active_telemetry() for exit paths that bypass stack
+/// unwinding (std::exit in the campaign drain, daemon signal exits).
 class BenchTelemetry {
  public:
   explicit BenchTelemetry(TelemetryOptions options);
@@ -53,5 +56,13 @@ class BenchTelemetry {
   std::chrono::steady_clock::time_point start_;
   bool finalized_ = false;
 };
+
+/// Finalizes the process's active BenchTelemetry session now (trace +
+/// metrics + report), if one exists and has not already been finalized.
+/// Safe to call any number of times, with or without a live session. For
+/// exit paths that skip destructors: std::exit after a campaign drain
+/// signal would otherwise publish checkpoints but silently drop the
+/// --trace/--metrics sidecars.
+void finalize_active_telemetry();
 
 }  // namespace intooa::obs

@@ -1,0 +1,88 @@
+#include "sched/campaign_workload.hpp"
+
+#include <stdexcept>
+
+#include "campaign/campaign.hpp"
+#include "circuit/spec.hpp"
+#include "obs/span.hpp"
+#include "util/log.hpp"
+
+namespace intooa::sched {
+
+CampaignWorkload::CampaignWorkload(CampaignWorkloadConfig config)
+    : config_(std::move(config)) {}
+
+std::string CampaignWorkload::job_dir(std::uint64_t job_id) const {
+  return config_.jobs_dir + "/job-" + std::to_string(job_id);
+}
+
+void CampaignWorkload::validate(const JobSpec& spec) {
+  if (spec.specs.empty()) {
+    throw std::invalid_argument("job has no specs");
+  }
+  if (spec.params.runs == 0) {
+    throw std::invalid_argument("job has zero runs");
+  }
+  if (spec.tenant.empty()) {
+    throw std::invalid_argument("job has an empty tenant");
+  }
+  if (!campaign::method_from_name(spec.method)) {
+    throw std::invalid_argument("unknown method \"" + spec.method + "\"");
+  }
+  for (const auto& name : spec.specs) {
+    circuit::spec_by_name(name);  // throws std::invalid_argument if unknown
+  }
+}
+
+UnitResult CampaignWorkload::run_unit(const JobInfo& job, const UnitRef& unit) {
+  const campaign::Method method = *campaign::method_from_name(job.spec.method);
+  const campaign::CampaignParams& params = job.spec.params;
+  const std::string dir = job_dir(job.id);
+  const std::uint64_t seed =
+      campaign::run_seed(params, method, unit.spec, unit.run_index);
+  util::log_info("sched: running unit",
+                 {{"job", job.id},
+                  {"spec", unit.spec},
+                  {"run", unit.run_index},
+                  {"seed", seed}});
+  campaign::run_single(
+      unit.spec, method, params, seed,
+      campaign::run_checkpoint_path(dir, unit.spec, method, params,
+                                    unit.run_index),
+      campaign::run_token(unit.spec, method, params, unit.run_index, seed),
+      config_.store, config_.remote);
+  UnitResult result;
+  result.simulations = params.budget();
+  return result;
+}
+
+void CampaignWorkload::finalize(const JobInfo& job) {
+  const campaign::Method method = *campaign::method_from_name(job.spec.method);
+  const campaign::CampaignParams& params = job.spec.params;
+  const std::string dir = job_dir(job.id);
+  for (const auto& spec_name : job.spec.specs) {
+    campaign::CampaignSet set;
+    set.spec = spec_name;
+    set.method = method;
+    set.params = params;
+    set.runs.reserve(params.runs);
+    for (std::size_t r = 0; r < params.runs; ++r) {
+      const std::uint64_t seed =
+          campaign::run_seed(params, method, spec_name, r);
+      // Every unit already published its checkpoint; run_single restores
+      // it and re-derives the RunResult without any simulation work.
+      set.runs.push_back(campaign::run_single(
+          spec_name, method, params, seed,
+          campaign::run_checkpoint_path(dir, spec_name, method, params, r),
+          campaign::run_token(spec_name, method, params, r, seed),
+          config_.store, config_.remote));
+    }
+    const std::string csv =
+        campaign::campaign_csv_path(dir, spec_name, method, params);
+    campaign::save_campaign_csv(csv, set);
+    util::log_info("sched: campaign CSV written",
+                   {{"job", job.id}, {"path", csv}});
+  }
+}
+
+}  // namespace intooa::sched

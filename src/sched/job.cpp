@@ -1,0 +1,129 @@
+#include "sched/job.hpp"
+
+namespace intooa::sched {
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Canceled: return "canceled";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState state) {
+  return state == JobState::Completed || state == JobState::Canceled ||
+         state == JobState::Failed;
+}
+
+namespace {
+
+/// Raw state bytes outside the enum must never round-trip into a switch.
+bool state_known(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(JobState::Failed);
+}
+
+}  // namespace
+
+void write_job_spec(util::WireWriter& writer, const JobSpec& spec) {
+  writer.str(spec.tenant);
+  writer.u32(spec.priority);
+  writer.str(spec.method);
+  writer.u32(static_cast<std::uint32_t>(spec.specs.size()));
+  for (const auto& name : spec.specs) writer.str(name);
+  writer.u64(spec.params.runs);
+  writer.u64(spec.params.init_topologies);
+  writer.u64(spec.params.iterations);
+  writer.u64(spec.params.pool);
+  writer.u64(spec.params.sizing_init);
+  writer.u64(spec.params.sizing_iterations);
+  writer.u64(spec.params.seed);
+}
+
+bool read_job_spec(util::WireReader& reader, JobSpec& spec) {
+  std::uint32_t spec_count = 0;
+  if (!reader.str(spec.tenant) || !reader.u32(spec.priority) ||
+      !reader.str(spec.method) || !reader.u32(spec_count)) {
+    return false;
+  }
+  // Each spec name costs at least its 4-byte length prefix: a hostile
+  // count cannot reserve more entries than the payload could carry.
+  if (spec_count > reader.remaining() / sizeof(std::uint32_t)) return false;
+  spec.specs.clear();
+  spec.specs.reserve(spec_count);
+  for (std::uint32_t i = 0; i < spec_count; ++i) {
+    std::string name;
+    if (!reader.str(name)) return false;
+    spec.specs.push_back(std::move(name));
+  }
+  std::uint64_t runs = 0, init = 0, iters = 0, pool = 0, s_init = 0,
+                s_iters = 0;
+  if (!reader.u64(runs) || !reader.u64(init) || !reader.u64(iters) ||
+      !reader.u64(pool) || !reader.u64(s_init) || !reader.u64(s_iters) ||
+      !reader.u64(spec.params.seed)) {
+    return false;
+  }
+  spec.params.runs = static_cast<std::size_t>(runs);
+  spec.params.init_topologies = static_cast<std::size_t>(init);
+  spec.params.iterations = static_cast<std::size_t>(iters);
+  spec.params.pool = static_cast<std::size_t>(pool);
+  spec.params.sizing_init = static_cast<std::size_t>(s_init);
+  spec.params.sizing_iterations = static_cast<std::size_t>(s_iters);
+  return true;
+}
+
+void write_job_info(util::WireWriter& writer, const JobInfo& info) {
+  writer.u64(info.id);
+  write_job_spec(writer, info.spec);
+  writer.u8(static_cast<std::uint8_t>(info.state));
+  writer.u32(info.units_total);
+  writer.u32(info.units_done);
+  writer.u64(info.simulations);
+  writer.u32(info.preemptions);
+  writer.str(info.message);
+}
+
+bool read_job_info(util::WireReader& reader, JobInfo& info) {
+  std::uint8_t state = 0;
+  if (!reader.u64(info.id) || !read_job_spec(reader, info.spec) ||
+      !reader.u8(state) || !state_known(state) ||
+      !reader.u32(info.units_total) || !reader.u32(info.units_done) ||
+      !reader.u64(info.simulations) || !reader.u32(info.preemptions) ||
+      !reader.str(info.message)) {
+    return false;
+  }
+  info.state = static_cast<JobState>(state);
+  return true;
+}
+
+std::string encode_job_spec(const JobSpec& spec) {
+  std::string out;
+  util::WireWriter writer(out);
+  write_job_spec(writer, spec);
+  return out;
+}
+
+std::optional<JobSpec> decode_job_spec(std::string_view payload) {
+  util::WireReader reader(payload);
+  JobSpec spec;
+  if (!read_job_spec(reader, spec) || !reader.done()) return std::nullopt;
+  return spec;
+}
+
+std::string encode_job_info(const JobInfo& info) {
+  std::string out;
+  util::WireWriter writer(out);
+  write_job_info(writer, info);
+  return out;
+}
+
+std::optional<JobInfo> decode_job_info(std::string_view payload) {
+  util::WireReader reader(payload);
+  JobInfo info;
+  if (!read_job_info(reader, info) || !reader.done()) return std::nullopt;
+  return info;
+}
+
+}  // namespace intooa::sched

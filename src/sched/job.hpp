@@ -1,0 +1,95 @@
+#pragma once
+// Job model of the campaign scheduler (intooa-schedd). A job is one
+// tenant's request to run a set of campaigns: (spec set, method, campaign
+// protocol/seed range, priority, tenant). The scheduler decomposes it into
+// units — one unit is one whole campaign run of one spec (the granularity
+// at which campaigns checkpoint, hence the only boundary where resume is
+// byte-identical) — and dispatches units onto its worker pool.
+//
+// JobSpec/JobInfo have wire codecs (util::WireWriter discipline: fixed
+// little-endian, bounds-checked, exact-consume) shared by the svc job
+// messages (sched/protocol.hpp) and the persistent journal
+// (sched/journal.hpp), so a job's identity is one byte layout everywhere.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "util/wire.hpp"
+
+namespace intooa::sched {
+
+enum class JobState : std::uint8_t {
+  Queued = 0,     ///< accepted, no unit dispatched yet (or requeued)
+  Running = 1,    ///< at least one unit dispatched
+  Completed = 2,  ///< every unit done and outputs finalized
+  Canceled = 3,   ///< canceled before completion (at a unit boundary)
+  Failed = 4,     ///< a unit or the finalizer threw
+};
+
+/// "queued" / "running" / "completed" / "canceled" / "failed".
+std::string_view job_state_name(JobState state);
+
+/// True for the states a job can never leave (Completed/Canceled/Failed).
+bool job_state_terminal(JobState state);
+
+/// What a client submits.
+struct JobSpec {
+  std::string tenant = "default";
+  /// Strictly ordered priority band: a pending unit of a higher band is
+  /// always dispatched before any lower band (fair share applies within a
+  /// band only).
+  std::uint32_t priority = 0;
+  /// Method display name ("INTO-OA", "FE-GA", ... —
+  /// campaign::method_name vocabulary; validated at submission).
+  std::string method = "INTO-OA";
+  /// Specification sets to run the campaign on (circuit::spec_by_name
+  /// vocabulary).
+  std::vector<std::string> specs;
+  /// Campaign protocol: runs (the seed range), budget per run, seed.
+  campaign::CampaignParams params;
+
+  /// Units in this job: one per (spec, run) pair.
+  std::size_t unit_count() const { return specs.size() * params.runs; }
+  /// Nominal simulation cost of one unit (the fair-share charge).
+  std::size_t unit_cost() const { return params.budget(); }
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// Scheduler-side snapshot of one job, returned by JobStatus/ListJobs.
+struct JobInfo {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  std::uint32_t units_total = 0;
+  std::uint32_t units_done = 0;
+  std::uint64_t simulations = 0;  ///< nominal sims of completed units
+  std::uint32_t preemptions = 0;  ///< times a freed worker went to a
+                                  ///< strictly-higher-priority job instead
+  std::string message;            ///< failure/cancel detail ("" otherwise)
+
+  friend bool operator==(const JobInfo&, const JobInfo&) = default;
+};
+
+// ---- codec fragments (append to a writer / read from a reader) ----
+
+void write_job_spec(util::WireWriter& writer, const JobSpec& spec);
+/// False on any structural defect (caller treats as corruption).
+bool read_job_spec(util::WireReader& reader, JobSpec& spec);
+
+void write_job_info(util::WireWriter& writer, const JobInfo& info);
+bool read_job_info(util::WireReader& reader, JobInfo& info);
+
+// ---- whole-payload helpers (journal records, tests) ----
+
+std::string encode_job_spec(const JobSpec& spec);
+std::optional<JobSpec> decode_job_spec(std::string_view payload);
+
+std::string encode_job_info(const JobInfo& info);
+std::optional<JobInfo> decode_job_info(std::string_view payload);
+
+}  // namespace intooa::sched

@@ -1,0 +1,301 @@
+#include "sched/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/crc32.hpp"
+#include "util/fs.hpp"
+#include "util/log.hpp"
+#include "util/wire.hpp"
+
+namespace intooa::sched {
+
+namespace {
+
+constexpr char kMagic[16] = {'i', 'n', 't', 'o', 'o', 'a', '-', 's',
+                             'c', 'h', 'e', 'd', 'j', 'r', 'n', 'l'};
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + 2 * sizeof(std::uint32_t);
+/// Sanity cap on one event payload; a "length" beyond this is corruption
+/// (the largest real event is a Submitted with a few spec names).
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class EventKind : std::uint8_t {
+  Submitted = 1,
+  UnitDone = 2,
+  StateChanged = 3,
+};
+
+std::string header_bytes() {
+  std::string out(kHeaderSize, '\0');
+  std::memcpy(out.data(), kMagic, sizeof(kMagic));
+  const std::uint32_t version = kJournalVersion;
+  std::memcpy(out.data() + sizeof(kMagic), &version, sizeof(version));
+  return out;  // trailing u32 stays zero (reserved)
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+std::uint64_t file_size(int fd) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) fail("sched: journal fstat");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+bool pread_exact(int fd, void* buf, std::size_t n, std::uint64_t offset) {
+  auto* out = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::pread(fd, out, n, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    out += got;
+    offset += static_cast<std::uint64_t>(got);
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void pwrite_exact(int fd, const void* buf, std::size_t n,
+                  std::uint64_t offset) {
+  const auto* data = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::pwrite(fd, data, n, static_cast<off_t>(offset));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      fail("sched: journal pwrite");
+    }
+    data += put;
+    offset += static_cast<std::uint64_t>(put);
+    n -= static_cast<std::size_t>(put);
+  }
+}
+
+obs::Counter& events_counter() {
+  static obs::Counter& c = obs::registry().counter("sched.journal.events");
+  return c;
+}
+obs::Counter& recovered_tail_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("sched.journal.recovered_tail_bytes");
+  return c;
+}
+
+/// Applies one intact event payload to the replay state. Returns false on
+/// a structurally invalid payload — which, CRC having passed, means a
+/// foreign or future-versioned writer; the caller truncates there, exactly
+/// like a torn tail, so the journal never yields a half-understood state.
+bool apply_event(std::string_view payload,
+                 std::map<std::uint64_t, RecoveredJob>& jobs,
+                 std::vector<std::uint64_t>& order, JournalRecovery& out) {
+  util::WireReader reader(payload);
+  std::uint8_t kind_raw = 0;
+  if (!reader.u8(kind_raw)) return false;
+  switch (static_cast<EventKind>(kind_raw)) {
+    case EventKind::Submitted: {
+      JobInfo info;
+      if (!read_job_info(reader, info) || !reader.done()) return false;
+      if (jobs.count(info.id) != 0) return false;  // duplicate id
+      order.push_back(info.id);
+      jobs[info.id].info = std::move(info);
+      out.next_job_id = std::max(out.next_job_id, jobs[order.back()].info.id + 1);
+      return true;
+    }
+    case EventKind::UnitDone: {
+      std::uint64_t job_id = 0, sims = 0;
+      std::uint32_t unit = 0;
+      if (!reader.u64(job_id) || !reader.u32(unit) || !reader.u64(sims) ||
+          !reader.done()) {
+        return false;
+      }
+      const auto it = jobs.find(job_id);
+      if (it == jobs.end()) return false;  // event before its Submitted
+      RecoveredJob& job = it->second;
+      if (std::find(job.done_units.begin(), job.done_units.end(), unit) ==
+          job.done_units.end()) {
+        job.done_units.push_back(unit);
+        job.info.units_done =
+            static_cast<std::uint32_t>(job.done_units.size());
+        job.info.simulations += sims;
+      }
+      return true;
+    }
+    case EventKind::StateChanged: {
+      std::uint64_t job_id = 0;
+      std::uint8_t state_raw = 0;
+      std::string message;
+      if (!reader.u64(job_id) || !reader.u8(state_raw) ||
+          state_raw > static_cast<std::uint8_t>(JobState::Failed) ||
+          !reader.str(message) || !reader.done()) {
+        return false;
+      }
+      const auto it = jobs.find(job_id);
+      if (it == jobs.end()) return false;
+      it->second.info.state = static_cast<JobState>(state_raw);
+      it->second.info.message = std::move(message);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {}
+
+JobJournal::~JobJournal() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+std::unique_ptr<JobJournal> JobJournal::open(const std::string& path,
+                                             JournalRecovery& recovery) {
+  INTOOA_SPAN("sched.journal.open");
+  recovery = JournalRecovery{};
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+
+  auto journal = std::unique_ptr<JobJournal>(new JobJournal(path));
+  journal->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (journal->fd_ < 0) fail("sched: journal open " + path);
+  // Exclusive for the journal's lifetime: unlike the eval store (shared by
+  // concurrent writers per append), exactly one scheduler owns a journal.
+  if (::flock(journal->fd_, LOCK_EX | LOCK_NB) != 0) {
+    throw std::runtime_error("sched: journal " + path +
+                             " is locked by another scheduler process");
+  }
+
+  std::uint64_t size = file_size(journal->fd_);
+  if (size == 0) {
+    const std::string header = header_bytes();
+    pwrite_exact(journal->fd_, header.data(), header.size(), 0);
+    util::fsync_fd(journal->fd_, path);
+    journal->end_offset_ = header.size();
+    return journal;
+  }
+  if (size < kHeaderSize) {
+    throw std::runtime_error("sched: journal " + path +
+                             " is shorter than its header");
+  }
+  char magic[sizeof(kMagic)];
+  std::uint32_t version = 0;
+  if (!pread_exact(journal->fd_, magic, sizeof(magic), 0) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("sched: " + path + " is not a job journal");
+  }
+  if (!pread_exact(journal->fd_, &version, sizeof(version), sizeof(kMagic)) ||
+      version != kJournalVersion) {
+    throw std::runtime_error("sched: journal " + path + " has version " +
+                             std::to_string(version) + ", expected " +
+                             std::to_string(kJournalVersion));
+  }
+
+  // Replay: scan intact frames, truncate at the first torn or corrupt one.
+  std::map<std::uint64_t, RecoveredJob> jobs;
+  std::vector<std::uint64_t> order;
+  std::uint64_t offset = kHeaderSize;
+  while (offset < size) {
+    std::uint32_t frame[2] = {0, 0};  // length, crc
+    if (size - offset < sizeof(frame)) break;
+    if (!pread_exact(journal->fd_, frame, sizeof(frame), offset)) break;
+    const std::uint32_t length = frame[0];
+    if (length > kMaxPayload || size - offset - sizeof(frame) < length) break;
+    std::string payload(length, '\0');
+    if (!pread_exact(journal->fd_, payload.data(), length,
+                     offset + sizeof(frame))) {
+      break;
+    }
+    if (util::crc32(payload) != frame[1]) break;
+    if (!apply_event(payload, jobs, order, recovery)) break;
+    recovery.events += 1;
+    offset += sizeof(frame) + length;
+  }
+  if (offset < size) {
+    recovery.recovered_tail_bytes = size - offset;
+    recovered_tail_counter().add(recovery.recovered_tail_bytes);
+    util::log_warn("sched: journal tail truncated",
+                   {{"path", path},
+                    {"recovered_bytes", recovery.recovered_tail_bytes},
+                    {"events", recovery.events}});
+    if (::ftruncate(journal->fd_, static_cast<off_t>(offset)) != 0) {
+      fail("sched: journal ftruncate");
+    }
+    util::fsync_fd(journal->fd_, path);
+  }
+  journal->end_offset_ = offset;
+
+  recovery.jobs.reserve(order.size());
+  for (const std::uint64_t id : order) {
+    recovery.jobs.push_back(std::move(jobs[id]));
+  }
+  return journal;
+}
+
+void JobJournal::append(std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    throw std::length_error("sched: journal event exceeds " +
+                            std::to_string(kMaxPayload) + " bytes");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string frame;
+  frame.reserve(2 * sizeof(std::uint32_t) + payload.size());
+  util::WireWriter writer(frame);
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.u32(util::crc32(payload));
+  frame.append(payload);
+  pwrite_exact(fd_, frame.data(), frame.size(), end_offset_);
+  // fsync per event: a UnitDone the scheduler acted on (checkpoint already
+  // published) must survive a crash, or restart would redo paid work.
+  util::fsync_fd(fd_, path_);
+  end_offset_ += frame.size();
+  events_counter().add();
+}
+
+void JobJournal::submitted(const JobInfo& info) {
+  std::string payload;
+  util::WireWriter writer(payload);
+  writer.u8(static_cast<std::uint8_t>(EventKind::Submitted));
+  write_job_info(writer, info);
+  append(payload);
+}
+
+void JobJournal::unit_done(std::uint64_t job_id, std::uint32_t unit_index,
+                           std::uint64_t simulations) {
+  std::string payload;
+  util::WireWriter writer(payload);
+  writer.u8(static_cast<std::uint8_t>(EventKind::UnitDone));
+  writer.u64(job_id);
+  writer.u32(unit_index);
+  writer.u64(simulations);
+  append(payload);
+}
+
+void JobJournal::state_changed(std::uint64_t job_id, JobState state,
+                               const std::string& message) {
+  std::string payload;
+  util::WireWriter writer(payload);
+  writer.u8(static_cast<std::uint8_t>(EventKind::StateChanged));
+  writer.u64(job_id);
+  writer.u8(static_cast<std::uint8_t>(state));
+  writer.str(message);
+  append(payload);
+}
+
+}  // namespace intooa::sched

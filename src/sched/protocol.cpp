@@ -1,0 +1,142 @@
+#include "sched/protocol.hpp"
+
+#include "util/wire.hpp"
+
+namespace intooa::sched {
+
+std::string encode_submit_job(const SubmitJobMsg& msg) {
+  std::string out;
+  util::WireWriter writer(out);
+  writer.u64(msg.request_id);
+  write_job_spec(writer, msg.spec);
+  return out;
+}
+
+std::optional<SubmitJobMsg> decode_submit_job(std::string_view payload) {
+  util::WireReader reader(payload);
+  SubmitJobMsg msg;
+  if (!reader.u64(msg.request_id) || !read_job_spec(reader, msg.spec) ||
+      !reader.done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string encode_submit_ok(const SubmitOkMsg& msg) {
+  std::string out;
+  util::WireWriter writer(out);
+  writer.u64(msg.request_id);
+  writer.u64(msg.job_id);
+  return out;
+}
+
+std::optional<SubmitOkMsg> decode_submit_ok(std::string_view payload) {
+  util::WireReader reader(payload);
+  SubmitOkMsg msg;
+  if (!reader.u64(msg.request_id) || !reader.u64(msg.job_id) ||
+      !reader.done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string encode_queue_full(const QueueFullMsg& msg) {
+  std::string out;
+  util::WireWriter writer(out);
+  writer.u64(msg.request_id);
+  writer.u32(msg.retry_after_ms);
+  return out;
+}
+
+std::optional<QueueFullMsg> decode_queue_full(std::string_view payload) {
+  util::WireReader reader(payload);
+  QueueFullMsg msg;
+  if (!reader.u64(msg.request_id) || !reader.u32(msg.retry_after_ms) ||
+      !reader.done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string encode_job_id_msg(const JobIdMsg& msg) {
+  std::string out;
+  util::WireWriter writer(out);
+  writer.u64(msg.request_id);
+  writer.u64(msg.job_id);
+  return out;
+}
+
+std::optional<JobIdMsg> decode_job_id_msg(std::string_view payload) {
+  util::WireReader reader(payload);
+  JobIdMsg msg;
+  if (!reader.u64(msg.request_id) || !reader.u64(msg.job_id) ||
+      !reader.done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string encode_job_status(const JobStatusMsg& msg) {
+  std::string out;
+  util::WireWriter writer(out);
+  writer.u64(msg.request_id);
+  write_job_info(writer, msg.info);
+  return out;
+}
+
+std::optional<JobStatusMsg> decode_job_status(std::string_view payload) {
+  util::WireReader reader(payload);
+  JobStatusMsg msg;
+  if (!reader.u64(msg.request_id) || !read_job_info(reader, msg.info) ||
+      !reader.done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string encode_list_jobs(const ListJobsMsg& msg) {
+  std::string out;
+  util::WireWriter writer(out);
+  writer.u64(msg.request_id);
+  writer.str(msg.tenant);
+  return out;
+}
+
+std::optional<ListJobsMsg> decode_list_jobs(std::string_view payload) {
+  util::WireReader reader(payload);
+  ListJobsMsg msg;
+  if (!reader.u64(msg.request_id) || !reader.str(msg.tenant) ||
+      !reader.done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string encode_job_list(const JobListMsg& msg) {
+  std::string out;
+  util::WireWriter writer(out);
+  writer.u64(msg.request_id);
+  writer.u32(static_cast<std::uint32_t>(msg.jobs.size()));
+  for (const JobInfo& info : msg.jobs) write_job_info(writer, info);
+  return out;
+}
+
+std::optional<JobListMsg> decode_job_list(std::string_view payload) {
+  util::WireReader reader(payload);
+  JobListMsg msg;
+  std::uint32_t count = 0;
+  if (!reader.u64(msg.request_id) || !reader.u32(count)) return std::nullopt;
+  // A JobInfo costs well over 4 bytes; bound the reserve by what the
+  // payload could physically carry.
+  if (count > reader.remaining() / sizeof(std::uint32_t)) return std::nullopt;
+  msg.jobs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    JobInfo info;
+    if (!read_job_info(reader, info)) return std::nullopt;
+    msg.jobs.push_back(std::move(info));
+  }
+  if (!reader.done()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace intooa::sched

@@ -1,0 +1,83 @@
+#pragma once
+// Payload codecs for the job-control messages (svc protocol minor
+// revision 2, MsgType::SubmitJob .. MsgType::JobList). The framing, the
+// Hello/HelloOk handshake and Error/Busy replies are svc/protocol.hpp's;
+// this header only encodes/decodes the scheduler payloads, reusing the
+// JobSpec/JobInfo fragment codecs of sched/job.hpp. Every message opens
+// with the client-chosen u64 request id, matching the svc convention, so
+// replies can be correlated on pipelined connections.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace intooa::sched {
+
+/// SubmitJob: request_id | JobSpec.
+struct SubmitJobMsg {
+  std::uint64_t request_id = 0;
+  JobSpec spec;
+};
+
+/// SubmitOk: request_id | assigned job id.
+struct SubmitOkMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t job_id = 0;
+};
+
+/// QueueFull: request_id | retry hint (ms).
+struct QueueFullMsg {
+  std::uint64_t request_id = 0;
+  std::uint32_t retry_after_ms = 0;
+};
+
+/// JobStatusRequest / CancelJob: request_id | job id.
+struct JobIdMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t job_id = 0;
+};
+
+/// JobStatusResponse: request_id | JobInfo.
+struct JobStatusMsg {
+  std::uint64_t request_id = 0;
+  JobInfo info;
+};
+
+/// ListJobs: request_id | tenant filter ("" = all tenants).
+struct ListJobsMsg {
+  std::uint64_t request_id = 0;
+  std::string tenant;
+};
+
+/// JobList: request_id | count | JobInfo x count.
+struct JobListMsg {
+  std::uint64_t request_id = 0;
+  std::vector<JobInfo> jobs;
+};
+
+std::string encode_submit_job(const SubmitJobMsg& msg);
+std::optional<SubmitJobMsg> decode_submit_job(std::string_view payload);
+
+std::string encode_submit_ok(const SubmitOkMsg& msg);
+std::optional<SubmitOkMsg> decode_submit_ok(std::string_view payload);
+
+std::string encode_queue_full(const QueueFullMsg& msg);
+std::optional<QueueFullMsg> decode_queue_full(std::string_view payload);
+
+std::string encode_job_id_msg(const JobIdMsg& msg);
+std::optional<JobIdMsg> decode_job_id_msg(std::string_view payload);
+
+std::string encode_job_status(const JobStatusMsg& msg);
+std::optional<JobStatusMsg> decode_job_status(std::string_view payload);
+
+std::string encode_list_jobs(const ListJobsMsg& msg);
+std::optional<ListJobsMsg> decode_list_jobs(std::string_view payload);
+
+std::string encode_job_list(const JobListMsg& msg);
+std::optional<JobListMsg> decode_job_list(std::string_view payload);
+
+}  // namespace intooa::sched

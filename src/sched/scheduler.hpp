@@ -1,0 +1,170 @@
+#pragma once
+// The campaign-job scheduler: a bounded worker pool dispatching job units
+// (one unit = one whole campaign run — the checkpoint boundary) under
+//
+//   * strict priority across bands: a pending unit of a higher JobSpec
+//     priority is always dispatched before any lower one. When a worker
+//     freed by a running lower-priority job is handed to a higher band
+//     instead, that is a preemption — the lower job's progress is safe in
+//     its checkpoints and its remaining units are simply requeued behind
+//     the band (preemption = checkpoint + requeue, never mid-run abort).
+//   * weighted fair share within a band: each tenant accrues virtual
+//     service (nominal simulation cost of its dispatched units divided by
+//     its configured weight); the eligible tenant with the least virtual
+//     service dispatches next. A 3:1-weighted tenant pair under
+//     saturation therefore completes simulations in a 3:1 ratio.
+//   * per-tenant quotas on concurrently running units (simulation
+//     concurrency), independent of share.
+//   * bounded queue: submissions past max_queued_jobs get QueueFull plus
+//     a retry hint instead of unbounded buffering.
+//
+// Durability: every accepted job, completed unit and terminal state is
+// journaled (sched/journal.hpp); construction replays the journal and
+// requeues every non-terminal job minus its proven-done units, whose
+// checkpoints the workload finds on disk. Completed jobs therefore produce
+// byte-identical outputs whether they ran uninterrupted or across a
+// SIGKILL/restart.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "sched/journal.hpp"
+
+namespace intooa::sched {
+
+/// One dispatchable unit of a job: run `run_index` of campaign `spec`.
+struct UnitRef {
+  std::string spec;
+  std::uint32_t run_index = 0;
+  std::uint32_t unit_index = 0;  ///< dense index within the job
+};
+
+struct UnitResult {
+  std::uint64_t simulations = 0;  ///< nominal cost, reported in JobInfo
+};
+
+/// What the scheduler runs. The production implementation executes
+/// campaign runs (sched/campaign_workload.hpp); tests substitute fakes.
+/// run_unit/finalize are called concurrently from worker threads and must
+/// be thread-safe; a throw fails the whole job (Failed + message).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  /// Rejects a malformed spec by throwing std::invalid_argument; called
+  /// under submit() before the job is accepted or journaled.
+  virtual void validate(const JobSpec& spec) = 0;
+  /// Runs one unit to completion (including publishing its checkpoint —
+  /// the scheduler journals UnitDone only after this returns).
+  virtual UnitResult run_unit(const JobInfo& job, const UnitRef& unit) = 0;
+  /// All units done: assemble the job's final outputs (campaign CSVs).
+  virtual void finalize(const JobInfo& job) = 0;
+};
+
+struct SchedulerConfig {
+  std::size_t workers = 2;
+  /// Non-terminal jobs admitted before submit() answers QueueFull.
+  std::size_t max_queued_jobs = 64;
+  /// Retry hint carried in QueueFull replies.
+  std::uint32_t retry_after_ms = 1000;
+  /// Fair-share weight per tenant; absent tenants weigh 1.0.
+  std::map<std::string, double> tenant_weights;
+  /// Max concurrently running units per tenant; absent or 0 = unlimited.
+  std::map<std::string, std::size_t> tenant_quotas;
+  /// Journal file; "" disables persistence (unit tests of pure policy).
+  std::string journal_path;
+};
+
+/// Outcome of submit().
+struct SubmitResult {
+  bool accepted = false;
+  std::uint64_t job_id = 0;        ///< valid when accepted
+  std::uint32_t retry_after_ms = 0;  ///< backoff hint when not
+};
+
+class Scheduler {
+ public:
+  /// Opens and replays the journal (non-terminal jobs are requeued and
+  /// counted in sched.journal.recovered_jobs), then starts the workers.
+  Scheduler(SchedulerConfig config, std::shared_ptr<Workload> workload);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Validates and enqueues a job; QueueFull past the depth bound.
+  /// Thread-safe (called from service connection threads).
+  SubmitResult submit(JobSpec spec);
+
+  /// Snapshot of one job; nullopt for an unknown id.
+  std::optional<JobInfo> status(std::uint64_t job_id) const;
+
+  /// Requests cancellation. Queued units are dropped immediately; running
+  /// units finish their current campaign run (checkpoint boundary), then
+  /// the job turns Canceled. False for an unknown id; true otherwise
+  /// (idempotent, a terminal job stays terminal).
+  bool cancel(std::uint64_t job_id);
+
+  /// Snapshots of all jobs (submission order), optionally one tenant's.
+  std::vector<JobInfo> list(const std::string& tenant = "") const;
+
+  /// Blocks until every job is terminal or `timeout_ms` elapsed (0 = poll
+  /// once). True when all jobs are terminal.
+  bool wait_idle(int timeout_ms) const;
+
+  /// Stops dispatching, finishes in-flight units (journaling their
+  /// UnitDone), joins the workers. Idempotent; the destructor calls it.
+  /// Queued work stays journaled for the next process.
+  void stop();
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    JobInfo info;
+    std::vector<UnitRef> units;
+    std::vector<bool> done;
+    std::deque<std::uint32_t> pending;  ///< unit indices not yet dispatched
+    std::size_t running_units = 0;
+    bool cancel_requested = false;
+  };
+
+  void worker_loop();
+  /// Picks the next unit under the lock; nullopt when nothing is eligible.
+  /// `prev_job`/`prev_priority` describe the unit this worker just
+  /// finished, for preemption accounting.
+  std::optional<std::pair<std::uint64_t, std::uint32_t>> pick_unit(
+      std::uint64_t prev_job, std::uint32_t prev_priority, bool had_prev);
+  double tenant_weight(const std::string& tenant) const;
+  std::size_t tenant_quota(const std::string& tenant) const;
+  bool unit_eligible(const Job& job) const;
+  /// Transitions to a terminal state + journal + gauges. Lock held.
+  void finish_job(Job& job, JobState state, const std::string& message);
+  void update_gauges();
+  /// Builds the unit list of a spec (spec-major, run-minor order).
+  static std::vector<UnitRef> units_for(const JobSpec& spec);
+
+  SchedulerConfig config_;
+  std::shared_ptr<Workload> workload_;
+  std::unique_ptr<JobJournal> journal_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;          ///< workers: work or stop
+  mutable std::condition_variable idle_cv_;  ///< waiters: job turned terminal
+  std::map<std::uint64_t, Job> jobs_;        ///< ordered = submission order
+  std::map<std::string, double> tenant_service_;  ///< virtual service/band
+  std::uint64_t next_job_id_ = 1;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace intooa::sched

@@ -1,0 +1,77 @@
+#pragma once
+// intooa-schedd's network face: accepts svc-framed connections and speaks
+// the job-control subset of the protocol (minor revision 2) — SubmitJob,
+// JobStatusRequest, CancelJob, ListJobs, plus Ping and the shared
+// Hello/HelloOk handshake. Connection handling mirrors svc::Server (one
+// blocking reader thread per connection, poll-sliced reads so a silent
+// client never delays a drain, self-pipe wakeup for signal handlers), but
+// dispatch is synchronous on the connection thread: every operation is a
+// sub-millisecond scheduler-state mutation — the heavy lifting happens on
+// the Scheduler's own worker pool, not here.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "svc/socket.hpp"
+
+namespace intooa::sched {
+
+struct ServiceConfig {
+  svc::Address address;           ///< listen endpoint (unix or tcp)
+  std::size_t max_connections = 64;
+  int idle_timeout_ms = 60'000;   ///< close idle connections; <0 = never
+};
+
+/// Serves job control for one Scheduler. The Scheduler outlives the
+/// service (jobs keep running after the listener stops).
+class JobService {
+ public:
+  JobService(ServiceConfig config, Scheduler& scheduler);
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Binds and listens; separate from run() so callers know the endpoint
+  /// accepts connections before clients start. Throws on bind failure.
+  void bind();
+
+  /// Accept loop; blocks until a drain completes (connections joined).
+  void run();
+
+  /// Stops accepting, refuses new requests with Error(draining), lets
+  /// buffered requests get their replies, then run() returns. Thread-safe
+  /// and idempotent; from a signal handler write a byte to wake_fd().
+  void begin_drain();
+
+  /// Write end of the self-pipe the accept loop watches (async-signal-
+  /// safe). Valid after bind().
+  int wake_fd() const { return wake_tx_.get(); }
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+ private:
+  void handle_connection(svc::Fd fd, std::string peer);
+  /// Dispatches one decoded frame; returns false when the connection must
+  /// close.
+  bool dispatch(int fd, const svc::Frame& frame);
+  bool send_frame(int fd, svc::MsgType type, std::string_view payload);
+  void send_error(int fd, std::uint64_t request_id, svc::ErrorCode code,
+                  const std::string& message);
+
+  ServiceConfig config_;
+  Scheduler& scheduler_;
+  svc::Fd listen_fd_;
+  svc::Fd wake_rx_, wake_tx_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> open_connections_{0};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace intooa::sched

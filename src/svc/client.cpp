@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/version.hpp"
 
 namespace intooa::svc {
 
@@ -72,6 +73,12 @@ void Client::connect(const Address& address) {
     throw std::runtime_error("svc: malformed handshake reply");
   }
   server_minor_ = hello->minor;
+  // Mirror of the server's handshake line (cross-version debugging: both
+  // logs carry the local build stamp and the peer's announced revision).
+  util::log_info("svc: connected",
+                 {{"server", address.to_string()},
+                  {"server_minor", server_minor_},
+                  {"build", util::version_string()}});
 }
 
 void Client::send_request(const EvalRequest& request) {

@@ -23,18 +23,34 @@
 // --json; --flight appends the request flight recorder; --watch N repeats
 // every N seconds until interrupted). Requires a minor >= 1 server.
 //
+// A fifth mode drives an intooa-schedd campaign scheduler (minor >= 2):
+//
+//   jobs submit --specs S-1,S-2 [--tenant T --priority N --method NAME
+//               --runs N --init N --iters N --pool N --sizing-init N
+//               --sizing-iters N --seed N] [--watch]
+//   jobs status --job ID
+//   jobs cancel --job ID
+//   jobs list [--tenant T]
+//   jobs watch [--job ID] [--interval SEC]
+//
+// submit prints the assigned job id (exit 1 on QueueFull, with the retry
+// hint); watch polls until the job — or with no --job, every job — is
+// terminal, exiting 0 only if everything completed.
+//
 // Options: --connect ADDR --spec S-1 --topology N --count N --batch FILE
 //          --hammer N --retries N --timeout-ms MS --verify
 //          --sizing-init N --sizing-iters N --candidates N --refit-every N
 //          plus the standard telemetry flags (--trace --metrics
 //          --log-level).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -42,6 +58,7 @@
 
 #include "core/eval_key.hpp"
 #include "obs/json.hpp"
+#include "sched/client.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/telemetry.hpp"
@@ -238,21 +255,159 @@ int run_stats(const util::Cli& cli, const svc::Address& address,
   return 0;
 }
 
+/// One line per job: stable, grep-friendly, used by the CI smoke.
+void print_job(const sched::JobInfo& info) {
+  std::string specs;
+  for (const auto& name : info.spec.specs) {
+    if (!specs.empty()) specs += ',';
+    specs += name;
+  }
+  std::printf(
+      "job %llu tenant=%s priority=%u method=%s specs=%s state=%s "
+      "units=%u/%u sims=%llu preemptions=%u%s%s\n",
+      (unsigned long long)info.id, info.spec.tenant.c_str(),
+      info.spec.priority, info.spec.method.c_str(), specs.c_str(),
+      std::string(sched::job_state_name(info.state)).c_str(),
+      info.units_done, info.units_total, (unsigned long long)info.simulations,
+      info.preemptions, info.message.empty() ? "" : " msg=",
+      info.message.c_str());
+}
+
+/// Polls until the watched job(s) are terminal. Exit 0 only when
+/// everything completed (canceled/failed jobs fail the watch).
+int watch_jobs(sched::JobClient& client, std::optional<std::uint64_t> job_id,
+               std::size_t interval_s) {
+  for (;;) {
+    std::vector<sched::JobInfo> jobs;
+    if (job_id) {
+      const auto info = client.status(*job_id);
+      if (!info) {
+        std::fprintf(stderr, "unknown job %llu\n",
+                     (unsigned long long)*job_id);
+        return 1;
+      }
+      jobs.push_back(*info);
+    } else {
+      jobs = client.list();
+    }
+    bool all_terminal = true, all_completed = true;
+    for (const auto& info : jobs) {
+      if (!sched::job_state_terminal(info.state)) all_terminal = false;
+      if (info.state != sched::JobState::Completed) all_completed = false;
+    }
+    if (all_terminal) {
+      for (const auto& info : jobs) print_job(info);
+      return all_completed && !jobs.empty() ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(interval_s));
+  }
+}
+
+/// The `jobs` subcommand: drive a live intooa-schedd over the protocol.
+int run_jobs_control(const util::Cli& cli, const svc::Address& address) {
+  const auto& pos = cli.positional();
+  const std::string action = pos.size() >= 2 ? pos[1] : "list";
+  const std::size_t interval_s = std::max<std::size_t>(
+      1, cli.get_size("interval", 2));
+  sched::JobClient client;
+  client.connect(address);
+
+  if (action == "submit") {
+    sched::JobSpec spec;
+    spec.tenant = cli.get("tenant", "default");
+    spec.priority = static_cast<std::uint32_t>(cli.get_size("priority", 0));
+    spec.method = cli.get("method", "INTO-OA");
+    std::string specs_arg = cli.get("specs", "S-1");
+    std::size_t start = 0;
+    while (start < specs_arg.size()) {
+      std::size_t comma = specs_arg.find(',', start);
+      if (comma == std::string::npos) comma = specs_arg.size();
+      if (comma > start) {
+        spec.specs.push_back(specs_arg.substr(start, comma - start));
+      }
+      start = comma + 1;
+    }
+    spec.params.runs = cli.get_size("runs", spec.params.runs);
+    spec.params.init_topologies = cli.get_size("init", spec.params.init_topologies);
+    spec.params.iterations = cli.get_size("iters", spec.params.iterations);
+    spec.params.pool = cli.get_size("pool", spec.params.pool);
+    spec.params.sizing_init =
+        cli.get_size("sizing-init", spec.params.sizing_init);
+    spec.params.sizing_iterations =
+        cli.get_size("sizing-iters", spec.params.sizing_iterations);
+    spec.params.seed = cli.get_size("seed", spec.params.seed);
+    const sched::SubmitOutcome outcome = client.submit(spec);
+    if (!outcome.accepted) {
+      std::fprintf(stderr, "queue full; retry after %u ms\n",
+                   outcome.retry_after_ms);
+      return 1;
+    }
+    std::printf("submitted job %llu\n", (unsigned long long)outcome.job_id);
+    if (cli.has("watch")) {
+      return watch_jobs(client, outcome.job_id, interval_s);
+    }
+    return 0;
+  }
+  if (action == "status" || action == "cancel") {
+    if (!cli.has("job")) {
+      std::fprintf(stderr, "jobs %s requires --job ID\n", action.c_str());
+      return 2;
+    }
+    const std::uint64_t job_id = cli.get_size("job", 0);
+    const auto info = action == "status" ? client.status(job_id)
+                                         : client.cancel(job_id);
+    if (!info) {
+      std::fprintf(stderr, "unknown job %llu\n", (unsigned long long)job_id);
+      return 1;
+    }
+    print_job(*info);
+    return 0;
+  }
+  if (action == "list") {
+    for (const auto& info : client.list(cli.get("tenant", ""))) {
+      print_job(info);
+    }
+    return 0;
+  }
+  if (action == "watch") {
+    std::optional<std::uint64_t> job_id;
+    if (cli.has("job")) job_id = cli.get_size("job", 0);
+    return watch_jobs(client, job_id, interval_s);
+  }
+  std::fprintf(stderr,
+               "intooa-svc-client jobs: unknown action '%s' "
+               "(submit|status|cancel|list|watch)\n",
+               action.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const util::Cli cli(argc, argv);
-    cli.reject_unknown({"connect", "spec", "topology", "count", "batch",
-                        "hammer", "retries", "timeout-ms", "verify",
-                        "sizing-init", "sizing-iters", "candidates",
-                        "refit-every", "watch", "prometheus", "json",
-                        "flight", "trace", "metrics", "log-level"});
+    const bool jobs_mode =
+        !cli.positional().empty() && cli.positional().front() == "jobs";
+    if (jobs_mode) {
+      // The scheduler subcommand has its own flag vocabulary (campaign
+      // protocol + job control) disjoint from the evaluation modes'.
+      cli.reject_unknown({"connect", "tenant", "priority", "method", "specs",
+                          "runs", "init", "iters", "pool", "sizing-init",
+                          "sizing-iters", "seed", "job", "interval", "watch",
+                          "trace", "metrics", "log-level"});
+    } else {
+      cli.reject_unknown({"connect", "spec", "topology", "count", "batch",
+                          "hammer", "retries", "timeout-ms", "verify",
+                          "sizing-init", "sizing-iters", "candidates",
+                          "refit-every", "watch", "prometheus", "json",
+                          "flight", "trace", "metrics", "log-level"});
+    }
     obs::BenchTelemetry telemetry(
         obs::TelemetryOptions::from_cli(cli, util::LogLevel::Warn));
 
-    const svc::Address address =
-        svc::Address::parse(cli.get("connect", "unix:intooa-svc.sock"));
+    const svc::Address address = svc::Address::parse(cli.get(
+        "connect", jobs_mode ? "unix:intooa-sched.sock" : "unix:intooa-svc.sock"));
+    if (jobs_mode) return run_jobs_control(cli, address);
     if (!cli.positional().empty()) {
       const std::string& mode = cli.positional().front();
       if (mode != "stats") {

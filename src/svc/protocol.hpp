@@ -44,7 +44,9 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 ///
 /// History: 1 adds StatsRequest/StatsResponse, the optional EvalRequest
 /// trace-context tail and the EvalResponse server-timings trailer.
-inline constexpr std::uint32_t kProtocolMinorVersion = 1;
+/// 2 adds the job-control message types (SubmitJob .. JobList, served by
+/// intooa-schedd; payload codecs live in sched/protocol.hpp).
+inline constexpr std::uint32_t kProtocolMinorVersion = 2;
 
 /// Handshake magic inside the Hello payload.
 inline constexpr std::string_view kHelloMagic = "intooa-svc";
@@ -68,6 +70,17 @@ enum class MsgType : std::uint8_t {
   Pong = 8,          ///< server -> client: echo of Ping
   StatsRequest = 9,  ///< client -> server: live stats snapshot (minor >= 1)
   StatsResponse = 10,  ///< server -> client: stats document (JSON text)
+  // Job control (minor >= 2), spoken by intooa-schedd. The payload codecs
+  // live in sched/protocol.hpp — svc only names the types so its frame
+  // reader admits them and the two daemons can never collide on a value.
+  SubmitJob = 11,   ///< client -> schedd: enqueue a campaign job
+  SubmitOk = 12,    ///< schedd -> client: job accepted, carries the job id
+  QueueFull = 13,   ///< schedd -> client: backpressure + retry hint
+  JobStatusRequest = 14,  ///< client -> schedd: one job's status
+  JobStatusResponse = 15, ///< schedd -> client: JobInfo snapshot
+  CancelJob = 16,   ///< client -> schedd: cancel (queued or at unit boundary)
+  ListJobs = 17,    ///< client -> schedd: all jobs, optionally one tenant's
+  JobList = 18,     ///< schedd -> client: JobInfo snapshots
 };
 
 /// True when a raw frame-header type byte names a known MsgType. The frame
@@ -76,7 +89,7 @@ enum class MsgType : std::uint8_t {
 /// value through every switch over it.
 constexpr bool msg_type_known(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MsgType::Hello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::StatsResponse);
+         raw <= static_cast<std::uint8_t>(MsgType::JobList);
 }
 
 enum class ErrorCode : std::uint32_t {

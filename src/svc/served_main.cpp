@@ -12,7 +12,8 @@
 // Options: --listen ADDR (unix:PATH | tcp:HOST:PORT, default
 //          unix:intooa-svc.sock) --threads N --max-inflight N
 //          --max-connections N --idle-timeout-ms MS --busy-retry-ms MS
-//          --store FILE --flight-recorder N --access-log FILE
+//          --store FILE --mem-cache-mb N (LRU byte budget per response
+//          cache shard, 0 = unlimited) --flight-recorder N --access-log FILE
 //          --stats-file FILE --stats-interval SEC   plus the standard
 //          telemetry flags (--trace FILE --metrics FILE --log-level LEVEL).
 //
@@ -72,9 +73,9 @@ int main(int argc, char** argv) {
     const util::Cli cli(argc, argv);
     cli.reject_unknown({"listen", "threads", "max-inflight",
                         "max-connections", "idle-timeout-ms", "busy-retry-ms",
-                        "store", "test-eval-delay-ms", "flight-recorder",
-                        "access-log", "stats-file", "stats-interval", "trace",
-                        "metrics", "log-level"});
+                        "store", "mem-cache-mb", "test-eval-delay-ms",
+                        "flight-recorder", "access-log", "stats-file",
+                        "stats-interval", "trace", "metrics", "log-level"});
     obs::BenchTelemetry telemetry(
         obs::TelemetryOptions::from_cli(cli, util::LogLevel::Info));
 
@@ -98,6 +99,10 @@ int main(int argc, char** argv) {
         cli.get_double("stats-interval", config.stats_interval_s);
     const std::string store_path = cli.get("store", "");
     if (!store_path.empty()) config.store = store::EvalStore::open(store_path);
+    // Byte budget of the in-memory response caches; 0 (default) keeps
+    // everything, which is fine for bounded campaigns but not for a
+    // daemon serving many tenants indefinitely.
+    config.mem_cache_bytes = cli.get_size("mem-cache-mb", 0) * (1u << 20);
 
     svc::Server server(std::move(config));
     server.bind();

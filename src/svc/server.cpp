@@ -18,7 +18,9 @@
 #include "store/record_io.hpp"
 #include "util/fs.hpp"
 #include "util/log.hpp"
+#include "util/lru_cache.hpp"
 #include "util/rng.hpp"
+#include "util/version.hpp"
 
 namespace intooa::svc {
 
@@ -129,10 +131,11 @@ obs::Counter& served_counter(ServedFrom from) {
 /// in-progress set that deduplicates concurrent evaluations of the same
 /// key (the second requester waits for the first instead of re-sizing).
 struct Server::Shard {
-  explicit Shard(const EvalRequest& request)
+  Shard(const EvalRequest& request, std::size_t mem_cache_bytes)
       : context(request.eval_context()),
         sizer(context, request.sizing),
-        keys(context, request.sizing) {}
+        keys(context, request.sizing),
+        cache(mem_cache_bytes) {}
 
   sizing::EvalContext context;
   sizing::Sizer sizer;
@@ -141,7 +144,10 @@ struct Server::Shard {
   std::mutex mutex;
   std::condition_variable cv;
   /// digest -> encoded store record payload (responses are immutable).
-  std::unordered_map<std::uint64_t, std::string> cache;
+  /// Byte-budgeted per ServerConfig::mem_cache_bytes so a long-lived
+  /// daemon (or the scheduler embedding it) cannot grow without bound;
+  /// budget 0 keeps the historical keep-everything behavior.
+  util::LruByteCache cache;
   std::unordered_set<std::uint64_t> in_progress;
 };
 
@@ -191,7 +197,8 @@ void Server::bind() {
                   {"max_inflight", config_.max_inflight},
                   {"store", config_.store ? config_.store->path() : "(none)"},
                   {"protocol_version", kProtocolVersion},
-                  {"protocol_minor", kProtocolMinorVersion}});
+                  {"protocol_minor", kProtocolMinorVersion},
+                  {"build", util::version_string()}});
 }
 
 void Server::run() {
@@ -370,6 +377,14 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
                             ? encode_hello_ok(kProtocolVersion,
                                               kProtocolMinorVersion)
                             : encode_hello_ok());
+        if (ok) {
+          // Both ends log their build stamp on Hello, so a mixed-version
+          // client/server pair is visible from either side's log alone.
+          util::log_info("svc: handshake",
+                         {{"peer", conn->peer},
+                          {"client_minor", hello->minor},
+                          {"build", util::version_string()}});
+        }
       } else {
         send_error(conn, 0, ErrorCode::VersionMismatch,
                    "server speaks protocol version " +
@@ -645,7 +660,9 @@ Server::Shard& Server::shard_for(const EvalRequest& request) {
   auto it = shards_.find(probe.prefix());
   if (it == shards_.end()) {
     it = shards_
-             .emplace(probe.prefix(), std::make_unique<Shard>(request))
+             .emplace(probe.prefix(),
+                      std::make_unique<Shard>(request,
+                                              config_.mem_cache_bytes))
              .first;
     util::log_info("svc: new evaluation configuration shard",
                    {{"spec", request.spec.name},
@@ -670,10 +687,9 @@ EvalResponse Server::serve_request(const EvalRequest& request,
   {
     std::unique_lock<std::mutex> lock(shard.mutex);
     for (;;) {
-      const auto hit = shard.cache.find(key.digest);
-      if (hit != shard.cache.end()) {
+      if (const std::string* hit = shard.cache.find(key.digest)) {
         response.served_from = ServedFrom::Memory;
-        response.record_payload = hit->second;
+        response.record_payload = *hit;
         return response;
       }
       if (shard.in_progress.count(key.digest) == 0) break;
@@ -732,7 +748,11 @@ EvalResponse Server::serve_request(const EvalRequest& request,
 
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.cache.emplace(key.digest, response.record_payload);
+    const std::size_t evicted =
+        shard.cache.insert(key.digest, response.record_payload);
+    if (evicted > 0) {
+      obs::registry().counter("evaluator.mem_evictions").add(evicted);
+    }
     shard.in_progress.erase(key.digest);
   }
   shard.cv.notify_all();

@@ -56,6 +56,10 @@ struct ServerConfig {
   std::uint32_t busy_retry_ms = 250;  ///< hint carried in Busy replies
   /// Optional persistent warm tier shared with offline campaigns.
   std::shared_ptr<store::EvalStore> store;
+  /// Byte budget of each shard's in-memory response cache (--mem-cache-mb);
+  /// past it, least-recently-used entries are evicted and counted in
+  /// evaluator.mem_evictions. 0 = unlimited (the historical behavior).
+  std::size_t mem_cache_bytes = 0;
   /// Test hook: artificial delay inside every evaluation, used by the
   /// backpressure/drain tests to hold the queue in a known state. 0 in
   /// production.

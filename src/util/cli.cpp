@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/version.hpp"
+
 namespace intooa::util {
 
 namespace {
@@ -83,6 +85,13 @@ std::vector<std::string> Cli::unknown_flags(
 }
 
 void Cli::reject_unknown(std::span<const std::string_view> known) const {
+  // Every binary that validates its flags answers --version for free: the
+  // one call site keeps the stamp consistent across 12 benches, the
+  // daemons, the svc client and the examples.
+  if (has("version")) {
+    std::printf("%s %s\n", program_.c_str(), version_string().c_str());
+    std::exit(0);
+  }
   const std::vector<std::string> unknown = unknown_flags(known);
   if (unknown.empty()) return;
   for (const auto& flag : unknown) {

@@ -60,6 +60,9 @@ class Cli {
   /// Exits 2 with a "<program>: unknown flag --X" diagnostic (plus a
   /// did-you-mean suggestion when a known flag is within edit distance 2)
   /// when any parsed flag is not in `known`. Returns normally otherwise.
+  /// Handles the global --version flag first: prints the program name and
+  /// util::version_string() to stdout and exits 0, so every binary that
+  /// validates its flags answers --version without per-binary wiring.
   void reject_unknown(std::span<const std::string_view> known) const;
   void reject_unknown(std::initializer_list<std::string_view> known) const;
 

@@ -1,0 +1,90 @@
+#pragma once
+// Byte-budgeted LRU map from a 64-bit digest to an immutable byte string —
+// the memory-bounding layer for daemon-resident result caches (the svc
+// server's per-shard response cache, and anything else that would
+// otherwise grow without bound in a long-lived scheduler process).
+//
+// Accounting charges each entry its payload size plus a fixed overhead
+// estimate for the list/map nodes, so the budget approximates resident
+// bytes rather than just payload bytes. A budget of 0 means unlimited
+// (the historical behavior). Not thread-safe: callers hold their own lock
+// (the svc shard mutex already serializes cache access).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace intooa::util {
+
+class LruByteCache {
+ public:
+  /// Rough per-entry bookkeeping cost (list node + hash slot + string
+  /// header) charged on top of the payload bytes.
+  static constexpr std::size_t kEntryOverhead = 64;
+
+  /// budget_bytes == 0 disables eviction entirely.
+  explicit LruByteCache(std::size_t budget_bytes = 0)
+      : budget_(budget_bytes) {}
+
+  /// Pointer to the cached value (touched most-recently-used), or nullptr.
+  /// The pointer stays valid until the next insert().
+  const std::string* find(std::uint64_t key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or replaces) an entry, then evicts least-recently-used
+  /// entries until the budget holds again. Returns how many entries were
+  /// evicted. An entry larger than the whole budget is admitted alone and
+  /// evicted by the next insert — the cache never rejects outright, so a
+  /// just-computed result is always servable.
+  std::size_t insert(std::uint64_t key, std::string value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_ -= charge(it->second->second);
+      bytes_ += charge(value);
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      bytes_ += charge(value);
+      order_.emplace_front(key, std::move(value));
+      index_[key] = order_.begin();
+    }
+    std::size_t evicted = 0;
+    while (budget_ != 0 && bytes_ > budget_ && order_.size() > 1) {
+      const auto& victim = order_.back();
+      bytes_ -= charge(victim.second);
+      index_.erase(victim.first);
+      order_.pop_back();
+      ++evicted;
+      ++evictions_;
+    }
+    return evicted;
+  }
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t budget() const { return budget_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  static std::size_t charge(const std::string& value) {
+    return value.size() + kEntryOverhead;
+  }
+
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  /// front = most recently used.
+  std::list<std::pair<std::uint64_t, std::string>> order_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, std::string>>::iterator>
+      index_;
+};
+
+}  // namespace intooa::util

@@ -1,0 +1,21 @@
+#pragma once
+// Build identity stamp, configured by CMake at generate time (see
+// src/util/CMakeLists.txt): the git describe of the checkout, the CMake
+// build type, and the active sanitizer, e.g.
+//
+//   "v1.0.0-29-g29e9fe6 (Release)"
+//   "29e9fe6-dirty (Debug, asan+ubsan)"
+//
+// Every binary answers --version with it (handled centrally in
+// util::Cli::reject_unknown), and the svc Hello logging on both ends
+// includes it so cross-version client/server pairs are visible in logs.
+
+#include <string>
+
+namespace intooa::util {
+
+/// "<git-describe> (<build-type>[, <sanitizer>])". Stable for the lifetime
+/// of the binary.
+const std::string& version_string();
+
+}  // namespace intooa::util

@@ -587,6 +587,34 @@ TEST(Telemetry, FinalizeWritesTraceAndMetrics) {
   util::set_log_level(saved);
 }
 
+TEST(Telemetry, FinalizeActiveFlushesSidecarsWithoutUnwinding) {
+  const util::LogLevel saved = util::log_level();
+  obs::TelemetryOptions options;
+  options.trace_path = temp_file("intooa_test_finalize_active_trace.json");
+  options.metrics_path =
+      temp_file("intooa_test_finalize_active_metrics.json");
+  std::filesystem::remove(options.trace_path);
+  std::filesystem::remove(options.metrics_path);
+  {
+    obs::BenchTelemetry telemetry(options);
+    {
+      INTOOA_SPAN("test.finalize_active_span");
+    }
+    // The drain/signal exit path: flush without reaching the destructor.
+    obs::finalize_active_telemetry();
+    EXPECT_TRUE(std::filesystem::exists(options.trace_path));
+    EXPECT_TRUE(std::filesystem::exists(options.metrics_path));
+    const obs::Json metrics = obs::Json::parse(slurp(options.metrics_path));
+    EXPECT_TRUE(metrics.at("histograms")
+                    .contains("test.finalize_active_span"));
+    obs::finalize_active_telemetry();  // idempotent with a live session
+  }
+  obs::finalize_active_telemetry();  // and with no session at all
+  std::filesystem::remove(options.trace_path);
+  std::filesystem::remove(options.metrics_path);
+  util::set_log_level(saved);
+}
+
 TEST(Telemetry, RenderReportMentionsPhases) {
   obs::registry().histogram("test.phase_a", obs::Unit::Nanoseconds)
       .record(5'000'000);

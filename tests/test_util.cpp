@@ -8,9 +8,11 @@
 
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/lru_cache.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/version.hpp"
 
 namespace {
 
@@ -359,6 +361,64 @@ TEST(Log, LevelFiltering) {
   EXPECT_EQ(log_level(), LogLevel::Error);
   log_info("should be filtered");  // must not crash
   set_log_level(LogLevel::Warn);
+}
+
+TEST(Version, StringIsStampedAndStable) {
+  const std::string& version = version_string();
+  EXPECT_FALSE(version.empty());
+  // "<git-describe> (<build-type>[, <sanitizer>])"
+  EXPECT_NE(version.find(" ("), std::string::npos);
+  EXPECT_EQ(version.back(), ')');
+  EXPECT_EQ(&version_string(), &version) << "one stamp per process";
+}
+
+TEST(LruByteCache, UnlimitedBudgetNeverEvicts) {
+  LruByteCache cache;  // budget 0 = unlimited
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(cache.insert(i, std::string(1000, 'x')), 0u);
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  ASSERT_NE(cache.find(0), nullptr);
+}
+
+TEST(LruByteCache, EvictsLeastRecentlyUsedPastBudget) {
+  // Budget fits exactly two 100-byte entries (plus per-entry overhead).
+  LruByteCache cache(2 * (100 + LruByteCache::kEntryOverhead));
+  cache.insert(1, std::string(100, 'a'));
+  cache.insert(2, std::string(100, 'b'));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.insert(3, std::string(100, 'c')), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_LE(cache.bytes(), cache.budget());
+}
+
+TEST(LruByteCache, ReplacingAKeyAdjustsByteAccounting) {
+  LruByteCache cache(10'000);
+  cache.insert(7, std::string(100, 'a'));
+  const std::size_t before = cache.bytes();
+  cache.insert(7, std::string(500, 'b'));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), before + 400);
+  ASSERT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(cache.find(7)->size(), 500u);
+}
+
+TEST(LruByteCache, OversizedEntryIsAdmittedAloneThenEvicted) {
+  LruByteCache cache(64);
+  // Larger than the whole budget: admitted anyway (always servable)...
+  EXPECT_EQ(cache.insert(1, std::string(1000, 'x')), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  // ...and evicted as soon as the next entry arrives.
+  EXPECT_EQ(cache.insert(2, std::string(10, 'y')), 1u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
 }
 
 }  // namespace
