@@ -96,6 +96,11 @@ Scheduler::Scheduler(SchedulerConfig config, std::shared_ptr<Workload> workload)
         for (std::uint32_t u = 0; u < job.units.size(); ++u) {
           if (!job.done[u]) job.pending.push_back(u);
         }
+        // Crash window between the last UnitDone and the terminal
+        // StateChanged: every unit is journaled done, so no unit is ever
+        // eligible again — the job must go straight to finalize or it
+        // would stay non-terminal forever.
+        if (job.pending.empty()) job.needs_finalize = true;
         recovered_jobs_counter().add();
         util::log_info("sched: recovered job from journal",
                        {{"job", job.info.id},
@@ -119,16 +124,12 @@ Scheduler::~Scheduler() { stop(); }
 void Scheduler::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      // Idempotent: the second caller still waits for the join below via
-      // the joinable() checks.
-      for (auto& worker : workers_) {
-        if (worker.joinable()) return;  // first stop() is still joining
-      }
-    }
     stopping_ = true;
   }
   work_cv_.notify_all();
+  // join_mutex_ serializes the join phase: concurrent stop()s all block
+  // until the first caller finished joining, then find nothing joinable.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -247,9 +248,15 @@ bool Scheduler::cancel(std::uint64_t job_id) {
     if (job_state_terminal(job.info.state)) return true;  // idempotent
     job.cancel_requested = true;
     job.pending.clear();
-    if (job.running_units == 0) {
+    if (job.finalizing) {
+      // Too late: a worker is assembling the final outputs. Only record
+      // the request — the finalizer settles the terminal state, so it is
+      // never overwritten by a second terminal transition.
+      job.info.message = "cancel requested during finalize";
+    } else if (job.running_units == 0) {
+      job.needs_finalize = false;  // an unclaimed finalize is cancelable
       finish_job(job, JobState::Canceled, "canceled");
-    } else {
+    } else if (!job.fail_pending) {
       job.info.message = "cancel requested";
     }
     update_gauges();
@@ -372,17 +379,69 @@ std::optional<std::pair<std::uint64_t, std::uint32_t>> Scheduler::pick_unit(
   return std::make_pair(best->info.id, unit_index);
 }
 
+std::optional<std::uint64_t> Scheduler::claim_finalize() {
+  for (auto& [id, job] : jobs_) {
+    if (!job.needs_finalize || job.finalizing) continue;
+    if (job_state_terminal(job.info.state)) continue;
+    job.needs_finalize = false;
+    job.finalizing = true;
+    // A job recovered with every unit already journaled done goes from
+    // Queued straight to finalize without dispatching a single unit.
+    if (job.info.state == JobState::Queued) {
+      job.info.state = JobState::Running;
+    }
+    return id;
+  }
+  return std::nullopt;
+}
+
+void Scheduler::run_finalize(std::uint64_t job_id) {
+  JobInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    info = jobs_.at(job_id).info;
+  }
+  bool finalize_failed = false;
+  std::string finalize_error;
+  try {
+    INTOOA_SPAN("sched.finalize");
+    workload_->finalize(info);
+  } catch (const std::exception& e) {
+    finalize_failed = true;
+    finalize_error = e.what();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job& job = jobs_.at(job_id);
+    job.finalizing = false;
+    // `finalizing` made cancel() defer, so nothing else can have turned
+    // the job terminal — the check is belt-and-braces against ever
+    // journaling a second terminal StateChanged.
+    if (!job_state_terminal(job.info.state)) {
+      finish_job(job, finalize_failed ? JobState::Failed : JobState::Completed,
+                 finalize_failed ? "finalize: " + finalize_error : "");
+    }
+    update_gauges();
+  }
+  work_cv_.notify_all();
+}
+
 void Scheduler::worker_loop() {
   std::uint64_t prev_job = 0;
   std::uint32_t prev_priority = 0;
   bool had_prev = false;
 
   for (;;) {
+    std::optional<std::uint64_t> finalize_job;
     std::optional<std::pair<std::uint64_t, std::uint32_t>> picked;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
         if (stopping_) return;  // never pick new work while draining
+        // Finalizes first: they complete a job (freeing its queue slot)
+        // and are cheap next to a campaign unit.
+        finalize_job = claim_finalize();
+        if (finalize_job) break;
         {
           INTOOA_SPAN("sched.dispatch");
           picked = pick_unit(prev_job, prev_priority, had_prev);
@@ -391,6 +450,12 @@ void Scheduler::worker_loop() {
         if (picked) break;
         work_cv_.wait(lock);
       }
+    }
+
+    if (finalize_job) {
+      run_finalize(*finalize_job);
+      had_prev = false;  // the freed worker went to a finalize, not a band
+      continue;
     }
 
     const std::uint64_t job_id = picked->first;
@@ -421,20 +486,24 @@ void Scheduler::worker_loop() {
       journal_->unit_done(job_id, unit_index, result.simulations);
     }
 
-    bool run_finalize = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       Job& job = jobs_.at(job_id);
       job.running_units -= 1;
       if (unit_failed) {
+        const std::string message = unit.spec + " run " +
+                                    std::to_string(unit.run_index) + ": " +
+                                    error;
         job.pending.clear();
         if (job.running_units == 0) {
-          finish_job(job, JobState::Failed,
-                     unit.spec + " run " + std::to_string(unit.run_index) +
-                         ": " + error);
+          finish_job(job, JobState::Failed, message);
         } else {
-          job.info.message = error;  // fail once the in-flight units land
+          // Fail once the in-flight units land. cancel_requested stops
+          // further dispatch; fail_pending records that the terminal
+          // state is Failed, whatever the message looks like.
+          job.info.message = message;
           job.cancel_requested = true;
+          job.fail_pending = true;
         }
       } else {
         if (!job.done[unit_index]) {
@@ -446,38 +515,23 @@ void Scheduler::worker_loop() {
         if (job.cancel_requested) {
           if (job.running_units == 0) {
             finish_job(job,
-                       job.info.message.rfind("cancel", 0) == 0
-                           ? JobState::Canceled
-                           : JobState::Failed,
+                       job.fail_pending ? JobState::Failed
+                                        : JobState::Canceled,
                        job.info.message.empty() ? "canceled"
                                                 : job.info.message);
           }
         } else if (job.info.units_done == job.info.units_total) {
-          run_finalize = true;
+          // The worker that freed up claims the finalize on its next pick
+          // (claim_finalize runs before pick_unit), unless another idle
+          // worker gets there first — either way exactly one does.
+          job.needs_finalize = true;
         }
       }
       update_gauges();
     }
-    // Quota slots and priority decisions changed: wake the other workers.
+    // Quota slots, priority decisions and finalize claims changed: wake
+    // the other workers.
     work_cv_.notify_all();
-
-    if (run_finalize) {
-      bool finalize_failed = false;
-      std::string finalize_error;
-      try {
-        INTOOA_SPAN("sched.finalize");
-        workload_->finalize(info);
-      } catch (const std::exception& e) {
-        finalize_failed = true;
-        finalize_error = e.what();
-      }
-      std::lock_guard<std::mutex> lock(mutex_);
-      Job& job = jobs_.at(job_id);
-      finish_job(job,
-                 finalize_failed ? JobState::Failed : JobState::Completed,
-                 finalize_failed ? "finalize: " + finalize_error : "");
-      update_gauges();
-    }
 
     prev_job = job_id;
     prev_priority = info.spec.priority;

@@ -109,8 +109,9 @@ class Scheduler {
 
   /// Requests cancellation. Queued units are dropped immediately; running
   /// units finish their current campaign run (checkpoint boundary), then
-  /// the job turns Canceled. False for an unknown id; true otherwise
-  /// (idempotent, a terminal job stays terminal).
+  /// the job turns Canceled. A job whose finalize() is already running is
+  /// past the point of no return and completes. False for an unknown id;
+  /// true otherwise (idempotent, a terminal job stays terminal).
   bool cancel(std::uint64_t job_id);
 
   /// Snapshots of all jobs (submission order), optionally one tenant's.
@@ -135,6 +136,18 @@ class Scheduler {
     std::deque<std::uint32_t> pending;  ///< unit indices not yet dispatched
     std::size_t running_units = 0;
     bool cancel_requested = false;
+    /// All units are done and finalize() has not been claimed yet. Set by
+    /// the worker that lands the last unit — or at recovery, when the
+    /// journal already proves every unit done (crash after the last
+    /// UnitDone but before the terminal StateChanged).
+    bool needs_finalize = false;
+    /// A worker is inside workload finalize() for this job. cancel() only
+    /// records the request; the finalizer picks the terminal state.
+    bool finalizing = false;
+    /// A unit failed while others were in flight: once they land the job
+    /// turns Failed, not Canceled, even though cancel_requested is set to
+    /// stop further dispatch.
+    bool fail_pending = false;
   };
 
   void worker_loop();
@@ -143,6 +156,13 @@ class Scheduler {
   /// finished, for preemption accounting.
   std::optional<std::pair<std::uint64_t, std::uint32_t>> pick_unit(
       std::uint64_t prev_job, std::uint32_t prev_priority, bool had_prev);
+  /// Claims a job whose units are all done and which still needs its
+  /// finalize() run (lock held); nullopt when there is none.
+  std::optional<std::uint64_t> claim_finalize();
+  /// Runs workload finalize() for a claimed job outside the lock, then
+  /// settles its terminal state (skipped if something else — it cannot be
+  /// cancel(), which defers while `finalizing` — already made it terminal).
+  void run_finalize(std::uint64_t job_id);
   double tenant_weight(const std::string& tenant) const;
   std::size_t tenant_quota(const std::string& tenant) const;
   bool unit_eligible(const Job& job) const;
@@ -164,6 +184,10 @@ class Scheduler {
   std::uint64_t next_job_id_ = 1;
   bool stopping_ = false;
 
+  /// Serializes the join phase of stop(): every caller blocks here until
+  /// the workers are actually joined, so concurrent stop()s neither race
+  /// join() on the same std::thread nor return before shutdown completed.
+  std::mutex join_mutex_;
   std::vector<std::thread> workers_;
 };
 

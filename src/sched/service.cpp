@@ -42,8 +42,39 @@ JobService::JobService(ServiceConfig config, Scheduler& scheduler)
 
 JobService::~JobService() {
   begin_drain();
-  std::lock_guard<std::mutex> lock(threads_mutex_);
-  for (auto& thread : connection_threads_) {
+  join_all_connections();
+}
+
+void JobService::join_all_connections() {
+  // Move the threads out before joining: a finishing handler takes
+  // threads_mutex_ to announce its id, so joining under the lock would
+  // deadlock against it.
+  std::map<std::uint64_t, std::thread> drained;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    drained.swap(connection_threads_);
+    finished_ids_.clear();
+  }
+  for (auto& [id, thread] : drained) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void JobService::reap_finished_connections() {
+  std::vector<std::thread> reaped;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const std::uint64_t id : finished_ids_) {
+      const auto it = connection_threads_.find(id);
+      if (it == connection_threads_.end()) continue;
+      reaped.push_back(std::move(it->second));
+      connection_threads_.erase(it);
+    }
+    finished_ids_.clear();
+  }
+  // An announced thread has nothing left to do but unwind: these joins
+  // return promptly. Outside the lock all the same.
+  for (auto& thread : reaped) {
     if (thread.joinable()) thread.join();
   }
 }
@@ -99,22 +130,23 @@ void JobService::run() {
       svc::write_all(client.get(), frame);
       continue;
     }
+    reap_finished_connections();
     std::string peer = svc::peer_name(client.get());
     open_connections_.fetch_add(1, std::memory_order_relaxed);
     connections_counter().add();
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, fd = std::move(client), peer = std::move(peer)]() mutable {
+    const std::uint64_t id = next_connection_id_++;
+    connection_threads_.emplace(
+        id, std::thread([this, id, fd = std::move(client),
+                         peer = std::move(peer)]() mutable {
           handle_connection(std::move(fd), std::move(peer));
-        });
+          // Announce completion so the accept loop can reap this thread;
+          // must be the handler thread's last touch of service state.
+          std::lock_guard<std::mutex> lock(threads_mutex_);
+          finished_ids_.push_back(id);
+        }));
   }
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    for (auto& thread : connection_threads_) {
-      if (thread.joinable()) thread.join();
-    }
-    connection_threads_.clear();
-  }
+  join_all_connections();
   if (config_.address.kind == svc::Address::Kind::Unix) {
     ::unlink(config_.address.path.c_str());
   }

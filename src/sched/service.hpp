@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -57,6 +58,15 @@ class JobService {
 
  private:
   void handle_connection(svc::Fd fd, std::string peer);
+  /// Joins and forgets connection threads that announced completion
+  /// (threads_mutex_ must NOT be held). Called on each accept so a
+  /// long-lived daemon serving many short connections stays bounded,
+  /// instead of accumulating one finished-but-unjoined thread per
+  /// connection until drain.
+  void reap_finished_connections();
+  /// Moves every connection thread out of the registry and joins it
+  /// (drain and destructor).
+  void join_all_connections();
   /// Dispatches one decoded frame; returns false when the connection must
   /// close.
   bool dispatch(int fd, const svc::Frame& frame);
@@ -71,7 +81,12 @@ class JobService {
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> open_connections_{0};
   std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+  /// Live connection threads by id; a handler pushes its id onto
+  /// finished_ids_ as its last act, and the accept loop (or drain) joins
+  /// and erases it from here.
+  std::map<std::uint64_t, std::thread> connection_threads_;
+  std::vector<std::uint64_t> finished_ids_;
+  std::uint64_t next_connection_id_ = 1;
 };
 
 }  // namespace intooa::sched

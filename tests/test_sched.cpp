@@ -87,9 +87,15 @@ struct FakeWorkload : sched::Workload {
   std::vector<std::uint64_t> finalized;
   std::atomic<int> concurrent{0};
   std::atomic<int> max_concurrent{0};
+  std::atomic<int> entered{0};  ///< units that reached run_unit (pre-hold)
+  std::atomic<int> finalize_entered{0};
   std::atomic<int> unit_delay_ms{0};
   std::atomic<bool> fail_units{false};
-  std::atomic<bool> hold{false};  ///< stalls units until released
+  std::atomic<bool> fail_unit_zero{false};  ///< only unit 0 throws, at once
+  std::atomic<bool> hold{false};           ///< stalls units until released
+  std::atomic<bool> hold_finalize{false};  ///< stalls finalize until released
+  std::string fail_message = "unit exploded";  ///< set before constructing
+                                               ///< the scheduler
 
   void validate(const sched::JobSpec& spec) override {
     if (spec.specs.empty()) throw std::invalid_argument("job has no specs");
@@ -98,6 +104,7 @@ struct FakeWorkload : sched::Workload {
 
   sched::UnitResult run_unit(const sched::JobInfo& job,
                              const sched::UnitRef& unit) override {
+    entered.fetch_add(1);
     while (hold.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -110,16 +117,26 @@ struct FakeWorkload : sched::Workload {
       tenants.push_back(job.spec.tenant);
       ran.emplace_back(job.id, unit.unit_index);
     }
+    if (fail_unit_zero.load() && unit.unit_index == 0) {
+      // Fails immediately — before the delay — so this unit lands while
+      // the others are still in flight.
+      concurrent.fetch_sub(1);
+      throw std::runtime_error(fail_message);
+    }
     if (unit_delay_ms.load() > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(unit_delay_ms.load()));
     }
     concurrent.fetch_sub(1);
-    if (fail_units.load()) throw std::runtime_error("unit exploded");
+    if (fail_units.load()) throw std::runtime_error(fail_message);
     return sched::UnitResult{10};
   }
 
   void finalize(const sched::JobInfo& job) override {
+    finalize_entered.fetch_add(1);
+    while (hold_finalize.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     std::lock_guard<std::mutex> lock(mutex);
     finalized.push_back(job.id);
   }
@@ -568,6 +585,132 @@ TEST(Scheduler, TerminalJobsSurviveRestartAsHistory) {
   EXPECT_EQ(scheduler.list().size(), 1u);
   EXPECT_TRUE(scheduler.list("nobody").empty());
   std::filesystem::remove(path);
+}
+
+TEST(Scheduler, RecoveredFullyDoneJobGoesStraightToFinalize) {
+  const std::string path = fresh_file("intooa_sched_alldone.bin");
+  // Simulate a crash after the last UnitDone but before the terminal
+  // StateChanged: the journal proves every unit done, yet the job is
+  // non-terminal. It has no pending units, so it must be scheduled
+  // straight to finalize — requeueing it as Queued would strand it
+  // non-terminal forever.
+  sched::JobInfo info;
+  info.id = 1;
+  info.spec = tiny_spec("acme", 0, 2);
+  info.units_total = 2;
+  {
+    sched::JournalRecovery recovery;
+    auto journal = sched::JobJournal::open(path, recovery);
+    journal->submitted(info);
+    journal->unit_done(1, 0, 10);
+    journal->unit_done(1, 1, 10);
+  }
+  std::uint64_t job_id = 0;
+  {
+    auto workload = std::make_shared<FakeWorkload>();
+    sched::SchedulerConfig config;
+    config.journal_path = path;
+    sched::Scheduler scheduler(config, workload);
+    ASSERT_TRUE(scheduler.wait_idle(10'000))
+        << "an all-done recovered job must still reach a terminal state";
+    const auto recovered = scheduler.status(1);
+    ASSERT_TRUE(recovered.has_value());
+    job_id = recovered->id;
+    EXPECT_EQ(recovered->state, sched::JobState::Completed);
+    EXPECT_EQ(recovered->units_done, 2u);
+    EXPECT_EQ(workload->ran_count(), 0u) << "no unit may re-run";
+    EXPECT_EQ(workload->finalized, std::vector<std::uint64_t>{1});
+  }
+  // The terminal state was journaled: the next incarnation sees history,
+  // not another finalize.
+  auto workload = std::make_shared<FakeWorkload>();
+  sched::SchedulerConfig config;
+  config.journal_path = path;
+  sched::Scheduler scheduler(config, workload);
+  EXPECT_EQ(scheduler.status(job_id)->state, sched::JobState::Completed);
+  EXPECT_EQ(workload->finalize_entered.load(), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(Scheduler, CancelDuringFinalizeDoesNotOverwriteTerminalState) {
+  auto workload = std::make_shared<FakeWorkload>();
+  workload->hold_finalize = true;
+  sched::SchedulerConfig config;
+  config.workers = 1;
+  sched::Scheduler scheduler(config, workload);
+  const std::uint64_t canceled_before =
+      obs::registry().counter("sched.jobs_canceled").value();
+
+  const auto submit = scheduler.submit(tiny_spec("a", 0, 1));
+  ASSERT_TRUE(submit.accepted);
+  while (workload->finalize_entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The job is inside finalize: cancel is too late to stop it and must
+  // not race the finalizer into a second terminal transition.
+  EXPECT_TRUE(scheduler.cancel(submit.job_id));
+  EXPECT_FALSE(sched::job_state_terminal(scheduler.status(submit.job_id)->state));
+  workload->hold_finalize = false;
+  ASSERT_TRUE(scheduler.wait_idle(10'000));
+
+  EXPECT_EQ(scheduler.status(submit.job_id)->state,
+            sched::JobState::Completed);
+  EXPECT_EQ(workload->finalized, std::vector<std::uint64_t>{submit.job_id});
+  EXPECT_EQ(obs::registry().counter("sched.jobs_canceled").value(),
+            canceled_before)
+      << "exactly one terminal transition: Completed, never also Canceled";
+}
+
+TEST(Scheduler, FailureMessageStartingWithCancelStillFailsTheJob) {
+  auto workload = std::make_shared<FakeWorkload>();
+  // A workload error whose text happens to start with "cancel" must not
+  // be mistaken for a cancellation: the terminal state is tracked in an
+  // explicit flag, never sniffed from the message.
+  workload->fail_message = "cancellation token expired";
+  workload->fail_unit_zero = true;
+  workload->unit_delay_ms = 100;
+  workload->hold = true;
+  sched::SchedulerConfig config;
+  config.workers = 2;
+  sched::Scheduler scheduler(config, workload);
+
+  const auto submit = scheduler.submit(tiny_spec("a", 0, 2));
+  ASSERT_TRUE(submit.accepted);
+  // Both units in flight before either lands: unit 0 then fails while
+  // unit 1 is still running, so the job settles on unit 1's landing —
+  // the path that must consult the failure flag, not the message.
+  while (workload->entered.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  workload->hold = false;
+  ASSERT_TRUE(scheduler.wait_idle(10'000));
+
+  const auto info = scheduler.status(submit.job_id);
+  EXPECT_EQ(info->state, sched::JobState::Failed);
+  EXPECT_NE(info->message.find("cancellation token expired"),
+            std::string::npos);
+  EXPECT_TRUE(workload->finalized.empty());
+}
+
+TEST(Scheduler, ConcurrentStopCallsAllWaitForShutdown) {
+  auto workload = std::make_shared<FakeWorkload>();
+  workload->unit_delay_ms = 50;
+  sched::SchedulerConfig config;
+  config.workers = 2;
+  sched::Scheduler scheduler(config, workload);
+  ASSERT_TRUE(scheduler.submit(tiny_spec("a", 0, 6)).accepted);
+  while (workload->ran_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::thread first([&] { scheduler.stop(); });
+  std::thread second([&] { scheduler.stop(); });
+  first.join();
+  second.join();
+  // Whichever stop() returned, the workers are joined: nothing is in
+  // flight, and the scheduler refuses new work.
+  EXPECT_EQ(workload->concurrent.load(), 0);
+  EXPECT_FALSE(scheduler.submit(tiny_spec("a", 0, 1)).accepted);
 }
 
 // ---- service + client over a unix socket ----
