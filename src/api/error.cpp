@@ -1,0 +1,119 @@
+#include "api/error.hpp"
+
+#include "svc/socket.hpp"
+
+namespace intooa::api {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::InvalidArgument: return "invalid_argument";
+    case ErrorCode::NotFound: return "not_found";
+    case ErrorCode::Busy: return "busy";
+    case ErrorCode::QueueFull: return "queue_full";
+    case ErrorCode::Draining: return "draining";
+    case ErrorCode::Unavailable: return "unavailable";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::Protocol: return "protocol";
+    case ErrorCode::Unsupported: return "unsupported";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::optional<ErrorCode> error_code_from_name(std::string_view name) {
+  for (const ErrorCode code :
+       {ErrorCode::InvalidArgument, ErrorCode::NotFound, ErrorCode::Busy,
+        ErrorCode::QueueFull, ErrorCode::Draining, ErrorCode::Unavailable,
+        ErrorCode::Timeout, ErrorCode::Protocol, ErrorCode::Unsupported,
+        ErrorCode::Internal}) {
+    if (error_code_name(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
+bool error_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Busy:
+    case ErrorCode::QueueFull:
+    case ErrorCode::Draining:
+    case ErrorCode::Unavailable:
+    case ErrorCode::Timeout:
+      return true;
+    case ErrorCode::InvalidArgument:
+    case ErrorCode::NotFound:
+    case ErrorCode::Protocol:
+    case ErrorCode::Unsupported:
+    case ErrorCode::Internal:
+      return false;
+  }
+  return false;
+}
+
+int error_http_status(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::InvalidArgument: return 400;
+    case ErrorCode::NotFound: return 404;
+    case ErrorCode::Busy: return 429;
+    case ErrorCode::QueueFull: return 429;
+    case ErrorCode::Draining: return 503;
+    case ErrorCode::Unavailable: return 502;
+    case ErrorCode::Timeout: return 504;
+    case ErrorCode::Protocol: return 502;
+    case ErrorCode::Unsupported: return 501;
+    case ErrorCode::Internal: return 500;
+  }
+  return 500;
+}
+
+int error_exit_code(ErrorCode code) {
+  if (code == ErrorCode::InvalidArgument) return 2;
+  return error_retryable(code) ? 3 : 4;
+}
+
+Error error_from_exception(const std::exception& e) {
+  if (const auto* transport = dynamic_cast<const svc::TransportError*>(&e)) {
+    ErrorCode code = ErrorCode::Internal;
+    switch (transport->kind()) {
+      case svc::TransportError::Kind::Connect:
+      case svc::TransportError::Kind::ConnectionLost:
+        code = ErrorCode::Unavailable;
+        break;
+      case svc::TransportError::Kind::Timeout:
+        code = ErrorCode::Timeout;
+        break;
+      case svc::TransportError::Kind::Protocol:
+        code = ErrorCode::Protocol;
+        break;
+      case svc::TransportError::Kind::Unsupported:
+        code = ErrorCode::Unsupported;
+        break;
+    }
+    return Error{code, e.what(), 0};
+  }
+  if (const auto* remote = dynamic_cast<const svc::RemoteError*>(&e)) {
+    ErrorCode code = ErrorCode::Protocol;
+    switch (remote->code()) {
+      case svc::ErrorCode::Draining:
+        code = ErrorCode::Draining;
+        break;
+      case svc::ErrorCode::Internal:
+        code = ErrorCode::Internal;
+        break;
+      case svc::ErrorCode::MalformedRequest:
+        code = ErrorCode::InvalidArgument;
+        break;
+      case svc::ErrorCode::BadFrame:
+      case svc::ErrorCode::VersionMismatch:
+      case svc::ErrorCode::OversizedFrame:
+        code = ErrorCode::Protocol;
+        break;
+    }
+    return Error{code, e.what(), 0};
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return Error{ErrorCode::InvalidArgument, e.what(), 0};
+  }
+  return Error{ErrorCode::Internal, e.what(), 0};
+}
+
+}  // namespace intooa::api

@@ -1,0 +1,301 @@
+#include "api/json.hpp"
+
+#include <cstdio>
+
+#include "circuit/spec.hpp"
+
+namespace intooa::api {
+
+namespace {
+
+Error field_error(const std::string& what) {
+  return Error{ErrorCode::InvalidArgument, what, 0};
+}
+
+/// Reads a non-negative integral number member into `out`; returns false
+/// (naming the field in `error`) on a wrong type or a fractional/negative
+/// value. A missing member leaves `out` untouched and succeeds.
+bool read_u64(const obs::Json& object, const std::string& key,
+              std::uint64_t& out, std::string& error) {
+  if (!object.contains(key)) return true;
+  const obs::Json& value = object.at(key);
+  if (!value.is_number()) {
+    error = "field '" + key + "' must be a number";
+    return false;
+  }
+  const double d = value.as_number();
+  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    error = "field '" + key + "' must be a non-negative integer";
+    return false;
+  }
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+bool read_string(const obs::Json& object, const std::string& key,
+                 std::string& out, std::string& error) {
+  if (!object.contains(key)) return true;
+  const obs::Json& value = object.at(key);
+  if (!value.is_string()) {
+    error = "field '" + key + "' must be a string";
+    return false;
+  }
+  out = value.as_string();
+  return true;
+}
+
+}  // namespace
+
+std::string fnv1a_hex(std::string_view data) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return hex;
+}
+
+obs::Json error_to_json(const Error& error) {
+  obs::Json body = obs::Json::object();
+  body["code"] = obs::Json(std::string(error_code_name(error.code)));
+  body["message"] = obs::Json(error.message);
+  body["retryable"] = obs::Json(error.retryable());
+  if (error.retry_after_ms > 0) {
+    body["retry_after_ms"] =
+        obs::Json(static_cast<unsigned long long>(error.retry_after_ms));
+  }
+  obs::Json root = obs::Json::object();
+  root["error"] = std::move(body);
+  return root;
+}
+
+Error error_from_json(const obs::Json& root) {
+  Error error{ErrorCode::Internal, "", 0};
+  if (!root.is_object() || !root.contains("error") ||
+      !root.at("error").is_object()) {
+    error.message = "malformed error body";
+    return error;
+  }
+  const obs::Json& body = root.at("error");
+  if (body.contains("code") && body.at("code").is_string()) {
+    if (const auto code = error_code_from_name(body.at("code").as_string())) {
+      error.code = *code;
+    }
+  }
+  if (body.contains("message") && body.at("message").is_string()) {
+    error.message = body.at("message").as_string();
+  }
+  if (body.contains("retry_after_ms") &&
+      body.at("retry_after_ms").is_number()) {
+    error.retry_after_ms =
+        static_cast<std::uint32_t>(body.at("retry_after_ms").as_number());
+  }
+  return error;
+}
+
+obs::Json job_spec_to_json(const sched::JobSpec& spec) {
+  obs::Json params = obs::Json::object();
+  params["runs"] = obs::Json(static_cast<unsigned long long>(
+      spec.params.runs));
+  params["init_topologies"] = obs::Json(static_cast<unsigned long long>(
+      spec.params.init_topologies));
+  params["iterations"] = obs::Json(static_cast<unsigned long long>(
+      spec.params.iterations));
+  params["pool"] = obs::Json(static_cast<unsigned long long>(
+      spec.params.pool));
+  params["sizing_init"] = obs::Json(static_cast<unsigned long long>(
+      spec.params.sizing_init));
+  params["sizing_iterations"] = obs::Json(static_cast<unsigned long long>(
+      spec.params.sizing_iterations));
+  params["seed"] = obs::Json(static_cast<unsigned long long>(
+      spec.params.seed));
+
+  obs::Json specs = obs::Json::array();
+  for (const std::string& name : spec.specs) specs.push_back(obs::Json(name));
+
+  obs::Json root = obs::Json::object();
+  root["tenant"] = obs::Json(spec.tenant);
+  root["priority"] = obs::Json(static_cast<unsigned long long>(
+      spec.priority));
+  root["method"] = obs::Json(spec.method);
+  root["specs"] = std::move(specs);
+  root["params"] = std::move(params);
+  return root;
+}
+
+Expected<sched::JobSpec> job_spec_from_json(const obs::Json& root) {
+  if (!root.is_object()) return field_error("job spec must be a JSON object");
+  sched::JobSpec spec;
+  std::string error;
+  for (const auto& [key, value] : root.members()) {
+    if (key != "tenant" && key != "priority" && key != "method" &&
+        key != "specs" && key != "params") {
+      return field_error("unknown job field '" + key + "'");
+    }
+  }
+  if (!read_string(root, "tenant", spec.tenant, error)) {
+    return field_error(error);
+  }
+  if (!read_string(root, "method", spec.method, error)) {
+    return field_error(error);
+  }
+  std::uint64_t priority = spec.priority;
+  if (!read_u64(root, "priority", priority, error)) return field_error(error);
+  spec.priority = static_cast<std::uint32_t>(priority);
+  if (root.contains("specs")) {
+    const obs::Json& specs = root.at("specs");
+    if (!specs.is_array()) {
+      return field_error("field 'specs' must be an array of strings");
+    }
+    spec.specs.clear();
+    for (const obs::Json& item : specs.items()) {
+      if (!item.is_string()) {
+        return field_error("field 'specs' must be an array of strings");
+      }
+      spec.specs.push_back(item.as_string());
+    }
+  }
+  if (root.contains("params")) {
+    const obs::Json& params = root.at("params");
+    if (!params.is_object()) {
+      return field_error("field 'params' must be a JSON object");
+    }
+    for (const auto& [key, value] : params.members()) {
+      if (key != "runs" && key != "init_topologies" && key != "iterations" &&
+          key != "pool" && key != "sizing_init" &&
+          key != "sizing_iterations" && key != "seed") {
+        return field_error("unknown params field '" + key + "'");
+      }
+    }
+    std::uint64_t n = 0;
+    auto assign = [&](const char* key, auto& field) {
+      n = static_cast<std::uint64_t>(field);
+      if (!read_u64(params, key, n, error)) return false;
+      field = static_cast<std::remove_reference_t<decltype(field)>>(n);
+      return true;
+    };
+    if (!assign("runs", spec.params.runs)) return field_error(error);
+    if (!assign("init_topologies", spec.params.init_topologies)) {
+      return field_error(error);
+    }
+    if (!assign("iterations", spec.params.iterations)) {
+      return field_error(error);
+    }
+    if (!assign("pool", spec.params.pool)) return field_error(error);
+    if (!assign("sizing_init", spec.params.sizing_init)) {
+      return field_error(error);
+    }
+    if (!assign("sizing_iterations", spec.params.sizing_iterations)) {
+      return field_error(error);
+    }
+    if (!assign("seed", spec.params.seed)) return field_error(error);
+  }
+  return spec;
+}
+
+obs::Json job_info_to_json(const sched::JobInfo& info) {
+  obs::Json root = obs::Json::object();
+  root["id"] = obs::Json(static_cast<unsigned long long>(info.id));
+  root["state"] = obs::Json(std::string(sched::job_state_name(info.state)));
+  root["terminal"] = obs::Json(sched::job_state_terminal(info.state));
+  root["units_total"] = obs::Json(static_cast<unsigned long long>(
+      info.units_total));
+  root["units_done"] = obs::Json(static_cast<unsigned long long>(
+      info.units_done));
+  root["simulations"] = obs::Json(static_cast<unsigned long long>(
+      info.simulations));
+  root["preemptions"] = obs::Json(static_cast<unsigned long long>(
+      info.preemptions));
+  root["message"] = obs::Json(info.message);
+  root["spec"] = job_spec_to_json(info.spec);
+  return root;
+}
+
+Expected<svc::EvalRequest> eval_request_from_json(const obs::Json& root) {
+  if (!root.is_object()) {
+    return field_error("evaluation request must be a JSON object");
+  }
+  for (const auto& [key, value] : root.members()) {
+    if (key != "spec" && key != "topology" && key != "sizing") {
+      return field_error("unknown evaluation field '" + key + "'");
+    }
+  }
+  if (!root.contains("spec") || !root.at("spec").is_string()) {
+    return field_error("field 'spec' (string) is required");
+  }
+  svc::EvalRequest request;
+  try {
+    request.spec = circuit::spec_by_name(root.at("spec").as_string());
+  } catch (const std::exception& e) {
+    return field_error(e.what());
+  }
+  if (!root.contains("topology")) {
+    return field_error("field 'topology' (integer) is required");
+  }
+  std::string error;
+  if (!read_u64(root, "topology", request.topology_index, error)) {
+    return field_error(error);
+  }
+  if (root.contains("sizing")) {
+    const obs::Json& sizing = root.at("sizing");
+    if (!sizing.is_object()) {
+      return field_error("field 'sizing' must be a JSON object");
+    }
+    for (const auto& [key, value] : sizing.members()) {
+      if (key != "init_points" && key != "iterations" &&
+          key != "candidates" && key != "refit_hyper_every") {
+        return field_error("unknown sizing field '" + key + "'");
+      }
+    }
+    std::uint64_t n = 0;
+    n = request.sizing.init_points;
+    if (!read_u64(sizing, "init_points", n, error)) {
+      return field_error(error);
+    }
+    request.sizing.init_points = static_cast<std::size_t>(n);
+    n = request.sizing.iterations;
+    if (!read_u64(sizing, "iterations", n, error)) return field_error(error);
+    request.sizing.iterations = static_cast<std::size_t>(n);
+    n = request.sizing.candidates;
+    if (!read_u64(sizing, "candidates", n, error)) return field_error(error);
+    request.sizing.candidates = static_cast<std::size_t>(n);
+    n = static_cast<std::uint64_t>(request.sizing.refit_hyper_every);
+    if (!read_u64(sizing, "refit_hyper_every", n, error)) {
+      return field_error(error);
+    }
+    request.sizing.refit_hyper_every = static_cast<int>(n);
+  }
+  return request;
+}
+
+obs::Json evaluation_to_json(const svc::EvalRequest& request,
+                             const EvaluationOutcome& outcome) {
+  const sizing::SizedResult& sized = outcome.record.record.sized;
+  obs::Json perf = obs::Json::object();
+  perf["gain_db"] = obs::Json(sized.best.perf.gain_db);
+  perf["gbw_hz"] = obs::Json(sized.best.perf.gbw_hz);
+  perf["pm_deg"] = obs::Json(sized.best.perf.pm_deg);
+  perf["power_w"] = obs::Json(sized.best.perf.power_w);
+  perf["valid"] = obs::Json(sized.best.perf.valid);
+
+  obs::Json root = obs::Json::object();
+  root["spec"] = obs::Json(request.spec.name);
+  root["topology"] = obs::Json(static_cast<unsigned long long>(
+      request.topology_index));
+  root["served_from"] =
+      obs::Json(std::string(svc::served_from_name(outcome.served_from)));
+  root["feasible"] = obs::Json(sized.best.feasible);
+  root["fom"] = obs::Json(sized.best.fom);
+  root["simulations"] = obs::Json(static_cast<unsigned long long>(
+      sized.simulations));
+  root["performance"] = std::move(perf);
+  root["record_bytes"] = obs::Json(static_cast<unsigned long long>(
+      outcome.record_payload.size()));
+  root["record_fnv1a"] = obs::Json(fnv1a_hex(outcome.record_payload));
+  return root;
+}
+
+}  // namespace intooa::api

@@ -1,0 +1,57 @@
+#pragma once
+// JSON encodings of the api types, shared verbatim by the HTTP gateway's
+// request/response bodies and by intooa-svc-client's --json output — one
+// schema, two transports (docs/GATEWAY.md documents every shape).
+// Encoding builds obs::Json values; decoding is strict about types but
+// lenient about omissions (every JobSpec/SizingConfig field has the same
+// default as the C++ struct) and returns Expected so a malformed body
+// surfaces as Error{InvalidArgument} with a field-naming message.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/error.hpp"
+#include "api/session.hpp"
+#include "obs/json.hpp"
+#include "sched/job.hpp"
+#include "svc/protocol.hpp"
+
+namespace intooa::api {
+
+/// {"error": {"code", "message", "retryable"[, "retry_after_ms"]}} — the
+/// body of every gateway error response and of --json failure output.
+obs::Json error_to_json(const Error& error);
+
+/// Inverse of error_to_json (used by CLI/tests to round-trip gateway
+/// errors). Unknown code names decode as Internal.
+Error error_from_json(const obs::Json& root);
+
+obs::Json job_spec_to_json(const sched::JobSpec& spec);
+
+/// Decodes a job spec; missing fields keep their struct defaults, wrong
+/// types or an unknown member yield InvalidArgument.
+Expected<sched::JobSpec> job_spec_from_json(const obs::Json& root);
+
+obs::Json job_info_to_json(const sched::JobInfo& info);
+
+/// Decodes an evaluation request body: {"spec": "S-1", "topology": N,
+/// "sizing": {"init_points", "iterations", "candidates",
+/// "refit_hyper_every"}} with "sizing" (and each of its fields) optional.
+/// The request id is left 0 — the pool assigns its own.
+Expected<svc::EvalRequest> eval_request_from_json(const obs::Json& root);
+
+/// One served evaluation: spec/topology echo, serving tier, the best
+/// point's feasibility/FoM/performance, the simulation count, and a
+/// digest of the raw record bytes ("record_fnv1a", FNV-1a 64 as 16 hex
+/// digits) so HTTP callers can assert byte-identity against the binary
+/// protocol without a binary-safe transport.
+obs::Json evaluation_to_json(const svc::EvalRequest& request,
+                             const EvaluationOutcome& outcome);
+
+/// FNV-1a 64 over arbitrary bytes, rendered as 16 lowercase hex digits —
+/// the record digest of evaluation_to_json, exposed for tests and for the
+/// binary-path clients that want to compare against a gateway result.
+std::string fnv1a_hex(std::string_view data);
+
+}  // namespace intooa::api

@@ -1,0 +1,652 @@
+#include "gateway/gateway.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "api/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/span.hpp"
+#include "util/log.hpp"
+#include "util/version.hpp"
+
+namespace intooa::gateway {
+
+namespace {
+
+/// Poll slice for connection reads, matching svc::Server: short enough
+/// that a drain is observed promptly, long enough to stay cheap.
+constexpr int kPollSliceMs = 100;
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::registry().counter("gateway.requests");
+  return c;
+}
+obs::Counter& connections_counter() {
+  static obs::Counter& c = obs::registry().counter("gateway.connections");
+  return c;
+}
+obs::Counter& errors_counter() {
+  static obs::Counter& c = obs::registry().counter("gateway.errors");
+  return c;
+}
+obs::Histogram& request_histogram() {
+  static obs::Histogram& h =
+      obs::registry().histogram("gateway.request_ns", obs::Unit::Nanoseconds);
+  return h;
+}
+
+/// Reads whatever is available (poll-gated). Returns bytes read, 0 on
+/// orderly EOF, -1 on error, -2 on poll timeout.
+ssize_t read_some(int fd, char* out, std::size_t capacity, int timeout_ms) {
+  struct pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  const int got = ::poll(&p, 1, timeout_ms);
+  if (got == 0) return -2;
+  if (got < 0) return errno == EINTR ? -2 : -1;
+  for (;;) {
+    const ssize_t n = ::recv(fd, out, capacity, 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -2;
+    return -1;
+  }
+}
+
+}  // namespace
+
+Gateway::Gateway(GatewayConfig config) : config_(std::move(config)) {
+  api::SessionConfig session;
+  session.evaluators = config_.evaluators;
+  session.scheduler = config_.scheduler;
+  session.pool = config_.pool;
+  session_ = std::make_unique<api::Session>(std::move(session));
+}
+
+Gateway::~Gateway() {
+  begin_drain();
+  join_all_connections();
+}
+
+void Gateway::bind() {
+  if (listen_fd_.valid()) return;
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error(std::string("gateway: pipe: ") +
+                             std::strerror(errno));
+  }
+  wake_rx_ = svc::Fd(pipe_fds[0]);
+  wake_tx_ = svc::Fd(pipe_fds[1]);
+  listen_fd_ = svc::listen_on(config_.listen);
+  start_ns_ = obs::detail::monotonic_ns();
+  if (!config_.access_log.empty()) {
+    access_log_.open(config_.access_log, std::ios::app);
+    if (!access_log_) {
+      util::log_warn(
+          "gateway: cannot open access log; access logging disabled",
+          {{"path", config_.access_log}});
+    }
+  }
+  util::log_info(
+      "intooa-gateway listening on " + config_.listen.to_string(),
+      {{"evaluators", config_.evaluators.size()},
+       {"scheduler",
+        config_.scheduler ? config_.scheduler->to_string() : "(none)"},
+       {"max_connections", config_.max_connections},
+       {"build", util::version_string()}});
+}
+
+void Gateway::run() {
+  bind();
+  while (!draining()) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd_.get(), POLLIN, 0};
+    fds[1] = {wake_rx_.get(), POLLIN, 0};
+    const int got = ::poll(fds, 2, 1000);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      util::log_error(std::string("gateway: accept poll: ") +
+                      std::strerror(errno));
+      break;
+    }
+    if (got == 0) continue;
+    if (fds[1].revents != 0) {
+      begin_drain();
+      break;
+    }
+    if (fds[0].revents == 0) continue;
+    svc::Fd client(::accept(listen_fd_.get(), nullptr, nullptr));
+    if (!client.valid()) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      util::log_error(std::string("gateway: accept: ") +
+                      std::strerror(errno));
+      continue;
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      // Connection-level backpressure: one 503 + Retry-After, then close.
+      HttpResponse busy = drain_response();
+      busy.body = api::error_to_json(
+                      api::Error{api::ErrorCode::Busy,
+                                 "gateway connection limit reached",
+                                 0})
+                      .dump();
+      svc::write_all(client.get(), render_response(busy, false));
+      count_response(busy.status);
+      continue;
+    }
+    reap_finished_connections();
+    std::string peer = svc::peer_name(client.get());
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_counter().add();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    const std::uint64_t id = next_connection_id_++;
+    connection_threads_.emplace(
+        id, std::thread([this, id, fd = std::move(client),
+                         peer = std::move(peer)]() mutable {
+          handle_connection(std::move(fd), std::move(peer));
+          // Announce completion so the accept loop can reap this thread;
+          // must be the handler thread's last touch of gateway state.
+          std::lock_guard<std::mutex> lock(threads_mutex_);
+          finished_ids_.push_back(id);
+        }));
+  }
+
+  // Drain linger: a stopped listener looks like an outage to an HTTP
+  // client; keep accepting for a bounded window and answer 503 with
+  // Retry-After so callers observe the drain and back off.
+  if (config_.drain_linger_ms > 0) {
+    const std::uint64_t deadline =
+        obs::detail::monotonic_ns() +
+        static_cast<std::uint64_t>(config_.drain_linger_ms) * 1'000'000;
+    for (;;) {
+      const std::int64_t left_ns =
+          static_cast<std::int64_t>(deadline - obs::detail::monotonic_ns());
+      if (left_ns <= 0) break;
+      struct pollfd p{listen_fd_.get(), POLLIN, 0};
+      const int got = ::poll(
+          &p, 1,
+          static_cast<int>(std::min<std::int64_t>(
+              (left_ns + 999'999) / 1'000'000, 1000)));
+      if (got < 0 && errno != EINTR) break;
+      if (got <= 0 || p.revents == 0) continue;
+      svc::Fd client(::accept(listen_fd_.get(), nullptr, nullptr));
+      if (!client.valid()) continue;
+      reap_finished_connections();
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      const std::uint64_t id = next_connection_id_++;
+      connection_threads_.emplace(
+          id, std::thread([this, id, fd = std::move(client)]() mutable {
+            handle_drain_connection(std::move(fd));
+            std::lock_guard<std::mutex> lock(threads_mutex_);
+            finished_ids_.push_back(id);
+          }));
+    }
+  }
+
+  join_all_connections();
+  session_->close();
+  if (config_.listen.kind == svc::Address::Kind::Unix) {
+    ::unlink(config_.listen.path.c_str());
+  }
+  const GatewayStats final = stats();
+  util::log_info("intooa-gateway drained",
+                 {{"requests", final.requests},
+                  {"responses_2xx", final.responses_2xx},
+                  {"responses_4xx", final.responses_4xx},
+                  {"responses_5xx", final.responses_5xx},
+                  {"parse_errors", final.parse_errors},
+                  {"timeouts", final.timeouts}});
+}
+
+void Gateway::begin_drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  if (wake_tx_.valid()) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t ignored = ::write(wake_tx_.get(), &byte, 1);
+  }
+}
+
+GatewayStats Gateway::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::size_t Gateway::connection_thread_count() const {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  return connection_threads_.size();
+}
+
+void Gateway::join_all_connections() {
+  // Move the threads out before joining: a finishing handler takes
+  // threads_mutex_ to announce its id, so joining under the lock would
+  // deadlock against it.
+  std::map<std::uint64_t, std::thread> drained;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    drained.swap(connection_threads_);
+    finished_ids_.clear();
+  }
+  for (auto& [id, thread] : drained) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Gateway::reap_finished_connections() {
+  std::vector<std::thread> reaped;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const std::uint64_t id : finished_ids_) {
+      const auto it = connection_threads_.find(id);
+      if (it == connection_threads_.end()) continue;
+      reaped.push_back(std::move(it->second));
+      connection_threads_.erase(it);
+    }
+    finished_ids_.clear();
+  }
+  for (auto& thread : reaped) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Gateway::count_response(int status) {
+  if (status >= 400) errors_counter().add();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (status >= 200 && status < 300) {
+    ++stats_.responses_2xx;
+  } else if (status >= 400 && status < 500) {
+    ++stats_.responses_4xx;
+  } else if (status >= 500) {
+    ++stats_.responses_5xx;
+  }
+}
+
+void Gateway::write_access_log(const std::string& peer,
+                               const HttpRequest& request, int status,
+                               std::uint64_t duration_ns) {
+  if (!access_log_.is_open()) return;
+  std::lock_guard<std::mutex> lock(access_log_mutex_);
+  access_log_ << "ts_ns=" << obs::detail::monotonic_ns()
+              << " peer=" << peer << " method=" << request.method
+              << " target=" << request.target << " status=" << status
+              << " duration_ns=" << duration_ns << '\n';
+  access_log_.flush();  // one line per request; losing lines to a crash
+                        // would defeat the log's post-mortem purpose
+}
+
+HttpResponse Gateway::drain_response() const {
+  HttpResponse response;
+  response.status = 503;
+  response.headers["Retry-After"] = std::to_string(config_.retry_after_s);
+  response.body =
+      api::error_to_json(
+          api::Error{api::ErrorCode::Draining,
+                     "gateway is draining; retry against another instance",
+                     static_cast<std::uint32_t>(config_.retry_after_s) *
+                         1000})
+          .dump();
+  return response;
+}
+
+HttpResponse Gateway::error_response(const api::Error& error) const {
+  HttpResponse response;
+  response.status = error.http_status();
+  if (error.code == api::ErrorCode::Draining ||
+      error.code == api::ErrorCode::Busy ||
+      error.code == api::ErrorCode::QueueFull) {
+    const std::uint32_t hint_ms =
+        error.retry_after_ms > 0
+            ? error.retry_after_ms
+            : static_cast<std::uint32_t>(config_.retry_after_s) * 1000;
+    response.headers["Retry-After"] =
+        std::to_string((hint_ms + 999) / 1000);
+  }
+  response.body = api::error_to_json(error).dump();
+  return response;
+}
+
+void Gateway::handle_connection(svc::Fd fd, std::string peer) {
+  HttpParser parser({config_.max_head_bytes, config_.max_body_bytes});
+  char buffer[8192];
+  int idle_ms = 0;
+  int grace_ms = 0;
+  bool open = true;
+  while (open) {
+    // Serve every complete buffered request before reading more
+    // (pipelining: several may arrive in one read).
+    while (parser.status() == HttpParser::Status::Ready) {
+      const HttpRequest request = parser.take_request();
+      const std::uint64_t started = obs::detail::monotonic_ns();
+      const HttpResponse response =
+          draining() ? drain_response() : route(request);
+      const std::uint64_t duration =
+          obs::detail::monotonic_ns() - started;
+      request_histogram().record(duration);
+      count_response(response.status);
+      write_access_log(peer, request, response.status, duration);
+      const bool keep = request.keep_alive && !draining();
+      if (!svc::write_all(fd.get(), render_response(response, keep)) ||
+          !keep) {
+        open = false;
+        break;
+      }
+      idle_ms = 0;
+      grace_ms = 0;
+    }
+    if (!open) break;
+    if (parser.status() == HttpParser::Status::Error) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.parse_errors;
+      }
+      HttpResponse response;
+      response.status = parser.error_status();
+      response.body =
+          api::error_to_json(api::Error{api::ErrorCode::InvalidArgument,
+                                        parser.error_message(), 0})
+              .dump();
+      count_response(response.status);
+      svc::write_all(fd.get(), render_response(response, false));
+      break;
+    }
+
+    const ssize_t got =
+        read_some(fd.get(), buffer, sizeof buffer, kPollSliceMs);
+    if (got == -2) {
+      if (draining() && !parser.mid_request()) break;
+      if (parser.mid_request()) {
+        grace_ms += kPollSliceMs;
+        if (grace_ms >= config_.request_grace_ms) {
+          // Slowloris bound: a request that trickles past the grace
+          // window is answered 408 and the connection closed.
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.timeouts;
+          }
+          HttpResponse response;
+          response.status = 408;
+          response.body = api::error_to_json(
+                              api::Error{api::ErrorCode::Timeout,
+                                         "request not completed within " +
+                                             std::to_string(
+                                                 config_.request_grace_ms) +
+                                             " ms",
+                                         0})
+                              .dump();
+          count_response(response.status);
+          svc::write_all(fd.get(), render_response(response, false));
+          break;
+        }
+      } else {
+        idle_ms += kPollSliceMs;
+        if (config_.idle_timeout_ms >= 0 &&
+            idle_ms >= config_.idle_timeout_ms) {
+          break;
+        }
+      }
+      continue;
+    }
+    if (got <= 0) break;  // orderly EOF or I/O error
+    parser.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+  }
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Gateway::handle_drain_connection(svc::Fd fd) {
+  // Linger-phase connection: parse requests only to frame the responses;
+  // everything is answered 503 + Retry-After until EOF or the grace cap.
+  HttpParser parser({config_.max_head_bytes, config_.max_body_bytes});
+  char buffer[4096];
+  int waited_ms = 0;
+  while (waited_ms < config_.drain_linger_ms) {
+    if (parser.status() == HttpParser::Status::Ready) {
+      const HttpRequest request = parser.take_request();
+      const HttpResponse response = drain_response();
+      count_response(response.status);
+      if (!svc::write_all(fd.get(),
+                          render_response(response, request.keep_alive)) ||
+          !request.keep_alive) {
+        return;
+      }
+      continue;
+    }
+    if (parser.status() == HttpParser::Status::Error) {
+      svc::write_all(fd.get(), render_response(drain_response(), false));
+      return;
+    }
+    const ssize_t got =
+        read_some(fd.get(), buffer, sizeof buffer, kPollSliceMs);
+    if (got == -2) {
+      waited_ms += kPollSliceMs;
+      continue;
+    }
+    if (got <= 0) return;
+    parser.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+  }
+}
+
+// ---- routing ----
+
+HttpResponse Gateway::route(const HttpRequest& request) {
+  INTOOA_SPAN("gateway.route");
+  requests_counter().add();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  if (draining()) return drain_response();
+
+  const std::string& path = request.path;
+  if (path == "/healthz") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    return route_healthz();
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    return route_metrics();
+  }
+  if (path == "/v1/stats") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    return route_stats();
+  }
+  if (path == "/v1/evaluations") {
+    if (request.method != "POST") return method_not_allowed("POST");
+    return route_evaluate(request);
+  }
+  if (path == "/v1/jobs") {
+    if (request.method != "GET" && request.method != "POST") {
+      return method_not_allowed("GET, POST");
+    }
+    return route_jobs(request);
+  }
+  if (path.rfind("/v1/jobs/", 0) == 0) {
+    const std::string id_text = path.substr(9);
+    if (id_text.empty() ||
+        id_text.find_first_not_of("0123456789") != std::string::npos ||
+        id_text.size() > 19) {
+      return error_response(api::Error{
+          api::ErrorCode::NotFound, "no such route: " + path, 0});
+    }
+    if (request.method != "GET" && request.method != "DELETE") {
+      return method_not_allowed("GET, DELETE");
+    }
+    return route_job(request, std::stoull(id_text));
+  }
+  return error_response(
+      api::Error{api::ErrorCode::NotFound, "no such route: " + path, 0});
+}
+
+HttpResponse Gateway::method_not_allowed(const std::string& allow) {
+  HttpResponse response;
+  response.status = 405;
+  response.headers["Allow"] = allow;
+  response.body =
+      api::error_to_json(api::Error{api::ErrorCode::InvalidArgument,
+                                    "method not allowed (allow: " + allow +
+                                        ")",
+                                    0})
+          .dump();
+  return response;
+}
+
+HttpResponse Gateway::route_healthz() const {
+  obs::Json body = obs::Json::object();
+  body["status"] = obs::Json("ok");
+  body["build"] = obs::Json(util::version_string());
+  body["uptime_seconds"] = obs::Json(
+      static_cast<double>(obs::detail::monotonic_ns() - start_ns_) / 1e9);
+  HttpResponse response;
+  response.body = body.dump();
+  return response;
+}
+
+HttpResponse Gateway::route_metrics() const {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = obs::render_prometheus(obs::snapshot());
+  return response;
+}
+
+HttpResponse Gateway::route_stats() {
+  api::Expected<std::string> stats = [this] {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    return session_->stats().fetch_json(false);
+  }();
+  if (!stats.ok()) return error_response(stats.error());
+  HttpResponse response;
+  response.body = std::move(stats).take();
+  return response;
+}
+
+HttpResponse Gateway::route_evaluate(const HttpRequest& request) {
+  obs::Json body;
+  try {
+    body = obs::Json::parse(request.body);
+  } catch (const std::exception& e) {
+    return error_response(
+        api::Error{api::ErrorCode::InvalidArgument,
+                   std::string("malformed JSON body: ") + e.what(), 0});
+  }
+  api::Expected<svc::EvalRequest> decoded =
+      api::eval_request_from_json(body);
+  if (!decoded.ok()) return error_response(decoded.error());
+  // Evaluations are pool-routed and thread-safe: no session lock held
+  // while the (potentially long) evaluation runs.
+  api::Expected<api::EvaluationOutcome> outcome =
+      session_->evaluations().evaluate(decoded.value());
+  if (!outcome.ok()) return error_response(outcome.error());
+  HttpResponse response;
+  response.body =
+      api::evaluation_to_json(decoded.value(), outcome.value()).dump();
+  return response;
+}
+
+HttpResponse Gateway::route_jobs(const HttpRequest& request) {
+  if (request.method == "GET") {
+    const auto params = request.query_params();
+    const auto tenant = params.find("tenant");
+    api::Expected<std::vector<sched::JobInfo>> jobs = [&] {
+      std::lock_guard<std::mutex> lock(session_mutex_);
+      return session_->jobs().list(
+          tenant == params.end() ? "" : tenant->second);
+    }();
+    if (!jobs.ok()) return error_response(jobs.error());
+    obs::Json list = obs::Json::array();
+    for (const sched::JobInfo& info : jobs.value()) {
+      list.push_back(api::job_info_to_json(info));
+    }
+    obs::Json body = obs::Json::object();
+    body["jobs"] = std::move(list);
+    HttpResponse response;
+    response.body = body.dump();
+    return response;
+  }
+
+  // POST: submit.
+  obs::Json body;
+  try {
+    body = obs::Json::parse(request.body);
+  } catch (const std::exception& e) {
+    return error_response(
+        api::Error{api::ErrorCode::InvalidArgument,
+                   std::string("malformed JSON body: ") + e.what(), 0});
+  }
+  api::Expected<sched::JobSpec> spec = api::job_spec_from_json(body);
+  if (!spec.ok()) return error_response(spec.error());
+  api::Expected<std::uint64_t> submitted = [&] {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    return session_->jobs().submit(spec.value());
+  }();
+  if (!submitted.ok()) return error_response(submitted.error());
+  obs::Json reply = obs::Json::object();
+  reply["id"] = obs::Json(static_cast<unsigned long long>(submitted.value()));
+  reply["state"] = obs::Json("queued");
+  HttpResponse response;
+  response.status = 201;
+  response.headers["Location"] =
+      "/v1/jobs/" + std::to_string(submitted.value());
+  response.body = reply.dump();
+  return response;
+}
+
+HttpResponse Gateway::route_job(const HttpRequest& request,
+                                std::uint64_t job_id) {
+  if (request.method == "DELETE") {
+    api::Expected<sched::JobInfo> info = [&] {
+      std::lock_guard<std::mutex> lock(session_mutex_);
+      return session_->jobs().cancel(job_id);
+    }();
+    if (!info.ok()) return error_response(info.error());
+    HttpResponse response;
+    response.body = api::job_info_to_json(info.value()).dump();
+    return response;
+  }
+
+  // GET, optionally long-polling until the job is terminal.
+  const auto params = request.query_params();
+  const auto watch = params.find("watch");
+  const bool watching =
+      watch != params.end() && watch->second != "0" && watch->second != "";
+  int wait_cap_ms = config_.watch_cap_ms;
+  if (const auto timeout = params.find("timeout_ms");
+      timeout != params.end()) {
+    try {
+      wait_cap_ms = std::min(config_.watch_cap_ms,
+                             std::max(0, std::stoi(timeout->second)));
+    } catch (const std::exception&) {
+      return error_response(api::Error{api::ErrorCode::InvalidArgument,
+                                       "malformed timeout_ms", 0});
+    }
+  }
+  int waited_ms = 0;
+  for (;;) {
+    api::Expected<sched::JobInfo> info = [&] {
+      std::lock_guard<std::mutex> lock(session_mutex_);
+      return session_->jobs().status(job_id);
+    }();
+    if (!info.ok()) return error_response(info.error());
+    const bool terminal = sched::job_state_terminal(info.value().state);
+    if (!watching || terminal || waited_ms >= wait_cap_ms || draining()) {
+      HttpResponse response;
+      response.body = api::job_info_to_json(info.value()).dump();
+      return response;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.watch_interval_ms));
+    waited_ms += config_.watch_interval_ms;
+  }
+}
+
+}  // namespace intooa::gateway

@@ -1,0 +1,298 @@
+#include "gateway/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace intooa::gateway {
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Splits one header-block line off `text` starting at `pos`, tolerating
+/// both CRLF and bare LF. Returns the line (no terminator) and advances
+/// `pos` past it; nullopt when no full line is buffered.
+std::optional<std::string_view> next_line(std::string_view text,
+                                          std::size_t& pos) {
+  const std::size_t lf = text.find('\n', pos);
+  if (lf == std::string_view::npos) return std::nullopt;
+  std::size_t end = lf;
+  if (end > pos && text[end - 1] == '\r') --end;
+  std::string_view line = text.substr(pos, end - pos);
+  pos = lf + 1;
+  return line;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(
+    const std::string& lowercase_name) const {
+  const auto it = headers.find(lowercase_name);
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+std::map<std::string, std::string> HttpRequest::query_params() const {
+  std::map<std::string, std::string> params;
+  std::size_t start = 0;
+  while (start < query.size()) {
+    std::size_t amp = query.find('&', start);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view pair =
+        std::string_view(query).substr(start, amp - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        params[url_decode(pair)] = "";
+      } else {
+        params[url_decode(pair.substr(0, eq))] =
+            url_decode(pair.substr(eq + 1));
+      }
+    }
+    start = amp + 1;
+  }
+  return params;
+}
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string render_response(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(status_text(response.status)) + "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  if (!keep_alive) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size() &&
+        std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+        std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+      const auto hex = [](char c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return c - 'A' + 10;
+      };
+      out.push_back(static_cast<char>(hex(text[i + 1]) * 16 +
+                                      hex(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+HttpParser::Status HttpParser::fail(int status, std::string message) {
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return Status::Error;
+}
+
+HttpParser::Status HttpParser::feed(std::string_view data) {
+  if (error_status_ != 0) return Status::Error;
+  buffer_.append(data);
+  return status();
+}
+
+HttpParser::Status HttpParser::status() {
+  if (error_status_ != 0) return Status::Error;
+  if (ready_) return Status::Ready;
+
+  if (!head_parsed_) {
+    // Find the blank line ending the head, accepting CRLFCRLF and LFLF
+    // (and the mixed forms a sloppy client may produce).
+    std::size_t head_end = std::string::npos;
+    std::size_t body_start = 0;
+    const std::size_t crlf = buffer_.find("\r\n\r\n");
+    const std::size_t lflf = buffer_.find("\n\n");
+    if (crlf != std::string::npos &&
+        (lflf == std::string::npos || crlf < lflf)) {
+      head_end = crlf;
+      body_start = crlf + 4;
+    } else if (lflf != std::string::npos) {
+      head_end = lflf;
+      body_start = lflf + 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return fail(431, "request head exceeds " +
+                             std::to_string(limits_.max_head_bytes) +
+                             " bytes");
+      }
+      return Status::NeedMore;
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return fail(431, "request head exceeds " +
+                           std::to_string(limits_.max_head_bytes) + " bytes");
+    }
+    const Status parsed = parse_head(head_end, body_start);
+    if (parsed == Status::Error) return parsed;
+    head_parsed_ = true;
+  }
+
+  if (buffer_.size() - body_start_ < content_length_) return Status::NeedMore;
+  pending_.body = buffer_.substr(body_start_, content_length_);
+  buffer_.erase(0, body_start_ + content_length_);
+  ready_ = true;
+  head_parsed_ = false;
+  return Status::Ready;
+}
+
+HttpParser::Status HttpParser::parse_head(std::size_t head_end,
+                                          std::size_t body_start) {
+  // Copy the head and append a virtual terminator so the last header line
+  // (which head_end cuts before its own CRLF) still splits cleanly.
+  std::string head_block = buffer_.substr(0, head_end);
+  head_block.push_back('\n');
+  std::size_t pos = 0;
+  const auto request_line = next_line(head_block, pos);
+  if (!request_line) {
+    return fail(400, "malformed request line");
+  }
+
+  // METHOD SP TARGET SP HTTP/1.x — exactly three space-separated tokens.
+  const std::string_view line = *request_line;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(400, "malformed request line");
+  }
+  HttpRequest request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request.version_minor = 0;
+  } else {
+    return fail(505, "unsupported version '" + std::string(version) + "'");
+  }
+  for (const char c : request.method) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      return fail(400, "malformed method");
+    }
+  }
+
+  // Header block.
+  for (;;) {
+    const auto header_line = next_line(head_block, pos);
+    if (!header_line) break;
+    if (header_line->empty()) break;
+    const std::size_t colon = header_line->find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    const std::string_view raw_name = header_line->substr(0, colon);
+    // Whitespace inside / after the field name is smuggling per RFC 9112.
+    if (raw_name.find(' ') != std::string_view::npos ||
+        raw_name.find('\t') != std::string_view::npos) {
+      return fail(400, "whitespace in header name");
+    }
+    request.headers[to_lower(raw_name)] =
+        std::string(trim(header_line->substr(colon + 1)));
+  }
+
+  if (request.headers.count("transfer-encoding") > 0) {
+    return fail(501, "transfer codings are not supported");
+  }
+  content_length_ = 0;
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    const std::string& text = it->second;
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos ||
+        text.size() > 12) {
+      return fail(400, "malformed Content-Length");
+    }
+    content_length_ = static_cast<std::size_t>(std::stoull(text));
+    if (content_length_ > limits_.max_body_bytes) {
+      return fail(413, "body exceeds " +
+                           std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+  }
+
+  // Split the target; decode the path (the query is decoded per-pair by
+  // query_params(), since '&' and '=' must be split before decoding).
+  const std::size_t question = request.target.find('?');
+  if (question == std::string::npos) {
+    request.path = url_decode(request.target);
+  } else {
+    request.path = url_decode(request.target.substr(0, question));
+    request.query = request.target.substr(question + 1);
+  }
+
+  const std::string* connection = request.header("connection");
+  const std::string connection_value =
+      connection ? to_lower(*connection) : "";
+  if (request.version_minor == 0) {
+    request.keep_alive = connection_value == "keep-alive";
+  } else {
+    request.keep_alive = connection_value != "close";
+  }
+
+  pending_ = std::move(request);
+  body_start_ = body_start;
+  return Status::NeedMore;  // caller's status() continues with the body
+}
+
+HttpRequest HttpParser::take_request() {
+  ready_ = false;
+  HttpRequest request = std::move(pending_);
+  pending_ = HttpRequest{};
+  body_start_ = 0;
+  content_length_ = 0;
+  return request;
+}
+
+}  // namespace intooa::gateway

@@ -1,0 +1,120 @@
+#pragma once
+// Dependency-free HTTP/1.1 primitives for intooa-gateway: an incremental,
+// bounded request parser plus response rendering. Deliberately the small
+// subset a JSON API needs — identity bodies sized by Content-Length,
+// keep-alive and pipelining, no chunked transfer coding (answered 501), no
+// multipart, no TLS. The parser is a pure byte machine (feed bytes, take
+// requests) so the torture tests drive it without sockets, and every
+// failure carries the HTTP status the server should answer before closing:
+//
+//   400  malformed request line / header / Content-Length
+//   413  body larger than the configured cap
+//   431  head (request line + headers) larger than the configured cap
+//   501  Transfer-Encoding present (chunked bodies unsupported)
+//   505  HTTP version other than 1.0/1.1
+//
+// Robustness expectations match svc::socket's frame reader: torn delivery
+// (one byte at a time), several pipelined requests in one read, and
+// garbage instead of HTTP must all be handled without overshoot — bytes
+// after a complete request are preserved for the next one.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace intooa::gateway {
+
+/// One parsed request. Header names are lowercased (HTTP headers are
+/// case-insensitive); values keep their bytes with surrounding whitespace
+/// trimmed.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (uppercase by convention)
+  std::string target;   ///< raw request target ("/v1/jobs/7?watch=1")
+  std::string path;     ///< target up to '?', percent-decoded per segment
+  std::string query;    ///< raw bytes after '?' ("" when absent)
+  int version_minor = 1;  ///< 0 or 1 (HTTP/1.x)
+  std::map<std::string, std::string> headers;
+  std::string body;
+  bool keep_alive = true;  ///< per Connection header + version default
+
+  /// Case-insensitive header lookup (pass the name lowercased).
+  const std::string* header(const std::string& lowercase_name) const;
+
+  /// Decoded key=value pairs of the query string (later keys win).
+  std::map<std::string, std::string> query_params() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;  ///< extra/override headers
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase ("Not Found", ...); "Unknown" for exotics.
+std::string_view status_text(int status);
+
+/// Serializes status line + headers + body. Always emits Content-Length;
+/// emits "Connection: close" when `keep_alive` is false.
+std::string render_response(const HttpResponse& response, bool keep_alive);
+
+/// Percent-decoding ('+' is NOT treated as space — query values use %20).
+/// Malformed escapes are kept verbatim.
+std::string url_decode(std::string_view text);
+
+/// Incremental request parser; one instance per connection, reused across
+/// keep-alive requests.
+class HttpParser {
+ public:
+  struct Limits {
+    std::size_t max_head_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 1 << 20;
+  };
+
+  enum class Status {
+    NeedMore,  ///< no complete request buffered yet
+    Ready,     ///< at least one request is complete; call take_request()
+    Error,     ///< protocol violation; answer error_status() and close
+  };
+
+  HttpParser() = default;
+  explicit HttpParser(Limits limits) : limits_(limits) {}
+
+  /// Appends bytes and attempts a parse. Once Error is returned the parser
+  /// is poisoned (further feeds keep returning Error).
+  Status feed(std::string_view data);
+
+  /// Re-examines the buffer without new bytes (after take_request(), for
+  /// pipelined successors).
+  Status status();
+
+  /// Pops the completed request; only valid when status() == Ready. Bytes
+  /// beyond the request stay buffered for the next one.
+  HttpRequest take_request();
+
+  /// True when a request has started arriving but is not complete — the
+  /// slowloris window the server bounds with its request grace timeout.
+  bool mid_request() const { return !buffer_.empty() && !ready_; }
+
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+ private:
+  Status fail(int status, std::string message);
+  /// Parses the head once buffer_ holds the terminating blank line.
+  Status parse_head(std::size_t head_end, std::size_t body_start);
+
+  Limits limits_{};
+  std::string buffer_;
+  bool ready_ = false;
+  bool head_parsed_ = false;
+  std::size_t body_start_ = 0;
+  std::size_t content_length_ = 0;
+  HttpRequest pending_;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace intooa::gateway

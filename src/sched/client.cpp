@@ -10,19 +10,26 @@ namespace intooa::sched {
 
 namespace {
 
-[[noreturn]] void protocol_error(const std::string& what) {
-  throw std::runtime_error("sched client: " + what);
+[[noreturn]] void protocol_error(
+    const std::string& what,
+    svc::TransportError::Kind kind = svc::TransportError::Kind::Protocol) {
+  throw svc::TransportError(kind, "sched client: " + what);
 }
 
-/// Surfaces an Error reply as the appropriate exception.
+/// Surfaces an Error reply as the appropriate exception: MalformedRequest
+/// keeps its historical std::invalid_argument shape (a bad spec is a caller
+/// bug), everything else becomes a RemoteError carrying the wire code so
+/// api::Session can classify it (Draining is retryable, Internal is not).
 [[noreturn]] void raise_error_reply(const svc::Frame& frame) {
   const auto error = svc::decode_error(frame.payload);
   if (!error) protocol_error("malformed Error reply");
   if (error->code == svc::ErrorCode::MalformedRequest) {
     throw std::invalid_argument(error->message);
   }
-  protocol_error(std::string(svc::error_code_name(error->code)) + ": " +
-                 error->message);
+  throw svc::RemoteError(
+      error->code, "sched client: " +
+                       std::string(svc::error_code_name(error->code)) + ": " +
+                       error->message);
 }
 
 }  // namespace
@@ -33,12 +40,18 @@ void JobClient::connect(const svc::Address& address) {
                       svc::encode_frame(svc::MsgType::Hello,
                                         svc::encode_hello()))) {
     fd_.reset();
-    protocol_error("failed to send Hello");
+    protocol_error("failed to send Hello",
+                   svc::TransportError::Kind::ConnectionLost);
   }
   svc::Frame frame;
-  if (svc::read_frame(fd_.get(), frame, 10'000) != svc::ReadStatus::Ok) {
+  const svc::ReadStatus hello_status = svc::read_frame(fd_.get(), frame,
+                                                       10'000);
+  if (hello_status != svc::ReadStatus::Ok) {
     fd_.reset();
-    protocol_error("no handshake reply");
+    protocol_error("no handshake reply",
+                   hello_status == svc::ReadStatus::Timeout
+                       ? svc::TransportError::Kind::Timeout
+                       : svc::TransportError::Kind::ConnectionLost);
   }
   if (frame.type == svc::MsgType::Error) {
     fd_.reset();
@@ -57,7 +70,8 @@ void JobClient::connect(const svc::Address& address) {
   if (server_minor_ < 2) {
     fd_.reset();
     protocol_error("server minor revision " + std::to_string(server_minor_) +
-                   " predates job control (needs >= 2)");
+                       " predates job control (needs >= 2)",
+                   svc::TransportError::Kind::Unsupported);
   }
   util::log_info("sched: connected",
                  {{"server", address.to_string()},
@@ -66,17 +80,24 @@ void JobClient::connect(const svc::Address& address) {
 }
 
 svc::Frame JobClient::roundtrip(svc::MsgType type, std::string_view payload) {
-  if (!fd_.valid()) protocol_error("not connected");
+  if (!fd_.valid()) {
+    protocol_error("not connected", svc::TransportError::Kind::ConnectionLost);
+  }
   if (!svc::write_all(fd_.get(), svc::encode_frame(type, payload))) {
     fd_.reset();
-    protocol_error("connection lost on send");
+    protocol_error("connection lost on send",
+                   svc::TransportError::Kind::ConnectionLost);
   }
   svc::Frame frame;
   // Scheduler operations are state mutations, not evaluations: a minute of
   // silence means the daemon is gone, not busy.
-  if (svc::read_frame(fd_.get(), frame, 60'000) != svc::ReadStatus::Ok) {
+  const svc::ReadStatus status = svc::read_frame(fd_.get(), frame, 60'000);
+  if (status != svc::ReadStatus::Ok) {
     fd_.reset();
-    protocol_error("connection lost awaiting reply");
+    protocol_error("connection lost awaiting reply",
+                   status == svc::ReadStatus::Timeout
+                       ? svc::TransportError::Kind::Timeout
+                       : svc::TransportError::Kind::ConnectionLost);
   }
   return frame;
 }

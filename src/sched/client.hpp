@@ -1,4 +1,9 @@
 #pragma once
+// DEPRECATED as an application entry point: new code should use
+// api::Session::jobs() (api/session.hpp), which wraps this client behind
+// Expected returns and the unified api::Error taxonomy. sched::JobClient
+// remains the transport building block the facade is implemented on.
+//
 // Synchronous job-control client for intooa-schedd: connect + handshake,
 // then one request / one reply per call (the operations are cheap state
 // queries — nothing here needs the pipelining machinery of svc::Client).

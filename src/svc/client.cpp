@@ -48,29 +48,35 @@ void Client::connect(const Address& address) {
   fd_ = connect_to(address);
   if (!write_all(fd_.get(), encode_frame(MsgType::Hello, encode_hello()))) {
     fd_.reset();
-    throw std::runtime_error("svc: connection closed during handshake");
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: connection closed during handshake");
   }
   Frame frame;
   const ReadStatus status = read_frame(fd_.get(), frame, kMidFrameGraceMs);
   if (status != ReadStatus::Ok) {
     fd_.reset();
-    throw std::runtime_error("svc: no handshake reply from " +
+    throw TransportError(status == ReadStatus::Timeout
+                             ? TransportError::Kind::Timeout
+                             : TransportError::Kind::ConnectionLost,
+                         "svc: no handshake reply from " +
                              address.to_string());
   }
   if (frame.type == MsgType::Error) {
     const auto error = decode_error(frame.payload);
     fd_.reset();
-    throw std::runtime_error(
+    throw TransportError(
+        TransportError::Kind::Protocol,
         "svc: server rejected handshake (" +
-        std::string(error ? error_code_name(error->code) : "malformed") +
-        "): " + (error ? error->message : ""));
+            std::string(error ? error_code_name(error->code) : "malformed") +
+            "): " + (error ? error->message : ""));
   }
   const auto hello =
       frame.type == MsgType::HelloOk ? decode_hello_ok(frame.payload)
                                      : std::nullopt;
   if (!hello || hello->version != kProtocolVersion) {
     fd_.reset();
-    throw std::runtime_error("svc: malformed handshake reply");
+    throw TransportError(TransportError::Kind::Protocol,
+                         "svc: malformed handshake reply");
   }
   server_minor_ = hello->minor;
   // Mirror of the server's handshake line (cross-version debugging: both
@@ -82,7 +88,10 @@ void Client::connect(const Address& address) {
 }
 
 void Client::send_request(const EvalRequest& request) {
-  if (!connected()) throw std::runtime_error("svc: client not connected");
+  if (!connected()) {
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: client not connected");
+  }
   const EvalRequest* to_send = &request;
   EvalRequest traced_request;
   if (obs::trace_enabled() && server_minor_ >= 1 && !request.trace) {
@@ -98,30 +107,38 @@ void Client::send_request(const EvalRequest& request) {
   if (!write_all(fd_.get(),
                  encode_frame(MsgType::EvalRequest,
                               encode_eval_request(*to_send)))) {
-    throw std::runtime_error("svc: connection lost while sending request");
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: connection lost while sending request");
   }
 }
 
 Reply Client::read_reply(int timeout_ms) {
-  if (!connected()) throw std::runtime_error("svc: client not connected");
+  if (!connected()) {
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: client not connected");
+  }
   Frame frame;
   const ReadStatus status = read_frame(fd_.get(), frame, timeout_ms);
   if (status == ReadStatus::Timeout) {
-    throw std::runtime_error("svc: timed out waiting for a reply");
+    throw TransportError(TransportError::Kind::Timeout,
+                         "svc: timed out waiting for a reply");
   }
   if (status == ReadStatus::BadType) {
-    throw std::runtime_error(
+    throw TransportError(
+        TransportError::Kind::Protocol,
         "svc: reply frame carries an unknown message type (corrupt stream)");
   }
   if (status != ReadStatus::Ok) {
-    throw std::runtime_error("svc: connection lost while awaiting a reply");
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: connection lost while awaiting a reply");
   }
   Reply reply;
   switch (frame.type) {
     case MsgType::EvalResponse: {
       auto response = decode_eval_response(frame.payload);
       if (!response) {
-        throw std::runtime_error("svc: malformed EvalResponse");
+        throw TransportError(TransportError::Kind::Protocol,
+                             "svc: malformed EvalResponse");
       }
       const auto traced = traced_.find(response->request_id);
       if (traced != traced_.end()) {
@@ -137,7 +154,10 @@ Reply Client::read_reply(int timeout_ms) {
     }
     case MsgType::Busy: {
       const auto busy = decode_busy(frame.payload);
-      if (!busy) throw std::runtime_error("svc: malformed Busy reply");
+      if (!busy) {
+        throw TransportError(TransportError::Kind::Protocol,
+                             "svc: malformed Busy reply");
+      }
       traced_.erase(busy->request_id);
       reply.kind = Reply::Kind::Busy;
       reply.busy = *busy;
@@ -145,14 +165,18 @@ Reply Client::read_reply(int timeout_ms) {
     }
     case MsgType::Error: {
       const auto error = decode_error(frame.payload);
-      if (!error) throw std::runtime_error("svc: malformed Error reply");
+      if (!error) {
+        throw TransportError(TransportError::Kind::Protocol,
+                             "svc: malformed Error reply");
+      }
       traced_.erase(error->request_id);
       reply.kind = Reply::Kind::Error;
       reply.error = std::move(*error);
       return reply;
     }
     default:
-      throw std::runtime_error("svc: unexpected reply frame type " +
+      throw TransportError(TransportError::Kind::Protocol,
+                           "svc: unexpected reply frame type " +
                                std::to_string(static_cast<unsigned>(
                                    frame.type)));
   }
@@ -177,9 +201,13 @@ Reply Client::evaluate_with_retry(const EvalRequest& request,
 }
 
 bool Client::ping(std::uint64_t nonce, int timeout_ms) {
-  if (!connected()) throw std::runtime_error("svc: client not connected");
+  if (!connected()) {
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: client not connected");
+  }
   if (!write_all(fd_.get(), encode_frame(MsgType::Ping, encode_ping(nonce)))) {
-    throw std::runtime_error("svc: connection lost while sending ping");
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: connection lost while sending ping");
   }
   Frame frame;
   if (read_frame(fd_.get(), frame, timeout_ms) != ReadStatus::Ok ||
@@ -239,9 +267,13 @@ void Client::record_merged_spans(const TracedRequest& traced,
 }
 
 std::string Client::stats_json(bool include_flight, int timeout_ms) {
-  if (!connected()) throw std::runtime_error("svc: client not connected");
+  if (!connected()) {
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: client not connected");
+  }
   if (server_minor_ < 1) {
-    throw std::runtime_error(
+    throw TransportError(
+        TransportError::Kind::Unsupported,
         "svc: server is a protocol-1.0 build without stats support");
   }
   StatsRequest request;
@@ -249,27 +281,35 @@ std::string Client::stats_json(bool include_flight, int timeout_ms) {
   request.include_flight = include_flight;
   if (!write_all(fd_.get(), encode_frame(MsgType::StatsRequest,
                                          encode_stats_request(request)))) {
-    throw std::runtime_error("svc: connection lost while requesting stats");
+    throw TransportError(TransportError::Kind::ConnectionLost,
+                         "svc: connection lost while requesting stats");
   }
   Frame frame;
   const ReadStatus status = read_frame(fd_.get(), frame, timeout_ms);
   if (status != ReadStatus::Ok) {
-    throw std::runtime_error("svc: no stats reply");
+    throw TransportError(status == ReadStatus::Timeout
+                             ? TransportError::Kind::Timeout
+                             : TransportError::Kind::ConnectionLost,
+                         "svc: no stats reply");
   }
   if (frame.type == MsgType::Error) {
     const auto error = decode_error(frame.payload);
-    throw std::runtime_error(
+    throw TransportError(
+        TransportError::Kind::Protocol,
         "svc: stats request rejected (" +
-        std::string(error ? error_code_name(error->code) : "malformed") +
-        "): " + (error ? error->message : ""));
+            std::string(error ? error_code_name(error->code) : "malformed") +
+            "): " + (error ? error->message : ""));
   }
   if (frame.type != MsgType::StatsResponse) {
-    throw std::runtime_error("svc: unexpected stats reply frame type " +
-                             std::to_string(static_cast<unsigned>(frame.type)));
+    throw TransportError(
+        TransportError::Kind::Protocol,
+        "svc: unexpected stats reply frame type " +
+            std::to_string(static_cast<unsigned>(frame.type)));
   }
   auto response = decode_stats_response(frame.payload);
   if (!response || response->request_id != request.request_id) {
-    throw std::runtime_error("svc: malformed StatsResponse");
+    throw TransportError(TransportError::Kind::Protocol,
+                         "svc: malformed StatsResponse");
   }
   return std::move(response->stats_json);
 }
@@ -277,7 +317,8 @@ std::string Client::stats_json(bool include_flight, int timeout_ms) {
 store::StoredRecord decode_response_record(const EvalResponse& response) {
   auto decoded = store::decode_record(response.record_payload);
   if (!decoded) {
-    throw std::runtime_error("svc: response record bytes do not decode");
+    throw TransportError(TransportError::Kind::Protocol,
+                         "svc: response record bytes do not decode");
   }
   return std::move(*decoded);
 }

@@ -1,4 +1,10 @@
 #pragma once
+// DEPRECATED as an application entry point: new code should use the
+// api::Session facade (api/session.hpp), which wraps this client plus the
+// pool and job control behind one typed, Expected-returning surface with
+// the unified api::Error taxonomy. svc::Client remains the transport
+// building block the facade is implemented on.
+//
 // svc::Client — the client side of the evaluation service protocol. One
 // Client owns one connection: connect() dials and performs the
 // Hello/HelloOk version handshake; evaluate() is the blocking

@@ -1,18 +1,18 @@
-// intooa-svc-client — CLI front end for the evaluation service. Three
-// modes sharing one request vocabulary:
+// intooa-svc-client — CLI front end for the evaluation service, built on
+// the api::Session facade (api/session.hpp). Three modes sharing one
+// request vocabulary:
 //
 //   single (default): one request for (--spec, --topology), one reply
 //   --batch FILE:     one request per file line ("SPEC TOPOLOGY_INDEX";
 //                     '#' starts a comment)
-//   --hammer N:       N concurrent connections splitting the request list
+//   --hammer N:       N concurrent sessions splitting the request list
 //                     (the list is the batch file when given, otherwise
 //                     --count consecutive topologies starting at
-//                     --topology), with Busy-backoff retries
+//                     --topology); Busy backoff is handled by the pool
 //
 // --verify re-runs every evaluation in-process and byte-compares the local
 // store::encode_record bytes against the server's record payload — the
-// end-to-end determinism check used by the CI smoke. Exit status: 0 when
-// every request was served Ok (and verified, when asked), 1 otherwise.
+// end-to-end determinism check used by the CI smoke.
 //
 // A fourth mode queries a live server's telemetry instead of evaluating:
 //
@@ -33,12 +33,23 @@
 //   jobs list [--tenant T]
 //   jobs watch [--job ID] [--interval SEC]
 //
-// submit prints the assigned job id (exit 1 on QueueFull, with the retry
-// hint); watch polls until the job — or with no --job, every job — is
-// terminal, exiting 0 only if everything completed.
+// submit prints the assigned job id; watch polls until the job — or with
+// no --job, every job — is terminal, exiting 0 only if everything
+// completed.
+//
+// --json switches every subcommand to machine-readable output: one JSON
+// document per result line (the same shapes the HTTP gateway serves;
+// docs/GATEWAY.md), errors as {"error": {...}} on stdout.
+//
+// Exit codes, derived from the api::Error taxonomy:
+//   0  every request ok (and verified, when asked)
+//   2  usage error (unknown flag/subcommand, invalid argument)
+//   3  retryable failure (endpoint down, queue full, draining, timeout)
+//   4  permanent failure (unknown job, protocol error, verify mismatch,
+//      watched job canceled/failed)
 //
 // Options: --connect ADDR --spec S-1 --topology N --count N --batch FILE
-//          --hammer N --retries N --timeout-ms MS --verify
+//          --hammer N --retries N --timeout-ms MS --verify --json
 //          --sizing-init N --sizing-iters N --candidates N --refit-every N
 //          plus the standard telemetry flags (--trace --metrics
 //          --log-level).
@@ -56,15 +67,16 @@
 #include <thread>
 #include <vector>
 
+#include "api/error.hpp"
+#include "api/json.hpp"
+#include "api/session.hpp"
 #include "core/eval_key.hpp"
 #include "obs/json.hpp"
-#include "sched/client.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/telemetry.hpp"
 #include "sizing/sizer.hpp"
 #include "store/record_io.hpp"
-#include "svc/client.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -93,8 +105,8 @@ std::vector<Job> read_batch(const std::string& path) {
     Job job;
     if (!(fields >> job.spec)) continue;  // blank / comment-only line
     if (!(fields >> job.topology_index)) {
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                               ": expected 'SPEC TOPOLOGY_INDEX'");
+      throw std::invalid_argument(path + ":" + std::to_string(line_no) +
+                                  ": expected 'SPEC TOPOLOGY_INDEX'");
     }
     jobs.push_back(std::move(job));
   }
@@ -114,7 +126,7 @@ svc::EvalRequest make_request(const Job& job, const sizing::SizingConfig& cfg,
 /// Recomputes the evaluation in-process and byte-compares against the
 /// server's record payload. Returns true when identical.
 bool verify_reply(const svc::EvalRequest& request,
-                  const svc::EvalResponse& response) {
+                  const api::EvaluationOutcome& outcome) {
   const sizing::EvalContext context = request.eval_context();
   const core::EvalKeyContext keys(context, request.sizing);
   const circuit::Topology topology =
@@ -125,62 +137,81 @@ bool verify_reply(const svc::EvalRequest& request,
   core::EvalRecord record;
   record.topology = topology;
   record.sized = sizer.size(topology, sizing_rng);
-  return store::encode_record(key, record) == response.record_payload;
+  return store::encode_record(key, record) == outcome.record_payload;
 }
 
 struct Tally {
   std::mutex mutex;
   std::size_t ok = 0, failed = 0, verified = 0, mismatched = 0;
+  int worst_exit = 0;  ///< escalated api exit code across failures
 };
 
-/// Runs `jobs` sequentially over one connection; updates `tally`.
-void run_jobs(const svc::Address& address, const std::vector<Job>& jobs,
-              std::uint64_t id_base, const sizing::SizingConfig& cfg,
-              int retries, int timeout_ms, bool verify, bool print,
-              Tally& tally) {
-  svc::Client client;
-  client.connect(address);
+/// Runs `jobs` sequentially over one api::Session; updates `tally`.
+void run_eval_jobs(const svc::Address& address, const std::vector<Job>& jobs,
+                   std::uint64_t id_base, const sizing::SizingConfig& cfg,
+                   bool verify, bool print, bool json, Tally& tally) {
+  api::SessionConfig config;
+  config.evaluators = {address};
+  api::Session session(std::move(config));
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const svc::EvalRequest request =
-        make_request(jobs[i], cfg, id_base + i + 1);
+    svc::EvalRequest request;
     try {
-      const svc::Reply reply =
-          client.evaluate_with_retry(request, retries, timeout_ms);
-      if (reply.kind != svc::Reply::Kind::Ok) {
-        std::lock_guard<std::mutex> lock(tally.mutex);
-        ++tally.failed;
-        std::fprintf(stderr, "request %llu (%s topo %llu): %s %s\n",
-                     (unsigned long long)request.request_id,
-                     jobs[i].spec.c_str(),
-                     (unsigned long long)jobs[i].topology_index,
-                     "server error:",
-                     reply.error.message.c_str());
-        continue;
-      }
-      const store::StoredRecord record =
-          svc::decode_response_record(reply.response);
-      const bool identical = verify && verify_reply(request, reply.response);
-      {
-        std::lock_guard<std::mutex> lock(tally.mutex);
-        ++tally.ok;
-        if (verify) ++(identical ? tally.verified : tally.mismatched);
-        if (print) {
-          std::printf("%s topo %llu: served=%s feasible=%d fom=%.4f sims=%zu%s\n",
-                      jobs[i].spec.c_str(),
-                      (unsigned long long)jobs[i].topology_index,
-                      svc::served_from_name(reply.response.served_from).data(),
-                      record.record.sized.best.feasible ? 1 : 0,
-                      record.record.sized.best.fom,
-                      record.record.sized.simulations,
-                      !verify ? "" : identical ? " verify=ok"
-                                               : " verify=MISMATCH");
-        }
-      }
+      request = make_request(jobs[i], cfg, id_base + i + 1);
     } catch (const std::exception& error) {
+      const api::Error mapped = api::error_from_exception(error);
       std::lock_guard<std::mutex> lock(tally.mutex);
       ++tally.failed;
-      std::fprintf(stderr, "request %llu: %s\n",
-                   (unsigned long long)(id_base + i + 1), error.what());
+      tally.worst_exit = std::max(tally.worst_exit, mapped.exit_code());
+      if (json) {
+        std::printf("%s\n", api::error_to_json(mapped).dump().c_str());
+      } else {
+        std::fprintf(stderr, "request %llu (%s topo %llu): %s\n",
+                     (unsigned long long)(id_base + i + 1),
+                     jobs[i].spec.c_str(),
+                     (unsigned long long)jobs[i].topology_index,
+                     mapped.message.c_str());
+      }
+      continue;
+    }
+    const api::Expected<api::EvaluationOutcome> outcome =
+        session.evaluations().evaluate(request);
+    if (!outcome.ok()) {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.failed;
+      tally.worst_exit =
+          std::max(tally.worst_exit, outcome.error().exit_code());
+      if (json) {
+        std::printf("%s\n", api::error_to_json(outcome.error()).dump().c_str());
+      } else {
+        std::fprintf(stderr, "request %llu (%s topo %llu): %s: %s\n",
+                     (unsigned long long)(id_base + i + 1),
+                     jobs[i].spec.c_str(),
+                     (unsigned long long)jobs[i].topology_index,
+                     std::string(api::error_code_name(outcome.error().code))
+                         .c_str(),
+                     outcome.error().message.c_str());
+      }
+      continue;
+    }
+    const api::EvaluationOutcome& result = outcome.value();
+    const bool identical = verify && verify_reply(request, result);
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    ++tally.ok;
+    if (verify) ++(identical ? tally.verified : tally.mismatched);
+    if (json) {
+      obs::Json doc = api::evaluation_to_json(request, result);
+      if (verify) doc["verify"] = obs::Json(identical ? "ok" : "mismatch");
+      std::printf("%s\n", doc.dump().c_str());
+    } else if (print) {
+      std::printf("%s topo %llu: served=%s feasible=%d fom=%.4f sims=%zu%s\n",
+                  jobs[i].spec.c_str(),
+                  (unsigned long long)jobs[i].topology_index,
+                  svc::served_from_name(result.served_from).data(),
+                  result.record.record.sized.best.feasible ? 1 : 0,
+                  result.record.record.sized.best.fom,
+                  result.record.record.sized.simulations,
+                  !verify ? "" : identical ? " verify=ok"
+                                           : " verify=MISMATCH");
     }
   }
 }
@@ -224,22 +255,35 @@ void print_stats_human(const obs::Json& root) {
   }
 }
 
+/// Prints an api::Error the mode-appropriate way and returns its exit code.
+int report_error(const api::Error& error, bool json) {
+  if (json) {
+    std::printf("%s\n", api::error_to_json(error).dump().c_str());
+  } else {
+    std::fprintf(stderr, "intooa-svc-client: %s\n", error.message.c_str());
+  }
+  return error.exit_code();
+}
+
 /// The `stats` subcommand: query a live server's telemetry over the
-/// protocol, optionally repeating with --watch.
+/// facade, optionally repeating with --watch.
 int run_stats(const util::Cli& cli, const svc::Address& address,
               int timeout_ms) {
   const bool prometheus = cli.has("prometheus");
   const bool raw_json = cli.has("json");
-  const bool flight = cli.has("flight");
   const std::size_t watch_s = cli.get_size("watch", 0);
-  svc::Client client;
-  client.connect(address);
+  api::SessionConfig config;
+  config.evaluators = {address};
+  config.stats_timeout_ms = timeout_ms;
+  api::Session session(std::move(config));
   for (;;) {
-    const std::string text = client.stats_json(flight, timeout_ms);
+    const api::Expected<std::string> text =
+        session.stats().fetch_json(cli.has("flight"));
+    if (!text.ok()) return report_error(text.error(), raw_json);
     if (raw_json) {
-      std::printf("%s\n", text.c_str());
+      std::printf("%s\n", text.value().c_str());
     } else {
-      const obs::Json root = obs::Json::parse(text);
+      const obs::Json root = obs::Json::parse(text.value());
       if (prometheus) {
         const auto snapshot =
             obs::MetricsSnapshot::from_json(root.at("metrics"));
@@ -273,22 +317,29 @@ void print_job(const sched::JobInfo& info) {
       info.message.c_str());
 }
 
+/// Prints one job the mode-appropriate way.
+void emit_job(const sched::JobInfo& info, bool json) {
+  if (json) {
+    std::printf("%s\n", api::job_info_to_json(info).dump().c_str());
+  } else {
+    print_job(info);
+  }
+}
+
 /// Polls until the watched job(s) are terminal. Exit 0 only when
 /// everything completed (canceled/failed jobs fail the watch).
-int watch_jobs(sched::JobClient& client, std::optional<std::uint64_t> job_id,
-               std::size_t interval_s) {
+int watch_jobs(api::Jobs& jobs_api, std::optional<std::uint64_t> job_id,
+               std::size_t interval_s, bool json) {
   for (;;) {
     std::vector<sched::JobInfo> jobs;
     if (job_id) {
-      const auto info = client.status(*job_id);
-      if (!info) {
-        std::fprintf(stderr, "unknown job %llu\n",
-                     (unsigned long long)*job_id);
-        return 1;
-      }
-      jobs.push_back(*info);
+      const api::Expected<sched::JobInfo> info = jobs_api.status(*job_id);
+      if (!info.ok()) return report_error(info.error(), json);
+      jobs.push_back(info.value());
     } else {
-      jobs = client.list();
+      api::Expected<std::vector<sched::JobInfo>> all = jobs_api.list();
+      if (!all.ok()) return report_error(all.error(), json);
+      jobs = std::move(all).take();
     }
     bool all_terminal = true, all_completed = true;
     for (const auto& info : jobs) {
@@ -296,21 +347,26 @@ int watch_jobs(sched::JobClient& client, std::optional<std::uint64_t> job_id,
       if (info.state != sched::JobState::Completed) all_completed = false;
     }
     if (all_terminal) {
-      for (const auto& info : jobs) print_job(info);
-      return all_completed && !jobs.empty() ? 0 : 1;
+      for (const auto& info : jobs) emit_job(info, json);
+      return all_completed && !jobs.empty()
+                 ? 0
+                 : api::error_exit_code(api::ErrorCode::Internal);
     }
     std::this_thread::sleep_for(std::chrono::seconds(interval_s));
   }
 }
 
-/// The `jobs` subcommand: drive a live intooa-schedd over the protocol.
+/// The `jobs` subcommand: drive a live intooa-schedd through the facade.
 int run_jobs_control(const util::Cli& cli, const svc::Address& address) {
   const auto& pos = cli.positional();
   const std::string action = pos.size() >= 2 ? pos[1] : "list";
+  const bool json = cli.has("json");
   const std::size_t interval_s = std::max<std::size_t>(
       1, cli.get_size("interval", 2));
-  sched::JobClient client;
-  client.connect(address);
+  api::SessionConfig config;
+  config.scheduler = address;
+  api::Session session(std::move(config));
+  api::Jobs& jobs = session.jobs();
 
   if (action == "submit") {
     sched::JobSpec spec;
@@ -336,56 +392,84 @@ int run_jobs_control(const util::Cli& cli, const svc::Address& address) {
     spec.params.sizing_iterations =
         cli.get_size("sizing-iters", spec.params.sizing_iterations);
     spec.params.seed = cli.get_size("seed", spec.params.seed);
-    const sched::SubmitOutcome outcome = client.submit(spec);
-    if (!outcome.accepted) {
-      std::fprintf(stderr, "queue full; retry after %u ms\n",
-                   outcome.retry_after_ms);
-      return 1;
+    const api::Expected<std::uint64_t> submitted = jobs.submit(spec);
+    if (!submitted.ok()) {
+      if (!json && submitted.error().code == api::ErrorCode::QueueFull) {
+        std::fprintf(stderr, "queue full; retry after %u ms\n",
+                     submitted.error().retry_after_ms);
+        return submitted.error().exit_code();
+      }
+      return report_error(submitted.error(), json);
     }
-    std::printf("submitted job %llu\n", (unsigned long long)outcome.job_id);
+    if (json) {
+      obs::Json doc = obs::Json::object();
+      doc["id"] =
+          obs::Json(static_cast<unsigned long long>(submitted.value()));
+      doc["state"] = obs::Json("queued");
+      std::printf("%s\n", doc.dump().c_str());
+    } else {
+      std::printf("submitted job %llu\n",
+                  (unsigned long long)submitted.value());
+    }
     if (cli.has("watch")) {
-      return watch_jobs(client, outcome.job_id, interval_s);
+      return watch_jobs(jobs, submitted.value(), interval_s, json);
     }
     return 0;
   }
   if (action == "status" || action == "cancel") {
     if (!cli.has("job")) {
       std::fprintf(stderr, "jobs %s requires --job ID\n", action.c_str());
-      return 2;
+      return api::error_exit_code(api::ErrorCode::InvalidArgument);
     }
     const std::uint64_t job_id = cli.get_size("job", 0);
-    const auto info = action == "status" ? client.status(job_id)
-                                         : client.cancel(job_id);
-    if (!info) {
-      std::fprintf(stderr, "unknown job %llu\n", (unsigned long long)job_id);
-      return 1;
+    const api::Expected<sched::JobInfo> info =
+        action == "status" ? jobs.status(job_id) : jobs.cancel(job_id);
+    if (!info.ok()) {
+      if (!json && info.error().code == api::ErrorCode::NotFound) {
+        std::fprintf(stderr, "unknown job %llu\n", (unsigned long long)job_id);
+        return info.error().exit_code();
+      }
+      return report_error(info.error(), json);
     }
-    print_job(*info);
+    emit_job(info.value(), json);
     return 0;
   }
   if (action == "list") {
-    for (const auto& info : client.list(cli.get("tenant", ""))) {
-      print_job(info);
+    const api::Expected<std::vector<sched::JobInfo>> all =
+        jobs.list(cli.get("tenant", ""));
+    if (!all.ok()) return report_error(all.error(), json);
+    if (json) {
+      obs::Json list = obs::Json::array();
+      for (const auto& info : all.value()) {
+        list.push_back(api::job_info_to_json(info));
+      }
+      obs::Json doc = obs::Json::object();
+      doc["jobs"] = std::move(list);
+      std::printf("%s\n", doc.dump().c_str());
+    } else {
+      for (const auto& info : all.value()) print_job(info);
     }
     return 0;
   }
   if (action == "watch") {
     std::optional<std::uint64_t> job_id;
     if (cli.has("job")) job_id = cli.get_size("job", 0);
-    return watch_jobs(client, job_id, interval_s);
+    return watch_jobs(jobs, job_id, interval_s, json);
   }
   std::fprintf(stderr,
                "intooa-svc-client jobs: unknown action '%s' "
                "(submit|status|cancel|list|watch)\n",
                action.c_str());
-  return 2;
+  return api::error_exit_code(api::ErrorCode::InvalidArgument);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json_mode = false;
   try {
     const util::Cli cli(argc, argv);
+    json_mode = cli.has("json");
     const bool jobs_mode =
         !cli.positional().empty() && cli.positional().front() == "jobs";
     if (jobs_mode) {
@@ -394,7 +478,7 @@ int main(int argc, char** argv) {
       cli.reject_unknown({"connect", "tenant", "priority", "method", "specs",
                           "runs", "init", "iters", "pool", "sizing-init",
                           "sizing-iters", "seed", "job", "interval", "watch",
-                          "trace", "metrics", "log-level"});
+                          "json", "trace", "metrics", "log-level"});
     } else {
       cli.reject_unknown({"connect", "spec", "topology", "count", "batch",
                           "hammer", "retries", "timeout-ms", "verify",
@@ -413,7 +497,7 @@ int main(int argc, char** argv) {
       if (mode != "stats") {
         std::fprintf(stderr, "intooa-svc-client: unknown subcommand '%s'\n",
                      mode.c_str());
-        return 2;
+        return api::error_exit_code(api::ErrorCode::InvalidArgument);
       }
       return run_stats(cli, address,
                        static_cast<int>(cli.get_int("timeout-ms", -1)));
@@ -424,9 +508,8 @@ int main(int argc, char** argv) {
     cfg.candidates = cli.get_size("candidates", cfg.candidates);
     cfg.refit_hyper_every =
         static_cast<int>(cli.get_int("refit-every", cfg.refit_hyper_every));
-    const int retries = static_cast<int>(cli.get_int("retries", 16));
-    const int timeout_ms = static_cast<int>(cli.get_int("timeout-ms", -1));
     const bool verify = cli.has("verify");
+    const bool json = cli.has("json");
 
     // Build the request list: batch file, or --count consecutive
     // topologies starting at --topology.
@@ -444,49 +527,72 @@ int main(int argc, char** argv) {
     }
     if (jobs.empty()) {
       std::fprintf(stderr, "intooa-svc-client: nothing to request\n");
-      return 1;
+      return api::error_exit_code(api::ErrorCode::InvalidArgument);
     }
 
     Tally tally;
     const std::size_t hammer = cli.get_size("hammer", 0);
     if (hammer <= 1) {
-      run_jobs(address, jobs, 0, cfg, retries, timeout_ms, verify,
-               /*print=*/true, tally);
+      run_eval_jobs(address, jobs, 0, cfg, verify, /*print=*/true, json,
+                    tally);
     } else {
-      // Split the list round-robin across `hammer` connections, one thread
+      // Split the list round-robin across `hammer` sessions, one thread
       // each. Ids are disjoint per worker so replies are attributable.
       std::vector<std::vector<Job>> split(hammer);
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         split[i % hammer].push_back(jobs[i]);
       }
       std::vector<std::thread> workers;
-      std::atomic<int> connect_failures{0};
       for (std::size_t w = 0; w < hammer; ++w) {
         workers.emplace_back([&, w] {
           try {
-            run_jobs(address, split[w], (w + 1) << 32, cfg, retries,
-                     timeout_ms, verify, /*print=*/true, tally);
+            run_eval_jobs(address, split[w], (w + 1) << 32, cfg, verify,
+                          /*print=*/true, json, tally);
           } catch (const std::exception& error) {
-            connect_failures.fetch_add(1);
+            const api::Error mapped = api::error_from_exception(error);
+            std::lock_guard<std::mutex> lock(tally.mutex);
+            ++tally.failed;
+            tally.worst_exit = std::max(tally.worst_exit, mapped.exit_code());
             std::fprintf(stderr, "worker %zu: %s\n", w, error.what());
           }
         });
       }
       for (auto& worker : workers) worker.join();
-      if (connect_failures.load() > 0) tally.failed += 1;
     }
 
-    std::printf("ok=%zu failed=%zu", tally.ok, tally.failed);
-    if (verify) {
-      std::printf(" verified=%zu mismatched=%zu", tally.verified,
-                  tally.mismatched);
+    if (json) {
+      obs::Json doc = obs::Json::object();
+      doc["ok"] = obs::Json(static_cast<unsigned long long>(tally.ok));
+      doc["failed"] = obs::Json(static_cast<unsigned long long>(tally.failed));
+      if (verify) {
+        doc["verified"] =
+            obs::Json(static_cast<unsigned long long>(tally.verified));
+        doc["mismatched"] =
+            obs::Json(static_cast<unsigned long long>(tally.mismatched));
+      }
+      std::printf("%s\n", doc.dump().c_str());
+    } else {
+      std::printf("ok=%zu failed=%zu", tally.ok, tally.failed);
+      if (verify) {
+        std::printf(" verified=%zu mismatched=%zu", tally.verified,
+                    tally.mismatched);
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
     const bool success =
         tally.failed == 0 && tally.ok == jobs.size() && tally.mismatched == 0;
-    return success ? 0 : 1;
+    if (success) return 0;
+    return tally.worst_exit != 0
+               ? tally.worst_exit
+               : api::error_exit_code(api::ErrorCode::Internal);
   } catch (const std::exception& error) {
+    // Usage mistakes (bad flag values, unparsable addresses) exit 2 via
+    // the taxonomy; unexpected failures exit as their mapped class.
+    const api::Error mapped = api::error_from_exception(error);
+    if (json_mode) {
+      std::printf("%s\n", api::error_to_json(mapped).dump().c_str());
+    }
     std::fprintf(stderr, "intooa-svc-client: %s\n", error.what());
-    return 1;
+    return mapped.exit_code();
   }
 }

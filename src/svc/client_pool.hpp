@@ -1,4 +1,10 @@
 #pragma once
+// DEPRECATED as an application entry point: new code should use
+// api::Session::evaluations() (api/session.hpp), which routes through this
+// pool and maps failures into the api::Error taxonomy. svc::ClientPool
+// remains the transport building block the facade is implemented on (and
+// the campaign runner's direct dependency).
+//
 // svc::ClientPool — the distributed-campaign client: shards evaluation
 // requests across a fleet of intooa-served endpoints and keeps up to a
 // configured number of requests pipelined on each connection, matching

@@ -167,10 +167,46 @@ Server::~Server() {
   // A destroyed server must not leave threads running; run() normally joins
   // them, but guard against a caller that never ran.
   begin_drain();
-  std::lock_guard<std::mutex> lock(threads_mutex_);
-  for (auto& thread : connection_threads_) {
+  join_all_connections();
+}
+
+void Server::join_all_connections() {
+  // Move the threads out before joining: a finishing handler takes
+  // threads_mutex_ to announce its id, so joining under the lock would
+  // deadlock against it.
+  std::map<std::uint64_t, std::thread> drained;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    drained.swap(connection_threads_);
+    finished_ids_.clear();
+  }
+  for (auto& [id, thread] : drained) {
     if (thread.joinable()) thread.join();
   }
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::thread> reaped;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const std::uint64_t id : finished_ids_) {
+      const auto it = connection_threads_.find(id);
+      if (it == connection_threads_.end()) continue;
+      reaped.push_back(std::move(it->second));
+      connection_threads_.erase(it);
+    }
+    finished_ids_.clear();
+  }
+  // An announced thread has nothing left to do but unwind: these joins
+  // return promptly. Outside the lock all the same.
+  for (auto& thread : reaped) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+std::size_t Server::connection_thread_count() const {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  return connection_threads_.size();
 }
 
 void Server::bind() {
@@ -261,6 +297,7 @@ void Server::run() {
       }
       continue;
     }
+    reap_finished_connections();
     auto conn = std::make_shared<Connection>();
     conn->peer = peer_name(client.get());
     conn->fd = std::move(client);
@@ -273,10 +310,15 @@ void Server::run() {
       ++stats_.connections;
     }
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, conn = std::move(conn)]() mutable {
+    const std::uint64_t id = next_connection_id_++;
+    connection_threads_.emplace(
+        id, std::thread([this, id, conn = std::move(conn)]() mutable {
           handle_connection(std::move(conn));
-        });
+          // Announce completion so the accept loop can reap this thread;
+          // must be the handler thread's last touch of server state.
+          std::lock_guard<std::mutex> lock(threads_mutex_);
+          finished_ids_.push_back(id);
+        }));
   }
 
   // Drain: every admitted evaluation finishes and flushes its response.
@@ -284,13 +326,7 @@ void Server::run() {
     std::unique_lock<std::mutex> lock(inflight_mutex_);
     inflight_cv_.wait(lock, [this] { return inflight_.load() == 0; });
   }
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    for (auto& thread : connection_threads_) {
-      if (thread.joinable()) thread.join();
-    }
-    connection_threads_.clear();
-  }
+  join_all_connections();
   pool_.reset();  // queue is empty; joins the workers
   if (stats_thread_.joinable()) stats_thread_.join();
   if (!config_.stats_file.empty()) {

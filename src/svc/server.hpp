@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -124,6 +125,12 @@ class Server {
 
   ServerStats stats() const;
 
+  /// Connection-handler threads currently tracked (live handlers plus any
+  /// finished-but-not-yet-reaped). Bounded by max_connections + the reap
+  /// backlog of one accept-loop iteration; the regression test asserts it
+  /// stays small across many short-lived connections.
+  std::size_t connection_thread_count() const;
+
   /// The StatsResponse document: uptime, metrics snapshot, per-histogram
   /// p50/p90/p99 and (optionally) the flight-recorder contents, as compact
   /// JSON text. Thread-safe; also callable directly (examples, tests).
@@ -206,8 +213,19 @@ class Server {
   std::mutex shards_mutex_;
   std::unordered_map<std::string, std::unique_ptr<Shard>> shards_;
 
-  std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+  /// Joins connection threads whose handlers announced completion (same
+  /// scheme as sched::JobService: a handler's last act is to push its id
+  /// onto finished_ids_). Called on every accept so a long-lived daemon
+  /// stays bounded instead of accumulating one unjoined thread per
+  /// connection until drain.
+  void reap_finished_connections();
+  /// Joins every remaining connection thread (drain and destructor).
+  void join_all_connections();
+
+  mutable std::mutex threads_mutex_;
+  std::map<std::uint64_t, std::thread> connection_threads_;
+  std::vector<std::uint64_t> finished_ids_;
+  std::uint64_t next_connection_id_ = 1;
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;

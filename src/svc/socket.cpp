@@ -24,6 +24,13 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
+/// Dial failures get the typed Connect kind so api::Session can classify
+/// them (retryable Unavailable) without parsing the message.
+[[noreturn]] void fail_connect(const std::string& what) {
+  throw TransportError(TransportError::Kind::Connect,
+                       what + ": " + std::strerror(errno));
+}
+
 obs::Counter& rx_counter() {
   static obs::Counter& c = obs::registry().counter("svc.bytes_rx");
   return c;
@@ -187,13 +194,13 @@ Fd listen_on(const Address& address, int backlog) {
 Fd connect_to(const Address& address) {
   if (address.kind == Address::Kind::Unix) {
     Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
-    if (!fd.valid()) fail("svc: socket(AF_UNIX)");
+    if (!fd.valid()) fail_connect("svc: socket(AF_UNIX)");
     sockaddr_un sa{};
     sa.sun_family = AF_UNIX;
     std::strncpy(sa.sun_path, address.path.c_str(), sizeof(sa.sun_path) - 1);
     if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) !=
         0) {
-      fail("svc: connect " + address.to_string());
+      fail_connect("svc: connect " + address.to_string());
     }
     return fd;
   }
@@ -205,7 +212,8 @@ Fd connect_to(const Address& address) {
   const int rc =
       ::getaddrinfo(address.host.c_str(), port.c_str(), &hints, &info);
   if (rc != 0 || info == nullptr) {
-    throw std::runtime_error("svc: cannot resolve " + address.host + ": " +
+    throw TransportError(TransportError::Kind::Connect,
+                         "svc: cannot resolve " + address.host + ": " +
                              ::gai_strerror(rc));
   }
   // A name can resolve to several addresses; try each in resolver order and
@@ -227,7 +235,7 @@ Fd connect_to(const Address& address) {
   ::freeaddrinfo(info);
   if (!fd.valid()) {
     errno = last_errno;
-    fail("svc: connect " + address.to_string());
+    fail_connect("svc: connect " + address.to_string());
   }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);

@@ -9,11 +9,51 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "svc/protocol.hpp"
 
 namespace intooa::svc {
+
+/// Typed transport failure thrown by the client-side plumbing (connect,
+/// handshake, request round-trips). Subclasses std::runtime_error so
+/// existing catch sites keep working; the kind lets api::Session map a
+/// failure into the api::Error taxonomy without parsing the message.
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind {
+    Connect,         ///< dial failed (refused, unresolvable, no listener)
+    Timeout,         ///< the peer went silent past the deadline
+    ConnectionLost,  ///< send/receive failed mid-conversation
+    Protocol,        ///< malformed or unexpected frames, version mismatch
+    Unsupported,     ///< the peer predates the requested capability
+  };
+
+  TransportError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// A server-originated Error reply surfaced as an exception, preserving the
+/// wire error code so api::Session can map it into the api::Error taxonomy
+/// (Draining stays retryable, Internal stays permanent) without parsing the
+/// message. MalformedRequest replies keep throwing std::invalid_argument for
+/// backward compatibility; everything else lands here.
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
 
 /// A service endpoint: "unix:PATH", "tcp:HOST:PORT", "HOST:PORT" (tcp), or
 /// a bare filesystem path (unix).

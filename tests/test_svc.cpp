@@ -428,6 +428,29 @@ TEST(SvcServer, IdleConnectionsAreClosed) {
             svc::ReadStatus::Closed);
 }
 
+TEST(SvcServer, ConnectionThreadsAreReapedNotAccumulated) {
+  // Regression: the accept loop must reap finished connection-handler
+  // threads as it goes (sched::JobService's announce-and-reap hygiene),
+  // not accumulate one joinable thread per connection until drain.
+  TestServer ts(base_config(fresh_unix("svc-reap")));
+  constexpr int kConnections = 40;
+  for (int i = 0; i < kConnections; ++i) {
+    svc::Client client;
+    client.connect(ts.server.config().address);
+    EXPECT_TRUE(client.ping(static_cast<std::uint64_t>(i) + 1, 10'000));
+    client.close();
+  }
+  // Every connection above is closed; the tracked-thread count must stay
+  // far below the total served (finished handlers linger only until the
+  // next accept-loop tick).
+  EXPECT_LE(ts.server.connection_thread_count(),
+            static_cast<std::size_t>(8));
+  ts.stop();
+  EXPECT_EQ(ts.server.stats().connections,
+            static_cast<std::uint64_t>(kConnections));
+  EXPECT_EQ(ts.server.connection_thread_count(), 0u);
+}
+
 TEST(SvcServer, ConcurrentClientsDeduplicateIdenticalKeys) {
   svc::ServerConfig config = base_config(fresh_unix("svc-dedup"));
   config.threads = 4;
