@@ -1,5 +1,6 @@
 #include "api/json.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "circuit/spec.hpp"
@@ -24,7 +25,10 @@ bool read_u64(const obs::Json& object, const std::string& key,
     return false;
   }
   const double d = value.as_number();
-  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+  // Range-check before casting: float→integer conversion of a value
+  // outside [0, 2^64) (an attacker-supplied 1e300, or NaN) is undefined
+  // behavior, and these fields arrive in gateway request bodies.
+  if (!(d >= 0.0) || d >= 18446744073709551616.0 || d != std::floor(d)) {
     error = "field '" + key + "' must be a non-negative integer";
     return false;
   }
@@ -90,8 +94,10 @@ Error error_from_json(const obs::Json& root) {
   }
   if (body.contains("retry_after_ms") &&
       body.at("retry_after_ms").is_number()) {
-    error.retry_after_ms =
-        static_cast<std::uint32_t>(body.at("retry_after_ms").as_number());
+    const double ms = body.at("retry_after_ms").as_number();
+    if (ms >= 0.0 && ms < 4294967296.0) {
+      error.retry_after_ms = static_cast<std::uint32_t>(ms);
+    }
   }
   return error;
 }

@@ -14,13 +14,18 @@ Session::Session(SessionConfig config)
 Session::~Session() { close(); }
 
 void Session::close() {
-  if (pool_) pool_->close();
-  pool_.reset();
+  std::unique_ptr<svc::ClientPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool = std::move(pool_);
+  }
+  if (pool) pool->close();
   drop_stats_client();
   drop_job_client();
 }
 
 Expected<svc::ClientPool*> Session::eval_pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
   if (pool_) return pool_.get();
   if (config_.evaluators.empty()) {
     return Error{ErrorCode::InvalidArgument,

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,8 +69,9 @@ struct EvaluationOutcome {
 
 class Session;
 
-/// Evaluation sub-API. Thread-safe: the underlying pool serializes per
-/// endpoint and many callers may evaluate concurrently.
+/// Evaluation sub-API. Thread-safe: the pool is built exactly once under
+/// a lock (concurrent first calls do not race the install), and once built
+/// it serializes per endpoint so many callers may evaluate concurrently.
 class Evaluations {
  public:
   /// Evaluates one (spec, sizing, topology) request, blocking until a
@@ -160,6 +162,8 @@ class Session {
   friend class Stats;
 
   /// The lazily built evaluation pool; Error when no evaluator configured.
+  /// Safe to call from concurrent evaluation threads: the build-and-install
+  /// is serialized on pool_mutex_.
   Expected<svc::ClientPool*> eval_pool();
   /// The lazily connected stats client; Error when connect fails.
   Expected<svc::Client*> stats_client();
@@ -170,6 +174,10 @@ class Session {
   void drop_stats_client();
 
   SessionConfig config_;
+  /// Guards pool_'s install/teardown: evaluations() is documented
+  /// thread-safe, so concurrent first calls must not both construct (and
+  /// the loser destroy) the pool the winner is evaluating against.
+  std::mutex pool_mutex_;
   std::unique_ptr<svc::ClientPool> pool_;
   std::unique_ptr<svc::Client> stats_client_;
   std::unique_ptr<sched::JobClient> job_client_;

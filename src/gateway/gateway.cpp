@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -45,6 +46,26 @@ obs::Histogram& request_histogram() {
 
 /// Reads whatever is available (poll-gated). Returns bytes read, 0 on
 /// orderly EOF, -1 on error, -2 on poll timeout.
+/// Access-log fields come straight off the wire (the parser strips \r only
+/// immediately before \n, so a request target can smuggle bare carriage
+/// returns or escape bytes); percent-escape control characters so one
+/// request cannot forge extra fields or lines in the key=value log.
+std::string sanitize_log_field(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char raw : in) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (c < 0x20 || c == 0x7f) {
+      char hex[4];
+      std::snprintf(hex, sizeof hex, "%%%02X", c);
+      out += hex;
+    } else {
+      out += raw;
+    }
+  }
+  return out;
+}
+
 ssize_t read_some(int fd, char* out, std::size_t capacity, int timeout_ms) {
   struct pollfd p{};
   p.fd = fd;
@@ -279,8 +300,10 @@ void Gateway::write_access_log(const std::string& peer,
   if (!access_log_.is_open()) return;
   std::lock_guard<std::mutex> lock(access_log_mutex_);
   access_log_ << "ts_ns=" << obs::detail::monotonic_ns()
-              << " peer=" << peer << " method=" << request.method
-              << " target=" << request.target << " status=" << status
+              << " peer=" << peer
+              << " method=" << sanitize_log_field(request.method)
+              << " target=" << sanitize_log_field(request.target)
+              << " status=" << status
               << " duration_ns=" << duration_ns << '\n';
   access_log_.flush();  // one line per request; losing lines to a crash
                         // would defeat the log's post-mortem purpose
@@ -321,7 +344,9 @@ void Gateway::handle_connection(svc::Fd fd, std::string peer) {
   HttpParser parser({config_.max_head_bytes, config_.max_body_bytes});
   char buffer[8192];
   int idle_ms = 0;
-  int grace_ms = 0;
+  // Monotonic time the pending request's first byte arrived; 0 when no
+  // request is mid-flight.
+  std::uint64_t request_start_ns = 0;
   bool open = true;
   while (open) {
     // Serve every complete buffered request before reading more
@@ -343,7 +368,7 @@ void Gateway::handle_connection(svc::Fd fd, std::string peer) {
         break;
       }
       idle_ms = 0;
-      grace_ms = 0;
+      request_start_ns = 0;  // the grace window restarts per request
     }
     if (!open) break;
     if (parser.status() == HttpParser::Status::Error) {
@@ -362,34 +387,43 @@ void Gateway::handle_connection(svc::Fd fd, std::string peer) {
       break;
     }
 
+    // Slowloris bound: the grace window runs on the wall clock from the
+    // first byte of an incomplete request, so a peer trickling one byte
+    // per poll slice cannot extend it — once it expires the request is
+    // answered 408 and the connection closed.
+    if (parser.mid_request()) {
+      const std::uint64_t now = obs::detail::monotonic_ns();
+      if (request_start_ns == 0) request_start_ns = now;
+      if (now - request_start_ns >=
+          static_cast<std::uint64_t>(config_.request_grace_ms) *
+              1'000'000) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.timeouts;
+        }
+        HttpResponse response;
+        response.status = 408;
+        response.body = api::error_to_json(
+                            api::Error{api::ErrorCode::Timeout,
+                                       "request not completed within " +
+                                           std::to_string(
+                                               config_.request_grace_ms) +
+                                           " ms",
+                                       0})
+                            .dump();
+        count_response(response.status);
+        svc::write_all(fd.get(), render_response(response, false));
+        break;
+      }
+    } else {
+      request_start_ns = 0;
+    }
+
     const ssize_t got =
         read_some(fd.get(), buffer, sizeof buffer, kPollSliceMs);
     if (got == -2) {
       if (draining() && !parser.mid_request()) break;
-      if (parser.mid_request()) {
-        grace_ms += kPollSliceMs;
-        if (grace_ms >= config_.request_grace_ms) {
-          // Slowloris bound: a request that trickles past the grace
-          // window is answered 408 and the connection closed.
-          {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.timeouts;
-          }
-          HttpResponse response;
-          response.status = 408;
-          response.body = api::error_to_json(
-                              api::Error{api::ErrorCode::Timeout,
-                                         "request not completed within " +
-                                             std::to_string(
-                                                 config_.request_grace_ms) +
-                                             " ms",
-                                         0})
-                              .dump();
-          count_response(response.status);
-          svc::write_all(fd.get(), render_response(response, false));
-          break;
-        }
-      } else {
+      if (!parser.mid_request()) {
         idle_ms += kPollSliceMs;
         if (config_.idle_timeout_ms >= 0 &&
             idle_ms >= config_.idle_timeout_ms) {
@@ -405,22 +439,23 @@ void Gateway::handle_connection(svc::Fd fd, std::string peer) {
 }
 
 void Gateway::handle_drain_connection(svc::Fd fd) {
-  // Linger-phase connection: parse requests only to frame the responses;
-  // everything is answered 503 + Retry-After until EOF or the grace cap.
+  // Linger-phase connection: parse one request only to frame the answer,
+  // reply 503 + Retry-After with Connection: close, and hang up. One
+  // answer per connection and a wall-clock deadline (not idle-slice
+  // accounting) guarantee run()'s join_all_connections() is bounded by
+  // drain_linger_ms no matter how chattily a peer keeps sending.
   HttpParser parser({config_.max_head_bytes, config_.max_body_bytes});
   char buffer[4096];
-  int waited_ms = 0;
-  while (waited_ms < config_.drain_linger_ms) {
+  const std::uint64_t deadline =
+      obs::detail::monotonic_ns() +
+      static_cast<std::uint64_t>(config_.drain_linger_ms) * 1'000'000;
+  while (obs::detail::monotonic_ns() < deadline) {
     if (parser.status() == HttpParser::Status::Ready) {
-      const HttpRequest request = parser.take_request();
+      (void)parser.take_request();
       const HttpResponse response = drain_response();
       count_response(response.status);
-      if (!svc::write_all(fd.get(),
-                          render_response(response, request.keep_alive)) ||
-          !request.keep_alive) {
-        return;
-      }
-      continue;
+      svc::write_all(fd.get(), render_response(response, false));
+      return;
     }
     if (parser.status() == HttpParser::Status::Error) {
       svc::write_all(fd.get(), render_response(drain_response(), false));
@@ -428,10 +463,7 @@ void Gateway::handle_drain_connection(svc::Fd fd) {
     }
     const ssize_t got =
         read_some(fd.get(), buffer, sizeof buffer, kPollSliceMs);
-    if (got == -2) {
-      waited_ms += kPollSliceMs;
-      continue;
-    }
+    if (got == -2) continue;
     if (got <= 0) return;
     parser.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
   }

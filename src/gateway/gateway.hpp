@@ -30,7 +30,8 @@
 // request, further requests are answered 503 with Retry-After, and — so
 // that plain HTTP clients can observe the drain instead of a vanished
 // listener — the acceptor keeps accepting for drain_linger_ms, answering
-// every request 503 + Retry-After before run() returns.
+// one 503 + Retry-After per connection (Connection: close, so no peer can
+// pin a handler past the linger deadline) before run() returns.
 
 #include <atomic>
 #include <cstdint>
@@ -131,8 +132,8 @@ class Gateway {
 
  private:
   void handle_connection(svc::Fd fd, std::string peer);
-  /// Answers every request 503 + Retry-After until the peer closes or the
-  /// linger deadline passes (drain-linger connections).
+  /// Answers the first request 503 + Retry-After and closes; bounded by a
+  /// wall-clock linger deadline (drain-linger connections).
   void handle_drain_connection(svc::Fd fd);
   HttpResponse drain_response() const;
   HttpResponse error_response(const api::Error& error) const;

@@ -309,6 +309,31 @@ TEST(ApiJson, EvalRequestDecodingIsStrict) {
           .ok());
 }
 
+TEST(ApiJson, OutOfRangeNumbersAreRejectedBeforeTheCast) {
+  // Numbers outside [0, 2^64) must be rejected up front — the float→u64
+  // conversion of 1e300 is undefined behavior, and these fields arrive in
+  // attacker-supplied gateway request bodies.
+  EXPECT_FALSE(api::eval_request_from_json(
+                   obs::Json::parse(
+                       "{\"spec\": \"S-1\", \"topology\": 1e300}"))
+                   .ok());
+  EXPECT_FALSE(api::job_spec_from_json(
+                   obs::Json::parse("{\"priority\": 1e300}"))
+                   .ok());
+  EXPECT_FALSE(api::job_spec_from_json(
+                   obs::Json::parse("{\"params\": {\"seed\": 2e19}}"))
+                   .ok());
+  // A huge retry hint in an error body is dropped, not converted.
+  const api::Error hinted = api::error_from_json(obs::Json::parse(
+      "{\"error\": {\"code\": \"busy\", \"retry_after_ms\": 1e300}}"));
+  EXPECT_EQ(hinted.retry_after_ms, 0u);
+  // The largest exactly-representable u64 double still decodes.
+  const api::Expected<svc::EvalRequest> big = api::eval_request_from_json(
+      obs::Json::parse("{\"spec\": \"S-1\", \"topology\": 4294967295}"));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value().topology_index, 4294967295u);
+}
+
 TEST(ApiJson, Fnv1aMatchesKnownVectors) {
   // FNV-1a 64 reference values.
   EXPECT_EQ(api::fnv1a_hex(""), "cbf29ce484222325");
@@ -342,6 +367,40 @@ TEST(ApiSession, EvaluationMatchesInProcessBytes) {
   ASSERT_TRUE(digest.ok());
   EXPECT_EQ(digest.value(),
             keys.key_for(circuit::Topology::from_index(3)).digest);
+}
+
+TEST(ApiSession, ConcurrentFirstEvaluationsShareOnePool) {
+  // The gateway calls evaluations() from concurrent connection-handler
+  // threads without an external lock; the very first calls race to build
+  // the pool. Exactly one pool must be installed (TSan guards the
+  // install-vs-use race this test provokes).
+  svc::ServerConfig config;
+  config.address = fresh_unix("api-race");
+  config.threads = 2;
+  TestServer server(std::move(config));
+
+  api::SessionConfig session_config;
+  session_config.evaluators = {server.server.config().address};
+  api::Session session(std::move(session_config));
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<api::Expected<api::EvaluationOutcome>> outcomes(
+      kThreads, api::Error{api::ErrorCode::Internal, "unset", 0});
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      outcomes[static_cast<std::size_t>(i)] =
+          session.evaluations().evaluate(
+              tiny_request(static_cast<std::uint64_t>(i)));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kThreads; ++i) {
+    const auto& outcome = outcomes[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+    EXPECT_EQ(outcome.value().record.record.topology.index(),
+              static_cast<std::size_t>(i));
+  }
 }
 
 TEST(ApiSession, DownEndpointIsRetryableUnavailableAndRedials) {

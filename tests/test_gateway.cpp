@@ -15,8 +15,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -493,6 +496,102 @@ TEST(GatewayEndToEnd, SlowlorisGetsA408WithinTheGrace) {
             5000);
   const auto stats = gw.gw.stats();
   EXPECT_EQ(stats.timeouts, 1u);
+}
+
+TEST(GatewayEndToEnd, TricklingBytesDoNotExtendTheGrace) {
+  gateway::GatewayConfig config;
+  config.listen = gateway_tcp_address();
+  config.request_grace_ms = 400;
+  TestGateway gw(std::move(config));
+
+  RawConnection conn(gw.gw.config().listen);
+  std::atomic<bool> done{false};
+  std::thread trickler([&] {
+    // One byte every ~30ms keeps every poll slice non-idle, so an
+    // idle-slice accounting of the grace would never fire; only the
+    // wall-clock window can terminate this request.
+    const std::string head = "GET /healthz HTTP/1.1\r\nX-Slow: ";
+    std::size_t i = 0;
+    while (!done.load()) {
+      const char byte = i < head.size() ? head[i] : 'a';
+      ++i;
+      if (!svc::write_all(conn.fd.get(), std::string_view(&byte, 1))) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  });
+  const auto started = std::chrono::steady_clock::now();
+  const std::string reply = conn.read_reply();
+  const auto waited = std::chrono::steady_clock::now() - started;
+  done.store(true);
+  trickler.join();
+  EXPECT_NE(reply.find("HTTP/1.1 408 Request Timeout"), std::string::npos)
+      << reply;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            5000);
+  EXPECT_EQ(gw.gw.stats().timeouts, 1u);
+}
+
+TEST(GatewayEndToEnd, DrainLingerBoundsChattyKeepAliveClients) {
+  gateway::GatewayConfig config;
+  config.listen = gateway_tcp_address();
+  config.drain_linger_ms = 500;
+  gateway::Gateway gw(std::move(config));
+  gw.bind();
+  std::thread thread([&] { gw.run(); });
+  gw.begin_drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // A client that keeps sending keep-alive requests throughout the linger
+  // gets one 503 (Connection: close) and is cut loose — it cannot pin its
+  // handler past the linger deadline, so run() returns on time.
+  const auto started = std::chrono::steady_clock::now();
+  std::thread chatty([&] {
+    svc::Fd fd;
+    try {
+      fd = svc::connect_to(gw.config().listen);
+    } catch (const std::exception&) {
+      return;  // lost the race with the end of the linger window
+    }
+    for (int i = 0; i < 200; ++i) {
+      if (!svc::write_all(fd.get(), "GET /healthz HTTP/1.1\r\n\r\n")) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  thread.join();
+  const auto waited = std::chrono::steady_clock::now() - started;
+  chatty.join();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            5000);
+}
+
+TEST(GatewayEndToEnd, AccessLogEscapesControlBytes) {
+  const std::string log_path =
+      (std::filesystem::temp_directory_path() /
+       ("intooa-gw-log-" + std::to_string(::getpid()) + ".txt"))
+          .string();
+  std::filesystem::remove(log_path);
+  gateway::GatewayConfig config;
+  config.listen = gateway_tcp_address();
+  config.access_log = log_path;
+  TestGateway gw(std::move(config));
+
+  // The parser strips \r only immediately before \n, so a bare carriage
+  // return rides through in the target; the access log must escape it
+  // instead of letting one request forge extra key=value fields.
+  RawConnection conn(gw.gw.config().listen);
+  conn.send("GET /a\rstatus=200 HTTP/1.1\r\nConnection: close\r\n\r\n");
+  conn.read_reply();
+  gw.stop();
+
+  std::ifstream log(log_path);
+  const std::string contents((std::istreambuf_iterator<char>(log)),
+                             std::istreambuf_iterator<char>());
+  std::filesystem::remove(log_path);
+  EXPECT_NE(contents.find("target=/a%0Dstatus=200"), std::string::npos)
+      << contents;
+  EXPECT_EQ(contents.find('\r'), std::string::npos) << contents;
 }
 
 TEST(GatewayEndToEnd, ParserErrorsAnswerTheFailureStatus) {
